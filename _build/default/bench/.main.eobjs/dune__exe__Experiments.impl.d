@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float Format List Printf Report Sgr_atomic Sgr_discrete Sgr_latency Sgr_links Sgr_network Sgr_numerics Sgr_workloads Stackelberg String

@@ -1,0 +1,1 @@
+bench/report.ml: Format List Printf Sgr_numerics String

@@ -1,0 +1,43 @@
+(* Tiny reporting framework for the reproduction experiments: each
+   experiment contributes rows of (quantity, paper value, measured value);
+   the harness prints them and keeps a global pass/fail tally. *)
+
+type row = {
+  quantity : string;
+  paper : string;  (* the value/shape the paper reports *)
+  measured : string;
+  pass : bool;
+}
+
+let failures = ref 0
+let total_checks = ref 0
+
+let check_row ?(eps = 1e-6) quantity ~paper measured =
+  let pass = Sgr_numerics.Tolerance.approx ~eps paper measured in
+  { quantity; paper = Printf.sprintf "%.6g" paper; measured = Printf.sprintf "%.6g" measured; pass }
+
+let bool_row quantity ~paper pass =
+  { quantity; paper; measured = (if pass then "holds" else "VIOLATED"); pass }
+
+let info_row quantity ~paper measured = { quantity; paper; measured; pass = true }
+
+let section id title = Format.printf "@.=== %s — %s ===@." id title
+
+let table rows =
+  let w1 = List.fold_left (fun a r -> max a (String.length r.quantity)) 24 rows in
+  let w2 = List.fold_left (fun a r -> max a (String.length r.paper)) 16 rows in
+  let w3 = List.fold_left (fun a r -> max a (String.length r.measured)) 16 rows in
+  Format.printf "  %-*s | %-*s | %-*s | result@." w1 "quantity" w2 "paper" w3 "measured";
+  Format.printf "  %s-+-%s-+-%s-+-------@." (String.make w1 '-') (String.make w2 '-')
+    (String.make w3 '-');
+  List.iter
+    (fun r ->
+      incr total_checks;
+      if not r.pass then incr failures;
+      Format.printf "  %-*s | %-*s | %-*s | %s@." w1 r.quantity w2 r.paper w3 r.measured
+        (if r.pass then "ok" else "FAIL"))
+    rows
+
+let summary () =
+  Format.printf "@.%d/%d reproduction checks passed.@." (!total_checks - !failures) !total_checks;
+  !failures = 0

@@ -1,0 +1,142 @@
+(* Bechamel timing suite (T1-T6): exercises the paper's polynomial-time
+   claims. One Test.make per measured configuration, all collected into a
+   single run; results are printed as one OLS-estimated time per test. *)
+
+open Bechamel
+module Links = Sgr_links.Links
+module W = Sgr_workloads.Workloads
+module Eq = Sgr_network.Equilibrate
+module FW = Sgr_network.Frank_wolfe
+module Obj = Sgr_network.Objective
+module Prng = Sgr_numerics.Prng
+
+let links_instance m = W.random_affine_links (Prng.create (1000 + m)) ~m ~demand:1.0 ()
+let mixed_instance m = W.random_polynomial_links (Prng.create (2000 + m)) ~m ~demand:1.0 ()
+
+let layered seed ~layers ~width =
+  W.random_layered_network (Prng.create seed) ~layers ~width ~extra_edges:width ()
+
+(* T1: water-filling solvers vs system size. *)
+let t1 =
+  let make name solve =
+    List.map
+      (fun m ->
+        let t = links_instance m in
+        Test.make ~name:(Printf.sprintf "%s/m=%d" name m) (Staged.stage (fun () -> solve t)))
+      [ 10; 100; 1000 ]
+  in
+  Test.make_grouped ~name:"T1 water-filling"
+    (make "nash" (fun t -> ignore (Links.nash t)) @ make "opt" (fun t -> ignore (Links.opt t)))
+
+(* T2: OpTop vs system size (the paper's headline polynomial algorithm). *)
+let t2 =
+  Test.make_grouped ~name:"T2 optop"
+    (List.map
+       (fun m ->
+         let t = mixed_instance m in
+         Test.make ~name:(Printf.sprintf "optop/m=%d" m)
+           (Staged.stage (fun () -> ignore (Stackelberg.Optop.run t))))
+       [ 10; 100; 500 ])
+
+(* T3: Theorem 2.4's exact solver vs size. *)
+let t3 =
+  Test.make_grouped ~name:"T3 linear-exact"
+    (List.map
+       (fun m ->
+         let t = W.random_common_slope_links (Prng.create (3000 + m)) ~m ~demand:1.0 () in
+         let beta = Stackelberg.Optop.beta t in
+         let alpha = 0.7 *. Float.max 0.05 beta in
+         Test.make ~name:(Printf.sprintf "thm2.4/m=%d" m)
+           (Staged.stage (fun () -> ignore (Stackelberg.Linear_exact.solve t ~alpha))))
+       [ 4; 8; 16 ])
+
+(* T4: network equilibrium solvers on layered DAGs. *)
+let t4 =
+  let nets = [ (1, 2); (2, 3); (3, 3) ] in
+  Test.make_grouped ~name:"T4 network solvers"
+    (List.concat_map
+       (fun (layers, width) ->
+         let net = layered (4000 + (10 * layers) + width) ~layers ~width in
+         [
+           Test.make ~name:(Printf.sprintf "equilibrate/l%dw%d" layers width)
+             (Staged.stage (fun () -> ignore (Eq.solve Obj.Wardrop net)));
+           Test.make ~name:(Printf.sprintf "frank-wolfe/l%dw%d" layers width)
+             (Staged.stage (fun () -> ignore (FW.solve ~tol:1e-6 Obj.Wardrop net)));
+           Test.make ~name:(Printf.sprintf "msa/l%dw%d" layers width)
+             (Staged.stage (fun () ->
+                  ignore (Sgr_network.Msa.solve ~tol:1e-4 Obj.Wardrop net)));
+         ])
+       nets)
+
+(* T5: MOP end to end on the paper's graphs and a grid. *)
+let t5 =
+  let fig7 = W.fig7 () in
+  let braess = W.braess_classic () in
+  let grid = W.grid_network (Prng.create 5001) ~rows:3 ~cols:3 ~demand:2.0 () in
+  let two = W.two_commodity () in
+  Test.make_grouped ~name:"T5 mop"
+    [
+      Test.make ~name:"mop/fig7" (Staged.stage (fun () -> ignore (Stackelberg.Mop.run fig7)));
+      Test.make ~name:"mop/braess" (Staged.stage (fun () -> ignore (Stackelberg.Mop.run braess)));
+      Test.make ~name:"mop/grid3x3" (Staged.stage (fun () -> ignore (Stackelberg.Mop.run grid)));
+      Test.make ~name:"mop/2-commodity"
+        (Staged.stage (fun () -> ignore (Stackelberg.Mop.run two)));
+    ]
+
+(* T6: substrate microbenchmarks. *)
+let t6 =
+  let g = (W.grid_network (Prng.create 6001) ~rows:6 ~cols:6 ()).Sgr_network.Network.graph in
+  let m = Sgr_graph.Digraph.num_edges g in
+  let weights = Array.init m (fun i -> 0.1 +. (0.01 *. float_of_int i)) in
+  let caps = Array.make m 1.0 in
+  Test.make_grouped ~name:"T6 substrates"
+    [
+      Test.make ~name:"dijkstra/grid6x6"
+        (Staged.stage (fun () -> ignore (Sgr_graph.Dijkstra.run g ~weights ~source:0)));
+      Test.make ~name:"maxflow/grid6x6"
+        (Staged.stage (fun () -> ignore (Sgr_graph.Maxflow.solve g ~capacities:caps ~src:0 ~dst:35)));
+      Test.make ~name:"paths/grid6x6"
+        (Staged.stage (fun () -> ignore (Sgr_graph.Paths.enumerate g ~src:0 ~dst:35)));
+    ]
+
+(* T7: the extension modules. *)
+let t7 =
+  let module A = Sgr_atomic.Atomic_links in
+  let pigou_lats = W.pigou.Sgr_links.Links.latencies in
+  let mono = Sgr_latency.Latency.monomial ~coeff:1.0 ~degree:4 in
+  Test.make_grouped ~name:"T7 extensions"
+    [
+      Test.make ~name:"atomic-links/pigou-n8"
+        (Staged.stage (fun () ->
+             ignore (A.equilibrium (A.split_evenly pigou_lats ~total:1.0 ~players:8))));
+      Test.make ~name:"tolls/fig456"
+        (Staged.stage (fun () -> ignore (Stackelberg.Tolls.links_outcome W.fig456)));
+      Test.make ~name:"pigou-bound/x^4"
+        (Staged.stage (fun () -> ignore (Stackelberg.Bounds.pigou_bound mono)));
+      Test.make ~name:"alpha-sweep/pigou-11"
+        (Staged.stage (fun () ->
+             ignore (Stackelberg.Alpha_sweep.run ~samples:11 ~grid_resolution:16 W.pigou)));
+    ]
+
+let run_all () =
+  Format.printf "@.=== Timing suite (bechamel, monotonic clock, OLS ns/run) ===@.";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+      List.iter
+        (fun (name, est) ->
+          let ns = match Analyze.OLS.estimates est with Some (t :: _) -> t | _ -> Float.nan in
+          let pretty =
+            if ns >= 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+            else if ns >= 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+            else if ns >= 1e3 then Printf.sprintf "%8.3f µs" (ns /. 1e3)
+            else Printf.sprintf "%8.1f ns" ns
+          in
+          Format.printf "  %-28s %s@." name pretty)
+        (List.sort compare rows))
+    [ t1; t2; t3; t4; t5; t6; t7 ]

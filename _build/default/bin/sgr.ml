@@ -1,0 +1,437 @@
+(* sgr — command-line interface to the Stackelberg price-of-optimum
+   library.
+
+   Instances are plain-text files (see Sgr_io.Instance_file for the
+   format); `sgr catalog NAME` materializes the named instances from the
+   paper so they can be piped into files and edited. *)
+
+open Cmdliner
+module Links = Sgr_links.Links
+module Net = Sgr_network.Network
+module Eq = Sgr_network.Equilibrate
+module Obj = Sgr_network.Objective
+module W = Sgr_workloads.Workloads
+module IF = Sgr_io.Instance_file
+module Vec = Sgr_numerics.Vec
+
+let load_instance path =
+  match IF.load path with
+  | Ok t -> t
+  | Error m ->
+      Format.eprintf "error: %s@." m;
+      exit 2
+
+let require_links = function
+  | IF.Links t -> t
+  | IF.Network _ ->
+      Format.eprintf "error: this command needs a parallel-links instance@.";
+      exit 2
+
+let require_network = function
+  | IF.Network n -> n
+  | IF.Links _ ->
+      Format.eprintf "error: this command needs a network instance@.";
+      exit 2
+
+(* ---------------- arguments ---------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Instance file.")
+
+let alpha_arg =
+  Arg.(
+    required
+    & opt (some float) None
+    & info [ "alpha"; "a" ] ~docv:"ALPHA" ~doc:"Leader's share of the flow, in [0, 1].")
+
+let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV.")
+
+(* ---------------- solve ---------------- *)
+
+let solve_links t =
+  let nash = Links.nash t and opt = Links.opt t in
+  Format.printf "instance: %d parallel links, r = %g@." (Links.num_links t) t.Links.demand;
+  Format.printf "nash     = %a  (common latency %.6g)@." Vec.pp nash.assignment nash.level;
+  Format.printf "optimum  = %a  (marginal level %.6g)@." Vec.pp opt.assignment opt.level;
+  Format.printf "C(N) = %.6g, C(O) = %.6g, price of anarchy = %.6g@."
+    (Links.cost t nash.assignment) (Links.cost t opt.assignment) (Links.price_of_anarchy t)
+
+let solve_network net =
+  let nash = Eq.solve Obj.Wardrop net in
+  let opt = Eq.solve Obj.System_optimum net in
+  let cn = Net.cost net nash.edge_flow and co = Net.cost net opt.edge_flow in
+  Format.printf "instance: %d nodes, %d edges, %d commodities, r = %g@."
+    (Sgr_graph.Digraph.num_nodes net.Net.graph)
+    (Sgr_graph.Digraph.num_edges net.Net.graph)
+    (Array.length net.Net.commodities) (Net.total_demand net);
+  Format.printf "nash edge flow    = %a@." Vec.pp nash.edge_flow;
+  Format.printf "optimum edge flow = %a@." Vec.pp opt.edge_flow;
+  Format.printf "C(N) = %.6g, C(O) = %.6g, price of anarchy = %.6g@." cn co (cn /. co)
+
+let solve_cmd =
+  let run path =
+    match load_instance path with IF.Links t -> solve_links t | IF.Network n -> solve_network n
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Compute the Nash equilibrium, the optimum and the price of anarchy.")
+    Term.(const run $ file_arg)
+
+(* ---------------- optop ---------------- *)
+
+let optop_cmd =
+  let run path trace =
+    let t = require_links (load_instance path) in
+    let r = Stackelberg.Optop.run t in
+    if trace then
+      List.iteri
+        (fun i (round : Stackelberg.Optop.round) ->
+          Format.printf "round %d: r = %.6g, frozen = {%s}@." (i + 1) round.demand
+            (String.concat ","
+               (Array.to_list (Array.map (fun j -> string_of_int (j + 1)) round.frozen))))
+        r.rounds;
+    Format.printf "beta      = %.9g@." r.beta;
+    Format.printf "strategy  = %a@." Vec.pp r.strategy;
+    Format.printf "C(N)      = %.9g@." r.nash_cost;
+    Format.printf "C(O)      = %.9g@." r.optimum_cost;
+    Format.printf "C(S+T)    = %.9g@." r.induced_cost
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print OpTop's per-round trace.") in
+  Cmd.v
+    (Cmd.info "optop"
+       ~doc:
+         "Compute the price of optimum β and the Leader's optimal strategy on parallel links \
+          (Corollary 2.2).")
+    Term.(const run $ file_arg $ trace)
+
+(* ---------------- mop ---------------- *)
+
+let mop_cmd =
+  let run path dot_out =
+    let net = require_network (load_instance path) in
+    let r = Stackelberg.Mop.run net in
+    Format.printf "beta (strong) = %.9g@." r.beta;
+    Format.printf "beta (weak)   = %.9g@." r.beta_weak;
+    Format.printf "C(N)          = %.9g@." r.nash_cost;
+    Format.printf "C(O)          = %.9g@." r.opt_cost;
+    Format.printf "C(S+T)        = %.9g@." r.induced.cost;
+    Array.iter
+      (fun (rep : Stackelberg.Mop.commodity_report) ->
+        Format.printf "commodity %d: free flow %.6g, controlled %.6g, %d leader paths@."
+          rep.index rep.free_flow rep.controlled
+          (List.length rep.leader_paths))
+      r.per_commodity;
+    match dot_out with
+    | None -> ()
+    | Some path ->
+        let dot =
+          Sgr_graph.Dot.export ~name:"mop"
+            ~edge_label:(fun e ->
+              Printf.sprintf "o=%.3f s=%.3f" r.opt_edge_flow.(e.Sgr_graph.Digraph.id)
+                r.leader_edge_flow.(e.Sgr_graph.Digraph.id))
+            ~edge_highlight:(fun e -> r.leader_edge_flow.(e.Sgr_graph.Digraph.id) > 1e-9)
+            net.Net.graph
+        in
+        Out_channel.with_open_text path (fun oc -> output_string oc dot);
+        Format.printf "wrote %s@." path
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"OUT.dot"
+          ~doc:"Export the network in Graphviz format with the Leader's edges highlighted.")
+  in
+  Cmd.v
+    (Cmd.info "mop"
+       ~doc:"Compute the price of optimum and the optimal strategy on a network (Theorem 2.1).")
+    Term.(const run $ file_arg $ dot)
+
+(* ---------------- heuristics ---------------- *)
+
+let heuristic_cmd name doc links_play net_play =
+  let run path alpha =
+    if not (0.0 <= alpha && alpha <= 1.0) then begin
+      Format.eprintf "error: alpha must be in [0, 1]@.";
+      exit 2
+    end;
+    match load_instance path with
+    | IF.Links t ->
+        let o : Stackelberg.Strategies.outcome = links_play t ~alpha in
+        Format.printf "strategy  = %a@." Vec.pp o.strategy;
+        Format.printf "C(S+T)    = %.9g@." o.induced_cost;
+        Format.printf "ratio     = %.9g@." o.ratio_to_opt
+    | IF.Network n ->
+        let o : Stackelberg.Net_strategies.outcome = net_play n ~alpha in
+        Format.printf "leader edge flow = %a@." Vec.pp o.leader_edge_flow;
+        Format.printf "C(S+T)    = %.9g@." o.induced.cost;
+        Format.printf "ratio     = %.9g@." o.ratio_to_opt
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ file_arg $ alpha_arg)
+
+let llf_cmd =
+  heuristic_cmd "llf"
+    "Play the Largest-Latency-First heuristic with budget ALPHA·r and report the induced cost."
+    Stackelberg.Strategies.llf
+    (fun n ~alpha -> Stackelberg.Net_strategies.llf n ~alpha)
+
+let scale_cmd =
+  heuristic_cmd "scale" "Play SCALE (ALPHA times the optimum) and report the induced cost."
+    Stackelberg.Strategies.scale
+    (fun n ~alpha -> Stackelberg.Net_strategies.scale n ~alpha)
+
+(* ---------------- thm24 ---------------- *)
+
+let thm24_cmd =
+  let run path alpha =
+    let t = require_links (load_instance path) in
+    if not (Stackelberg.Linear_exact.is_common_slope t) then begin
+      Format.eprintf "error: Theorem 2.4 needs common-slope linear latencies@.";
+      exit 2
+    end;
+    let r = Stackelberg.Linear_exact.solve t ~alpha in
+    Format.printf "strategy   = %a@." Vec.pp r.strategy;
+    Format.printf "C(S+T)     = %.9g@." r.induced_cost;
+    Format.printf "partition  = prefix of %d links, epsilon = %.9g@." r.best.i0 r.best.epsilon
+  in
+  Cmd.v
+    (Cmd.info "thm24"
+       ~doc:
+         "Compute the exact optimal strategy on a hard instance (ALPHA < β) with common-slope \
+          linear latencies (Theorem 2.4).")
+    Term.(const run $ file_arg $ alpha_arg)
+
+(* ---------------- sweep ---------------- *)
+
+let sweep_cmd =
+  let run path samples csv =
+    let t = require_links (load_instance path) in
+    let curve = Stackelberg.Alpha_sweep.run ~samples t in
+    if csv then begin
+      Format.printf "alpha,ratio,method@.";
+      List.iter
+        (fun (p : Stackelberg.Alpha_sweep.point) ->
+          let m =
+            match p.method_used with
+            | Stackelberg.Alpha_sweep.Exact_threshold -> "threshold"
+            | Linear_exact -> "thm2.4"
+            | Grid_search -> "grid"
+            | Heuristic_upper_bound -> "heuristic"
+          in
+          Format.printf "%.6f,%.9f,%s@." p.alpha p.ratio m)
+        curve.points
+    end
+    else begin
+      Format.printf "beta = %.6f@." curve.beta;
+      List.iter
+        (fun (p : Stackelberg.Alpha_sweep.point) ->
+          Format.printf "alpha %.3f -> ratio %.6f@." p.alpha p.ratio)
+        curve.points
+    end
+  in
+  let samples =
+    Arg.(value & opt int 21 & info [ "samples" ] ~docv:"N" ~doc:"Number of α samples.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Trace the a-posteriori anarchy cost (M,r,α) as a function of α (Expression (2)).")
+    Term.(const run $ file_arg $ samples $ csv_arg)
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let run path samples r_lo r_hi csv =
+    let t = require_links (load_instance path) in
+    let points = Stackelberg.Beta_profile.run ~samples t ~r_lo ~r_hi in
+    if csv then begin
+      Format.printf "demand,beta,poa@.";
+      List.iter
+        (fun (p : Stackelberg.Beta_profile.point) ->
+          Format.printf "%.6f,%.9f,%.9f@." p.demand p.beta p.poa)
+        points
+    end
+    else
+      List.iter
+        (fun (p : Stackelberg.Beta_profile.point) ->
+          Format.printf "r = %-8.4f β = %-10.6f PoA = %.6f@." p.demand p.beta p.poa)
+        points
+  in
+  let samples =
+    Arg.(value & opt int 21 & info [ "samples" ] ~docv:"N" ~doc:"Number of demand samples.")
+  in
+  let r_lo = Arg.(value & opt float 0.1 & info [ "from" ] ~docv:"R" ~doc:"Lowest demand.") in
+  let r_hi = Arg.(value & opt float 3.0 & info [ "to" ] ~docv:"R" ~doc:"Highest demand.") in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Trace the price of optimum β_M and the price of anarchy as the total demand varies.")
+    Term.(const run $ file_arg $ samples $ r_lo $ r_hi $ csv_arg)
+
+(* ---------------- info ---------------- *)
+
+let info_cmd =
+  let run path =
+    match load_instance path with
+    | IF.Links t ->
+        Format.printf "kind: parallel links@.";
+        Format.printf "links: %d, demand: %g@." (Links.num_links t) t.Links.demand;
+        Array.iteri
+          (fun i lat ->
+            Format.printf "  M%d: %s%s@." (i + 1)
+              (Sgr_latency.Latency.to_string lat)
+              (if Sgr_latency.Latency.is_constant lat then "  (constant)" else ""))
+          t.Links.latencies;
+        Format.printf "common-slope linear (Thm 2.4 class): %b@."
+          (Stackelberg.Linear_exact.is_common_slope t)
+    | IF.Network net ->
+        let g = net.Net.graph in
+        Format.printf "kind: network@.";
+        Format.printf "nodes: %d, edges: %d, commodities: %d, total demand: %g@."
+          (Sgr_graph.Digraph.num_nodes g) (Sgr_graph.Digraph.num_edges g)
+          (Array.length net.Net.commodities) (Net.total_demand net);
+        Format.printf "acyclic: %b@." (Sgr_graph.Topology.is_dag g);
+        Array.iteri
+          (fun i c ->
+            let paths = Sgr_graph.Paths.enumerate g ~src:c.Net.src ~dst:c.Net.dst in
+            Format.printf "commodity %d: %d -> %d, demand %g, %d simple paths@." i c.Net.src
+              c.Net.dst c.Net.demand (List.length paths))
+          net.Net.commodities
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe an instance file: sizes, latencies, structure.")
+    Term.(const run $ file_arg)
+
+(* ---------------- tolls ---------------- *)
+
+let tolls_cmd =
+  let run path =
+    match load_instance path with
+    | IF.Links t ->
+        let tolls = Stackelberg.Tolls.links_tolls t in
+        let eq, cost = Stackelberg.Tolls.links_outcome t in
+        Format.printf "tolls           = %a@." Vec.pp tolls;
+        Format.printf "tolled flow     = %a@." Vec.pp eq;
+        Format.printf "latency cost    = %.9g@." cost;
+        Format.printf "optimum C(O)    = %.9g@." (Links.cost t (Links.opt t).assignment)
+    | IF.Network net ->
+        let tolls = Stackelberg.Tolls.network_tolls net in
+        let flow, cost = Stackelberg.Tolls.network_outcome net in
+        let opt = Eq.solve Obj.System_optimum net in
+        Format.printf "tolls           = %a@." Vec.pp tolls;
+        Format.printf "tolled flow     = %a@." Vec.pp flow;
+        Format.printf "latency cost    = %.9g@." cost;
+        Format.printf "optimum C(O)    = %.9g@." (Net.cost net opt.edge_flow)
+  in
+  Cmd.v
+    (Cmd.info "tolls"
+       ~doc:
+         "Compute marginal-cost (Pigouvian) tolls and the tolled equilibrium — the first-best \
+          pricing benchmark the paper's introduction contrasts with Stackelberg control.")
+    Term.(const run $ file_arg)
+
+(* ---------------- bound ---------------- *)
+
+let bound_cmd =
+  let run path =
+    let lats, poa =
+      match load_instance path with
+      | IF.Links t -> (t.Links.latencies, Links.price_of_anarchy t)
+      | IF.Network net ->
+          let nash = Eq.solve Obj.Wardrop net in
+          let opt = Eq.solve Obj.System_optimum net in
+          (net.Net.latencies, Net.cost net nash.edge_flow /. Net.cost net opt.edge_flow)
+    in
+    let worst = ref 1.0 in
+    Array.iteri
+      (fun i lat ->
+        let b = Stackelberg.Bounds.pigou_bound lat in
+        worst := Float.max !worst b;
+        Format.printf "latency %d: %-24s pigou bound %.6f@." i
+          (Sgr_latency.Latency.to_string lat) b)
+      lats;
+    Format.printf "worst pigou bound (topology-free PoA bound) = %.6f@." !worst;
+    Format.printf "measured price of anarchy                   = %.6f@." poa
+  in
+  Cmd.v
+    (Cmd.info "bound"
+       ~doc:
+         "Compute each latency's Pigou bound (Roughgarden's anarchy value) and compare the \
+          topology-independent PoA bound with the instance's measured price of anarchy.")
+    Term.(const run $ file_arg)
+
+(* ---------------- catalog ---------------- *)
+
+let catalog =
+  [
+    ("pigou", fun () -> IF.Links W.pigou);
+    ("fig456", fun () -> IF.Links W.fig456);
+    ("fig7", fun () -> IF.Network (W.fig7 ()));
+    ("braess", fun () -> IF.Network (W.braess_classic ()));
+    ("two-commodity", fun () -> IF.Network (W.two_commodity ()));
+    ("pigou-degree-4", fun () -> IF.Links (W.pigou_degree 4));
+  ]
+
+let catalog_cmd =
+  let run name =
+    match name with
+    | None ->
+        Format.printf "available instances:@.";
+        List.iter (fun (n, _) -> Format.printf "  %s@." n) catalog
+    | Some n -> (
+        match List.assoc_opt n catalog with
+        | None ->
+            Format.eprintf "error: unknown instance %S (try `sgr catalog`)@." n;
+            exit 2
+        | Some make -> (
+            match make () with
+            | IF.Links t -> print_string (IF.print_links t)
+            | IF.Network net -> print_string (IF.print_network net)))
+  in
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Catalog instance name.")
+  in
+  Cmd.v
+    (Cmd.info "catalog"
+       ~doc:"List the paper's named instances, or print one in instance-file format.")
+    Term.(const run $ name_arg)
+
+(* ---------------- random ---------------- *)
+
+let random_cmd =
+  let run kind seed m =
+    let rng = Sgr_numerics.Prng.create seed in
+    match kind with
+    | "links" -> print_string (IF.print_links (W.random_affine_links rng ~m ()))
+    | "common-slope" -> print_string (IF.print_links (W.random_common_slope_links rng ~m ()))
+    | "poly" -> print_string (IF.print_links (W.random_polynomial_links rng ~m ()))
+    | "mm1" -> print_string (IF.print_links (W.random_mm1_links rng ~m ()))
+    | "grid" -> print_string (IF.print_network (W.grid_network rng ~rows:m ~cols:m ()))
+    | "layered" ->
+        print_string (IF.print_network (W.random_layered_network rng ~layers:m ~width:m ()))
+    | k ->
+        Format.eprintf
+          "error: unknown kind %S (links|common-slope|poly|mm1|grid|layered)@." k;
+        exit 2
+  in
+  let kind =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KIND" ~doc:"links | common-slope | poly | mm1 | grid | layered")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let size = Arg.(value & opt int 5 & info [ "size"; "m" ] ~docv:"M" ~doc:"Instance size.") in
+  Cmd.v
+    (Cmd.info "random" ~doc:"Generate a random instance and print it in instance-file format.")
+    Term.(const run $ kind $ seed $ size)
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc = "Stackelberg routing: the price of optimum (Kaporis & Spirakis, SPAA'06)" in
+  let info = Cmd.info "sgr" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            solve_cmd; optop_cmd; mop_cmd; llf_cmd; scale_cmd; thm24_cmd; sweep_cmd; profile_cmd;
+            bound_cmd; tolls_cmd; info_cmd; catalog_cmd; random_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/alpha_threshold.ml: Array Float Format List Printf Sgr_graph Sgr_network Sgr_workloads Stackelberg String

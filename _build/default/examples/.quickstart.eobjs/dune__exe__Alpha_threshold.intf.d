@@ -1,0 +1,1 @@
+examples/alpha_threshold.mli:

@@ -1,0 +1,1 @@
+examples/atomic_followers.ml: Array Format List Sgr_atomic Sgr_latency Sgr_links Sgr_numerics Sgr_workloads Stackelberg

@@ -1,0 +1,1 @@
+examples/city_grid.ml: Array Format List Sgr_graph Sgr_network Sgr_numerics Sgr_workloads Stackelberg

@@ -1,0 +1,1 @@
+examples/city_grid.mli:

@@ -1,0 +1,1 @@
+examples/discrete_players.ml: Array Format Sgr_discrete Sgr_latency String

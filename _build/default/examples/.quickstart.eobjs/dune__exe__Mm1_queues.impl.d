@@ -1,0 +1,1 @@
+examples/mm1_queues.ml: Format Sgr_links Sgr_numerics Sgr_workloads Stackelberg

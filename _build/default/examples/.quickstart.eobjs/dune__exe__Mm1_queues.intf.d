@@ -1,0 +1,1 @@
+examples/mm1_queues.mli:

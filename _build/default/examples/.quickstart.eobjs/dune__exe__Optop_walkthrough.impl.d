@@ -1,0 +1,1 @@
+examples/optop_walkthrough.ml: Array Format List Printf Sgr_links Sgr_numerics Sgr_workloads Stackelberg String

@@ -1,0 +1,1 @@
+examples/optop_walkthrough.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Sgr_latency Sgr_links Sgr_numerics Sgr_workloads Stackelberg

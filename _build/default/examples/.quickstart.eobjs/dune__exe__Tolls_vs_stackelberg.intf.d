@@ -1,0 +1,1 @@
+examples/tolls_vs_stackelberg.mli:

@@ -1,0 +1,53 @@
+(* The price the system pays as a function of the Leader's share.
+
+   For a scheduling instance (M, r), Expression (2) of the paper assigns
+   to each α the best a-posteriori anarchy cost (M,r,α). This example
+   traces the curve for three instances — Pigou, the paper's Figs. 4-6
+   system, and a degree-4 Pigou worst case — showing the phase
+   transition at β: above it the ratio is pinned at 1 (Corollary 2.2),
+   below it the hardness regime begins. Also exports the Fig. 7 network
+   with the Leader's MOP edges highlighted as Graphviz. *)
+
+module Sweep = Stackelberg.Alpha_sweep
+module W = Sgr_workloads.Workloads
+
+let trace name instance =
+  let curve = Sweep.run ~samples:11 instance in
+  Format.printf "%s (β = %.4f)@." name curve.beta;
+  List.iter
+    (fun (p : Sweep.point) ->
+      let bar_len = int_of_float (40.0 *. (p.ratio -. 1.0)) in
+      let bar = String.make (min 40 (max 0 bar_len)) '#' in
+      Format.printf "  α=%.1f  ratio %.4f %s@." p.alpha p.ratio bar)
+    curve.points;
+  Format.printf "@."
+
+let () =
+  trace "Pigou (Figs. 1-3)" W.pigou;
+  trace "Five links (Figs. 4-6)" W.fig456;
+  trace "Pigou degree 4 (worst-case family)" (W.pigou_degree 4);
+
+  (* Cross-check the Pigou curve against its closed form. *)
+  let curve = Sweep.run ~samples:11 W.pigou in
+  let worst_err =
+    List.fold_left
+      (fun acc (p : Sweep.point) ->
+        Float.max acc (Float.abs (p.ratio -. Sweep.pigou_closed_form p.alpha)))
+      0.0 curve.points
+  in
+  Format.printf "Pigou curve vs closed form ((1-α)²+α)/(3/4): max error %.2e@.@." worst_err;
+
+  (* Export the Fig. 7 Stackelberg strategy as Graphviz. *)
+  let net = W.fig7 () in
+  let mop = Stackelberg.Mop.run net in
+  let dot =
+    Sgr_graph.Dot.export ~name:"fig7"
+      ~node_label:(fun v -> [| "s"; "v"; "w"; "t" |].(v))
+      ~edge_label:(fun e ->
+        Printf.sprintf "%s o=%.2f" W.fig7_edge_names.(e.Sgr_graph.Digraph.id)
+          mop.opt_edge_flow.(e.Sgr_graph.Digraph.id))
+      ~edge_highlight:(fun e -> mop.leader_edge_flow.(e.Sgr_graph.Digraph.id) > 1e-9)
+      net.Sgr_network.Network.graph
+  in
+  print_string dot;
+  Format.printf "(red edges carry Leader flow; β_G = %.2f)@." mop.beta

@@ -1,0 +1,48 @@
+(* Finitely many followers: how the paper's infinite-user model arises.
+
+   The paper routes an infinite population of infinitesimal users; its
+   Stackelberg ancestor (Korilis-Lazar-Orda) has finitely many players
+   who each split a sizeable demand. This example connects the two:
+
+   1. atomic splittable equilibria on Pigou converge to the Wardrop
+      equilibrium at rate exactly 1/(n+1);
+   2. a single player owning all flow routes at the system optimum —
+      "a monopolist is its own Stackelberg leader";
+   3. OpTop's Leader strategy, computed for the infinite model, already
+      induces near-optimal cost against a handful of atomic followers. *)
+
+module A = Sgr_atomic.Atomic_links
+module Links = Sgr_links.Links
+module W = Sgr_workloads.Workloads
+module Vec = Sgr_numerics.Vec
+
+let () =
+  let lats = W.pigou.Links.latencies in
+  Format.printf "Pigou, total flow 1 split among n players:@.";
+  Format.printf "  %-4s %-22s %-12s %s@." "n" "load on the linear link" "social cost"
+    "gap to Wardrop (=1/(n+1))";
+  List.iter
+    (fun n ->
+      let t = A.split_evenly lats ~total:1.0 ~players:n in
+      let profile, _ = A.equilibrium t in
+      let load = A.total_load t profile in
+      Format.printf "  %-4d %-22.6f %-12.6f %.6f@." n load.(0) (A.social_cost t profile)
+        (1.0 -. load.(0)))
+    [ 1; 2; 4; 8; 16; 64 ];
+  Format.printf "  (n=1 is the optimum, cost 3/4; n→∞ is the Wardrop flow, cost 1)@.@.";
+
+  let optop = Stackelberg.Optop.run W.fig456 in
+  Format.printf "Figs. 4-6 system: OpTop leader (β = %.4f) vs n atomic followers:@." optop.beta;
+  let shifted =
+    Array.mapi (fun i lat -> Sgr_latency.Latency.shift optop.strategy.(i) lat)
+      W.fig456.Links.latencies
+  in
+  let remaining = 1.0 -. Vec.sum optop.strategy in
+  List.iter
+    (fun n ->
+      let t = A.split_evenly shifted ~total:remaining ~players:n in
+      let profile, rounds = A.equilibrium t in
+      let combined = Vec.add optop.strategy (A.total_load t profile) in
+      Format.printf "  n=%-3d induced cost %.6f (C(O) = %.6f), %d BR sweeps@." n
+        (Links.cost W.fig456 combined) optop.optimum_cost rounds)
+    [ 1; 2; 4; 16; 64 ]

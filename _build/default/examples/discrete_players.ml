@@ -1,0 +1,35 @@
+(* Unsplittable players: the discrete congestion game (Fotakis [12]).
+
+   Unit-demand players each pick ONE link. Pure equilibria exist by
+   Rosenthal's potential; a Stackelberg Leader who dictates the choices
+   of k players (placing them on the optimal assignment's slowest links,
+   LLF-style) interpolates the social cost from the selfish equilibrium
+   down to the optimum. *)
+
+module C = Sgr_discrete.Congestion
+module L = Sgr_latency.Latency
+
+let () =
+  (* Ten players, three links: a fast one that congests, a medium one,
+     and a slow constant link the selfish players shun. *)
+  let t =
+    C.make [| L.linear 0.5; L.affine ~slope:0.25 ~intercept:1.0; L.constant 3.2 |] ~players:10
+  in
+  let nash = C.nash t in
+  Format.printf "10 players on ℓ = (x/2, x/4 + 1, 3.2)@.";
+  Format.printf "Selfish equilibrium: loads %s, cost %.4f (potential %.4f)@."
+    (String.concat "," (Array.to_list (Array.map string_of_int (C.loads t nash))))
+    (C.social_cost t nash) (C.potential t nash);
+  let opt = C.optimum_loads t in
+  Format.printf "Exact optimum (DP):  loads %s, cost %.4f@."
+    (String.concat "," (Array.to_list (Array.map string_of_int opt)))
+    (C.optimum_cost t);
+  Format.printf "@.LLF Stackelberg sweep (k players dictated, rest best-respond):@.";
+  for k = 0 to 10 do
+    let state = C.stackelberg_llf t ~controlled:k in
+    let cost = C.social_cost t state in
+    let bar = String.make (int_of_float (30.0 *. (cost -. C.optimum_cost t))) '#' in
+    Format.printf "  k=%-3d cost %.4f %s@." k cost bar
+  done;
+  Format.printf "@.(the staircase flattens to C(O) once the dictated players cover@.";
+  Format.printf " every link the selfish crowd under-uses)@."

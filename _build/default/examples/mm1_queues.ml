@@ -1,0 +1,37 @@
+(* M/M/1 parallel links (the Korilis-Lazar-Orda setting, paper §2).
+
+   Latencies 1/(c_i - x) model queueing delay at a link of capacity c_i.
+   The paper notes that when the system contains a few very appealing
+   links, or large groups of identical links, the price of optimum β_M
+   can be small. This example measures β_M in both regimes. *)
+
+module Links = Sgr_links.Links
+module Vec = Sgr_numerics.Vec
+
+let report name instance =
+  let result = Stackelberg.Optop.run instance in
+  Format.printf "%-28s β_M = %.4f   PoA = %.6f   C(N) = %.4f -> C(S+T) = %.4f@." name
+    result.beta
+    (Links.price_of_anarchy instance)
+    result.nash_cost result.induced_cost
+
+let () =
+  Format.printf "M/M/1 systems, demand r = 1@.@.";
+  (* Two strong links dominating three weak ones: followers already prefer
+     the strong links, so little control is needed. *)
+  report "2 strong + 3 weak" (Sgr_workloads.Workloads.mm1_links
+    ~capacities:[| 2.0; 1.8; 0.4; 0.35; 0.3 |] ~demand:1.0);
+  (* Identical links: the Nash flow IS optimal by symmetry -> β = 0. *)
+  report "5 identical" (Sgr_workloads.Workloads.mm1_links
+    ~capacities:[| 0.6; 0.6; 0.6; 0.6; 0.6 |] ~demand:1.0);
+  (* Heterogeneous capacities: a sizeable β appears. *)
+  report "geometric capacities" (Sgr_workloads.Workloads.mm1_links
+    ~capacities:[| 1.6; 0.8; 0.4; 0.2; 0.1 |] ~demand:1.0);
+  Format.printf "@.Strategy detail for the geometric system:@.";
+  let instance = Sgr_workloads.Workloads.mm1_links
+    ~capacities:[| 1.6; 0.8; 0.4; 0.2; 0.1 |] ~demand:1.0 in
+  let result = Stackelberg.Optop.run instance in
+  Format.printf "  S = %a@." Vec.pp result.strategy;
+  Format.printf "  O = %a@." Vec.pp result.optimum;
+  let induced = Links.induced instance ~strategy:result.strategy in
+  Format.printf "  T = %a@." Vec.pp induced.assignment

@@ -1,0 +1,32 @@
+(* OpTop round by round on the paper's Figs. 4-6 instance.
+
+   Five links: ℓ1 = x, ℓ2 = 3/2·x, ℓ3 = 2x, ℓ4 = 5/2·x + 1/6, ℓ5 = 7/10.
+   The Nash flow under-loads M4 and M5; OpTop freezes both at their
+   optimal loads in one round and the residual selfish flow then settles
+   exactly at the optimum. β_M = o4 + o5 = 29/120. *)
+
+module Links = Sgr_links.Links
+module Vec = Sgr_numerics.Vec
+
+let () =
+  let instance = Sgr_workloads.Workloads.fig456 in
+  Format.printf "Instance:@.%a@.@." Links.pp instance;
+  let result = Stackelberg.Optop.run instance in
+  List.iteri
+    (fun round (r : Stackelberg.Optop.round) ->
+      Format.printf "Round %d: free flow r = %.6f on links {%s}@." (round + 1) r.demand
+        (String.concat ", "
+           (Array.to_list (Array.map (fun i -> Printf.sprintf "M%d" (i + 1)) r.active)));
+      Format.printf "  Nash    = %a@." Vec.pp r.nash;
+      Format.printf "  Optimum = %a@." Vec.pp r.optimum;
+      if Array.length r.frozen > 0 then
+        Format.printf "  under-loaded, frozen at optimum: {%s}@."
+          (String.concat ", "
+             (Array.to_list (Array.map (fun i -> Printf.sprintf "M%d" (i + 1)) r.frozen)))
+      else Format.printf "  no under-loaded links: OpTop terminates.@.")
+    result.rounds;
+  Format.printf "@.Price of optimum β = %.6f  (paper: 29/120 = %.6f)@." result.beta
+    (29.0 /. 120.0);
+  Format.printf "Leader strategy S  = %a@." Vec.pp result.strategy;
+  Format.printf "C(N) = %.6f,  C(O) = %.6f,  induced C(S+T) = %.6f@." result.nash_cost
+    result.optimum_cost result.induced_cost

@@ -1,0 +1,36 @@
+(* Quickstart: Pigou's example (paper Figs. 1-3).
+
+   Two parallel links, ℓ1(x) = x and ℓ2(x) = 1, shared by a unit flow of
+   selfish users. Selfishness floods the fast link (cost 1); the optimum
+   splits the flow (cost 3/4). A Stackelberg Leader controlling half the
+   flow restores the optimum: OpTop computes that minimum portion β and
+   the strategy achieving it. *)
+
+module Links = Sgr_links.Links
+module L = Sgr_latency.Latency
+module Vec = Sgr_numerics.Vec
+
+let () =
+  let instance = Sgr_workloads.Workloads.pigou in
+  Format.printf "Instance:@.%a@.@." Links.pp instance;
+
+  let nash = Links.nash instance in
+  let opt = Links.opt instance in
+  Format.printf "Nash       N = %a   cost C(N) = %.4f@." Vec.pp nash.assignment
+    (Links.cost instance nash.assignment);
+  Format.printf "Optimum    O = %a   cost C(O) = %.4f@." Vec.pp opt.assignment
+    (Links.cost instance opt.assignment);
+  Format.printf "Price of anarchy = %.6f  (paper: 4/3)@.@." (Links.price_of_anarchy instance);
+
+  let result = Stackelberg.Optop.run instance in
+  Format.printf "OpTop: price of optimum β = %.6f  (paper: 1/2)@." result.beta;
+  Format.printf "Leader strategy  S = %a@." Vec.pp result.strategy;
+  let induced = Links.induced instance ~strategy:result.strategy in
+  Format.printf "Induced Nash     T = %a@." Vec.pp induced.assignment;
+  Format.printf "Induced cost C(S+T) = %.6f  = C(O)? %b@." result.induced_cost
+    (Sgr_numerics.Tolerance.approx result.induced_cost result.optimum_cost);
+
+  (* Below β the optimum is out of reach (Corollary 2.2's converse). *)
+  let shy = Stackelberg.Brute_force.optimal_strategy instance ~alpha:0.4 in
+  Format.printf "@.Best grid strategy at α = 0.4 < β costs %.6f > C(O) = %.6f@."
+    shy.induced_cost result.optimum_cost

@@ -1,0 +1,1 @@
+lib/atomic/atomic_links.ml: Array Float Sgr_latency Sgr_links Sgr_numerics

@@ -1,0 +1,1 @@
+lib/atomic/atomic_links.mli: Sgr_latency

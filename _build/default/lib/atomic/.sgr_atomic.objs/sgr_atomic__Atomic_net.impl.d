@@ -1,0 +1,1 @@
+lib/atomic/atomic_net.ml: Array Float Sgr_graph Sgr_latency Sgr_network Sgr_numerics

@@ -1,0 +1,1 @@
+lib/atomic/atomic_net.mli: Sgr_network

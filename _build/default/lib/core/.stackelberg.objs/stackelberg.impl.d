@@ -1,0 +1,1 @@
+lib/core/stackelberg.ml: Alpha_sweep Beta_profile Bounds Brute_force Induced Linear_exact Mop Net_strategies Optop Partition_heuristic Strategies Theory Tolls

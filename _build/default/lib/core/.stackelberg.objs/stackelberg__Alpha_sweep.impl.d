@@ -1,0 +1,1 @@
+lib/core/alpha_sweep.ml: Brute_force Float Linear_exact List Optop Sgr_links Strategies

@@ -1,0 +1,1 @@
+lib/core/alpha_sweep.mli: Sgr_links

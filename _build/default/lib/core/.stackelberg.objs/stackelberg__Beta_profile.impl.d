@@ -1,0 +1,1 @@
+lib/core/beta_profile.ml: List Optop Sgr_links

@@ -1,0 +1,1 @@
+lib/core/beta_profile.mli: Sgr_links

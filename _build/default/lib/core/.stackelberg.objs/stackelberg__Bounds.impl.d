@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Float Sgr_latency Sgr_numerics

@@ -1,0 +1,1 @@
+lib/core/brute_force.ml: Array Float Sgr_links Sgr_numerics

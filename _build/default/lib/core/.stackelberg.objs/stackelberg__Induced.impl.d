@@ -1,0 +1,1 @@
+lib/core/induced.ml: Array Sgr_graph Sgr_network Sgr_numerics

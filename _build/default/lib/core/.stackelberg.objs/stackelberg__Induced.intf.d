@@ -1,0 +1,1 @@
+lib/core/induced.mli: Sgr_network

@@ -1,0 +1,1 @@
+lib/core/linear_exact.ml: Array Float List Option Sgr_latency Sgr_links Sgr_numerics

@@ -1,0 +1,1 @@
+lib/core/linear_exact.mli: Sgr_links

@@ -1,0 +1,1 @@
+lib/core/mop.ml: Array Float Induced List Sgr_graph Sgr_network Sgr_numerics

@@ -1,0 +1,1 @@
+lib/core/mop.mli: Induced Sgr_graph Sgr_network

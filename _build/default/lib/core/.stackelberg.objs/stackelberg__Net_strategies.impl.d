@@ -1,0 +1,1 @@
+lib/core/net_strategies.ml: Array Float Induced List Sgr_graph Sgr_network Sgr_numerics

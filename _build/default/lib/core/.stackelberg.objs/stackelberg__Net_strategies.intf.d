@@ -1,0 +1,1 @@
+lib/core/net_strategies.mli: Induced Sgr_network

@@ -1,0 +1,1 @@
+lib/core/optop.ml: Array Float List Sgr_links Sgr_numerics

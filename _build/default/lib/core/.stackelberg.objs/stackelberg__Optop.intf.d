@@ -1,0 +1,1 @@
+lib/core/optop.mli: Sgr_links

@@ -1,0 +1,1 @@
+lib/core/partition_heuristic.ml: Array Float List Sgr_latency Sgr_links Sgr_numerics

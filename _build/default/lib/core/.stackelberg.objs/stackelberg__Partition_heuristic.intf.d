@@ -1,0 +1,1 @@
+lib/core/partition_heuristic.mli: Sgr_links

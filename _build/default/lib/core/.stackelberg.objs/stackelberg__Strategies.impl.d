@@ -1,0 +1,1 @@
+lib/core/strategies.ml: Array Float Sgr_latency Sgr_links

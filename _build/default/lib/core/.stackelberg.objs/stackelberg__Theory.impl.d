@@ -1,0 +1,1 @@
+lib/core/theory.ml: Array Float Sgr_links Sgr_numerics

@@ -1,0 +1,1 @@
+lib/core/tolls.ml: Array Format Sgr_latency Sgr_links Sgr_network

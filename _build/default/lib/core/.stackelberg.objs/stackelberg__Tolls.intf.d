@@ -1,0 +1,1 @@
+lib/core/tolls.mli: Sgr_links Sgr_network

@@ -1,0 +1,43 @@
+module Links = Sgr_links.Links
+
+type method_used = Exact_threshold | Linear_exact | Grid_search | Heuristic_upper_bound
+
+type point = { alpha : float; ratio : float; method_used : method_used }
+type curve = { beta : float; points : point list }
+
+let run ?(samples = 21) ?(grid_resolution = 32) instance =
+  if samples < 2 then invalid_arg "Alpha_sweep.run: need at least two samples";
+  let optop = Optop.run instance in
+  let beta = optop.Optop.beta in
+  let opt_cost = optop.Optop.optimum_cost in
+  let m = Links.num_links instance in
+  let common_slope = Linear_exact.is_common_slope instance in
+  let ratio_of cost = if opt_cost = 0.0 then 1.0 else cost /. opt_cost in
+  let point_at alpha =
+    if alpha >= beta -. 1e-12 then { alpha; ratio = 1.0; method_used = Exact_threshold }
+    else if common_slope then
+      let r = Linear_exact.solve instance ~alpha in
+      { alpha; ratio = ratio_of r.Linear_exact.induced_cost; method_used = Linear_exact }
+    else if m <= 6 then
+      let r = Brute_force.optimal_strategy ~resolution:grid_resolution instance ~alpha in
+      { alpha; ratio = ratio_of r.Brute_force.induced_cost; method_used = Grid_search }
+    else begin
+      let llf = Strategies.llf instance ~alpha in
+      let scale = Strategies.scale instance ~alpha in
+      let best = Float.min llf.Strategies.induced_cost scale.Strategies.induced_cost in
+      { alpha; ratio = ratio_of best; method_used = Heuristic_upper_bound }
+    end
+  in
+  let points =
+    List.init samples (fun k -> point_at (float_of_int k /. float_of_int (samples - 1)))
+  in
+  { beta; points }
+
+let pigou_closed_form alpha =
+  if alpha >= 0.5 then 1.0
+  else begin
+    (* The best the Leader can do is park her entire αr on the constant
+       link; the Followers then equalize on the linear link alone. *)
+    let cost = ((1.0 -. alpha) ** 2.0) +. alpha in
+    cost /. 0.75
+  end

@@ -1,0 +1,40 @@
+let one_over_alpha alpha = if alpha <= 0.0 then Float.infinity else 1.0 /. alpha
+let linear_llf alpha = 4.0 /. (3.0 +. alpha)
+let poa_linear = 4.0 /. 3.0
+
+let poa_polynomial d =
+  if d < 1 then invalid_arg "Bounds.poa_polynomial: degree must be >= 1";
+  let d = float_of_int d in
+  1.0 /. (1.0 -. (d *. ((d +. 1.0) ** (-.(d +. 1.0) /. d))))
+
+let pigou_bound ?(r_max = 10.0) ?(samples = 64) lat =
+  let module L = Sgr_latency.Latency in
+  if r_max <= 0.0 then invalid_arg "Bounds.pigou_bound: r_max must be positive";
+  (* Ratio at a fixed r: the denominator x ↦ x·ℓ(x) + (r-x)·ℓ(r) is
+     convex, so its minimum over [0, r] is found by golden section. *)
+  let ratio_at r =
+    let lr = L.eval lat r in
+    let numerator = r *. lr in
+    if numerator <= 0.0 then 1.0
+    else begin
+      let denom x = L.cost lat x +. ((r -. x) *. lr) in
+      let _, dmin = Sgr_numerics.Minimize.golden ~f:denom ~lo:0.0 ~hi:r () in
+      if dmin <= 0.0 then Float.infinity else numerator /. dmin
+    end
+  in
+  (* The outer sup over r need not be unimodal: scan a grid, then refine
+     around the best grid point. *)
+  let best_r = ref (r_max /. float_of_int samples) in
+  let best = ref (ratio_at !best_r) in
+  for k = 1 to samples do
+    let r = r_max *. float_of_int k /. float_of_int samples in
+    let v = ratio_at r in
+    if v > !best then begin
+      best := v;
+      best_r := r
+    end
+  done;
+  let step = r_max /. float_of_int samples in
+  let lo = Float.max 1e-9 (!best_r -. step) and hi = Float.min r_max (!best_r +. step) in
+  let _, refined = Sgr_numerics.Minimize.golden ~f:(fun r -> -.ratio_at r) ~lo ~hi () in
+  Float.max 1.0 (Float.max !best (-.refined))

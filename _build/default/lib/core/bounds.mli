@@ -1,0 +1,31 @@
+(** Published performance bounds quoted by the paper (Section 1.1). *)
+
+val one_over_alpha : float -> float
+(** [1/α] — the a-posteriori anarchy-cost guarantee of LLF on parallel
+    links with arbitrary latencies ([41, Th. 6.4.4]). [infinity] at 0. *)
+
+val linear_llf : float -> float
+(** [4/(3+α)] — LLF's guarantee on linear latencies ([41, Th. 6.4.5]). *)
+
+val poa_linear : float
+(** [4/3] — price of anarchy for linear latencies (Roughgarden–Tardos). *)
+
+val poa_polynomial : int -> float
+(** Price-of-anarchy bound for latencies that are polynomials of degree
+    [<= d] with nonnegative coefficients:
+    [(1 - d·(d+1)^(-(d+1)/d))^{-1}]. Equals [4/3] at [d = 1]. *)
+
+val pigou_bound :
+  ?r_max:float -> ?samples:int -> Sgr_latency.Latency.t -> float
+(** The numerically evaluated Pigou bound of one latency function,
+
+    [α(ℓ) = sup_{0 <= x <= r <= r_max} r·ℓ(r) / (x·ℓ(x) + (r-x)·ℓ(r))],
+
+    Roughgarden's anarchy value: the price of anarchy of any instance
+    whose latencies all have Pigou bound [<= α] is itself [<= α],
+    regardless of topology ("the price of anarchy is independent of the
+    network topology"). The inner minimization over [x] is convex and
+    solved by golden section; the outer supremum over [r] is located on a
+    [samples]-point grid (default 64) and refined. [r_max] defaults to
+    [10.]. Evaluates to [4/3] for linear and to {!poa_polynomial}[ d] for
+    [x^d] latencies (validated in the test suite). *)

@@ -1,0 +1,43 @@
+module Links = Sgr_links.Links
+
+type result = { strategy : float array; induced_cost : float; evaluated : int }
+
+let optimal_strategy ?(resolution = 40) instance ~alpha =
+  if not (0.0 <= alpha && alpha <= 1.0) then
+    invalid_arg "Brute_force.optimal_strategy: alpha must be in [0, 1]";
+  let m = Links.num_links instance in
+  if m > 6 then invalid_arg "Brute_force.optimal_strategy: too many links for a grid";
+  let budget = alpha *. instance.Links.demand in
+  let chunk = budget /. float_of_int resolution in
+  let best_cost = ref Float.infinity in
+  let best = ref (Array.make m 0.0) in
+  let evaluated = ref 0 in
+  let strategy = Array.make m 0.0 in
+  (* Enumerate compositions of [resolution] chunks into m parts. *)
+  let rec place link remaining =
+    if link = m - 1 then begin
+      strategy.(link) <- float_of_int remaining *. chunk;
+      incr evaluated;
+      let cost = Links.stackelberg_cost instance ~strategy in
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best := Array.copy strategy
+      end
+    end
+    else
+      for here = 0 to remaining do
+        strategy.(link) <- float_of_int here *. chunk;
+        place (link + 1) (remaining - here)
+      done
+  in
+  if budget <= 0.0 then begin
+    incr evaluated;
+    best_cost := Links.stackelberg_cost instance ~strategy
+  end
+  else place 0 resolution;
+  { strategy = !best; induced_cost = !best_cost; evaluated = !evaluated }
+
+let can_reach_optimum ?resolution ?(eps = Sgr_numerics.Tolerance.check_eps) instance ~alpha =
+  let { induced_cost; _ } = optimal_strategy ?resolution instance ~alpha in
+  let opt_cost = Links.cost instance (Links.opt instance).assignment in
+  induced_cost <= opt_cost +. (eps *. Float.max 1.0 opt_cost)

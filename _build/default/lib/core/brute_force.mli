@@ -1,0 +1,24 @@
+(** Exhaustive grid search over Leader strategies on parallel links.
+
+    Exponential in the number of links — usable only on tiny instances.
+    Exists to *cross-validate* the paper's polynomial algorithms:
+    [Linear_exact] must match it on hard instances (Theorem 2.4), and no
+    grid point may beat [C(O)] when [α < β_M] (Corollary 2.2's converse). *)
+
+type result = {
+  strategy : float array;  (** Best grid strategy found. *)
+  induced_cost : float;  (** Its [C(S+T)]. *)
+  evaluated : int;  (** Number of grid points tried. *)
+}
+
+val optimal_strategy :
+  ?resolution:int -> Sgr_links.Links.t -> alpha:float -> result
+(** [optimal_strategy t ~alpha] enumerates all decompositions of [α·r]
+    into [resolution] (default 40) equal chunks over the links and
+    returns the cheapest.
+    @raise Invalid_argument when [alpha ∉ [0,1]] or the instance has more
+    than 6 links (the grid would explode). *)
+
+val can_reach_optimum :
+  ?resolution:int -> ?eps:float -> Sgr_links.Links.t -> alpha:float -> bool
+(** Whether some grid strategy induces cost within [eps] of [C(O)]. *)

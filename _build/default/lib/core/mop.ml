@@ -1,0 +1,135 @@
+module Net = Sgr_network.Network
+module Equilibrate = Sgr_network.Equilibrate
+module Objective = Sgr_network.Objective
+module G = Sgr_graph
+module Vec = Sgr_numerics.Vec
+module Tol = Sgr_numerics.Tolerance
+
+type commodity_report = {
+  index : int;
+  on_shortest : bool array;
+  free_flow : float;
+  controlled : float;
+  leader_edge_flow : float array;
+  leader_paths : (G.Paths.t * float) list;
+  follower_paths : (G.Paths.t * float) list;
+}
+
+type result = {
+  beta : float;
+  beta_weak : float;
+  leader_edge_flow : float array;
+  follower_demands : float array;
+  per_commodity : commodity_report array;
+  opt_edge_flow : float array;
+  opt_cost : float;
+  nash_cost : float;
+  induced : Induced.outcome;
+}
+
+let per_commodity_edge_flows net (sol : Equilibrate.solution) =
+  let m = G.Digraph.num_edges net.Net.graph in
+  Array.mapi
+    (fun i flows ->
+      let edge = Array.make m 0.0 in
+      Array.iteri
+        (fun j amount -> List.iter (fun e -> edge.(e) <- edge.(e) +. amount) sol.paths.(i).(j))
+        flows;
+      edge)
+    sol.path_flows
+
+let run ?(tol = 1e-9) ?(eps = 1e-6) net =
+  let g = net.Net.graph in
+  let m = G.Digraph.num_edges g in
+  let k = Array.length net.Net.commodities in
+  (* Step 1: the optimum and the edge costs it induces. *)
+  let opt_sol = Equilibrate.solve ~tol Objective.System_optimum net in
+  let opt_edge_flow = opt_sol.edge_flow in
+  let weights = Net.edge_latencies net opt_edge_flow in
+  let commodity_flows = per_commodity_edge_flows net opt_sol in
+  (* Steps 2–5 per commodity. *)
+  let per_commodity =
+    Array.init k (fun i ->
+        let c = net.Net.commodities.(i) in
+        let on_shortest =
+          G.Dijkstra.shortest_edge_subgraph ~eps g ~weights ~src:c.Net.src ~dst:c.Net.dst
+        in
+        (* Free flow: max flow inside the shortest subgraph, capacitated by
+           this commodity's optimal edge flow (footnote 5). *)
+        let capacities =
+          Array.init m (fun e -> if on_shortest.(e) then commodity_flows.(i).(e) else 0.0)
+        in
+        let mf = G.Maxflow.solve g ~capacities ~src:c.Net.src ~dst:c.Net.dst in
+        let free_flow = Float.min mf.value c.Net.demand in
+        let leader_edge_flow =
+          Array.init m (fun e -> Tol.clamp_nonneg (commodity_flows.(i).(e) -. mf.flow.(e)))
+        in
+        let leader_paths =
+          G.Flow.decompose g ~flow:leader_edge_flow ~src:c.Net.src ~dst:c.Net.dst
+        in
+        let follower_paths = G.Flow.decompose g ~flow:mf.flow ~src:c.Net.src ~dst:c.Net.dst in
+        {
+          index = i;
+          on_shortest;
+          free_flow;
+          controlled = Tol.clamp_nonneg (c.Net.demand -. free_flow);
+          leader_edge_flow;
+          leader_paths;
+          follower_paths;
+        })
+  in
+  let leader_edge_flow = Array.make m 0.0 in
+  Array.iter
+    (fun (rep : commodity_report) -> Vec.axpy 1.0 rep.leader_edge_flow leader_edge_flow)
+    per_commodity;
+  let follower_demands = Array.map (fun rep -> rep.free_flow) per_commodity in
+  let total = Net.total_demand net in
+  let controlled = Array.fold_left (fun acc rep -> acc +. rep.controlled) 0.0 per_commodity in
+  let beta = if total > 0.0 then controlled /. total else 0.0 in
+  let beta_weak =
+    Array.fold_left
+      (fun acc (rep : commodity_report) ->
+        let r_i = net.Net.commodities.(rep.index).Net.demand in
+        if r_i > 0.0 then Float.max acc (rep.controlled /. r_i) else acc)
+      0.0 per_commodity
+  in
+  let opt_cost = Net.cost net opt_edge_flow in
+  let nash_sol = Equilibrate.solve ~tol Objective.Wardrop net in
+  let nash_cost = Net.cost net nash_sol.edge_flow in
+  let induced = Induced.equilibrium ~tol net ~leader_edge_flow ~follower_demands in
+  {
+    beta;
+    beta_weak;
+    leader_edge_flow;
+    follower_demands;
+    per_commodity;
+    opt_edge_flow;
+    opt_cost;
+    nash_cost;
+    induced;
+  }
+
+let beta ?tol ?eps net = (run ?tol ?eps net).beta
+
+let verify_minimality ?(tol = 1e-9) ?(delta = 0.05) net result =
+  let ok = ref true in
+  Array.iteri
+    (fun i (rep : commodity_report) ->
+      List.iter
+        (fun (path, amount) ->
+          if amount > 1e-6 then begin
+            let release = Float.max 1e-3 (delta *. amount) in
+            let release = Float.min release amount in
+            (* Hand [release] units of this Leader path back to the
+               Followers of commodity i. *)
+            let leader = Array.copy result.leader_edge_flow in
+            List.iter (fun e -> leader.(e) <- Tol.clamp_nonneg (leader.(e) -. release)) path;
+            let follower_demands = Array.copy result.follower_demands in
+            follower_demands.(i) <- follower_demands.(i) +. release;
+            let outcome = Induced.equilibrium ~tol net ~leader_edge_flow:leader ~follower_demands in
+            if outcome.Induced.cost <= result.opt_cost +. (1e-7 *. Float.max 1.0 result.opt_cost)
+            then ok := false
+          end)
+        rep.leader_paths)
+    result.per_commodity;
+  !ok

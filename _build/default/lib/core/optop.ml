@@ -1,0 +1,71 @@
+module Links = Sgr_links.Links
+module Vec = Sgr_numerics.Vec
+
+type round = {
+  active : int array;
+  demand : float;
+  nash : float array;
+  optimum : float array;
+  frozen : int array;
+}
+
+type result = {
+  beta : float;
+  strategy : float array;
+  rounds : round list;
+  optimum : float array;
+  optimum_cost : float;
+  nash_cost : float;
+  induced_cost : float;
+}
+
+let run ?(eps = 1e-8) instance =
+  let m = Links.num_links instance in
+  let r0 = instance.Links.demand in
+  let opt = (Links.opt instance).assignment in
+  let scale = Float.max 1.0 r0 in
+  let strategy = Array.make m 0.0 in
+  let rounds = ref [] in
+  (* [active] and [r] shrink as under-loaded links are frozen at their
+     optimal load and discarded (paper steps 2–4). *)
+  let rec loop active r =
+    if Array.length active = 0 || r <= eps *. scale then ()
+    else begin
+      let keep = Array.make m false in
+      Array.iter (fun i -> keep.(i) <- true) active;
+      let sub, index_map = Links.sub instance ~keep ~demand:r in
+      let nash = (Links.nash sub).assignment in
+      let opt_here = Array.map (fun i -> opt.(i)) index_map in
+      let frozen = ref [] in
+      Array.iteri
+        (fun j i -> if nash.(j) < opt_here.(j) -. (eps *. scale) then frozen := i :: !frozen)
+        index_map;
+      let frozen = Array.of_list (List.rev !frozen) in
+      rounds :=
+        { active = Array.copy active; demand = r; nash; optimum = opt_here; frozen }
+        :: !rounds;
+      if Array.length frozen > 0 then begin
+        Array.iter (fun i -> strategy.(i) <- opt.(i)) frozen;
+        let removed = Array.fold_left (fun acc i -> acc +. opt.(i)) 0.0 frozen in
+        let active' =
+          Array.of_list
+            (List.filter (fun i -> not (Array.mem i frozen)) (Array.to_list active))
+        in
+        loop active' (r -. removed)
+      end
+    end
+  in
+  loop (Array.init m (fun i -> i)) r0;
+  let controlled = Vec.sum strategy in
+  let beta = if r0 > 0.0 then controlled /. r0 else 0.0 in
+  {
+    beta;
+    strategy;
+    rounds = List.rev !rounds;
+    optimum = opt;
+    optimum_cost = Links.cost instance opt;
+    nash_cost = Links.cost instance (Links.nash instance).assignment;
+    induced_cost = Links.stackelberg_cost instance ~strategy;
+  }
+
+let beta ?eps instance = (run ?eps instance).beta

@@ -1,0 +1,50 @@
+(** The paper's algorithms and their companions — the library's main
+    entry point.
+
+    Reproduction of Kaporis & Spirakis, "The price of optimum in
+    Stackelberg games on arbitrary single commodity networks and latency
+    functions" (SPAA 2006 / TCS 410:745–755, 2009). A Leader controlling a
+    portion of the traffic can pull the selfish (Wardrop) equilibrium
+    toward the system optimum; these modules compute how much control is
+    needed and what to do with it.
+
+    - {!Optop} — the minimum Leader share [β_M] and optimal strategy on
+      parallel links (Corollary 2.2).
+    - {!Mop} — the same on arbitrary k-commodity networks (Theorem 2.1 /
+      Corollary 2.3), with strong and weak Leader variants.
+    - {!Linear_exact} — exact optimal strategies on hard instances
+      ([α < β]) with common-slope linear latencies (Theorem 2.4).
+    - {!Partition_heuristic} — Theorem 2.4's search as a heuristic for
+      arbitrary latencies.
+    - {!Strategies} / {!Net_strategies} — the LLF / SCALE / Aloof
+      baselines on links and networks.
+    - {!Induced} — Followers' equilibria under a fixed Leader flow on
+      networks.
+    - {!Alpha_sweep} — the a-posteriori anarchy cost [(M,r,α)] as a
+      function of the Leader's share (Expression (2)).
+    - {!Theory} — executable forms of the structure results (Theorems
+      7.2/7.4, Lemma 6.1 and 7.5, Proposition 7.1, the Sharma–Williamson
+      threshold).
+    - {!Bounds} — the quoted performance bounds and the numerically
+      evaluated Pigou bound (anarchy value) of a latency.
+    - {!Tolls} — marginal-cost pricing, the first-best benchmark.
+    - {!Brute_force} — grid-search cross-validation on tiny instances.
+
+    The substrates live in sibling libraries: [Sgr_links] (parallel-link
+    water-filling), [Sgr_network] (network equilibrium solvers),
+    [Sgr_latency], [Sgr_graph], [Sgr_atomic] (finitely many players),
+    [Sgr_workloads] (instances) and [Sgr_io] (file formats). *)
+
+module Optop = Optop
+module Mop = Mop
+module Linear_exact = Linear_exact
+module Partition_heuristic = Partition_heuristic
+module Strategies = Strategies
+module Net_strategies = Net_strategies
+module Induced = Induced
+module Alpha_sweep = Alpha_sweep
+module Theory = Theory
+module Bounds = Bounds
+module Tolls = Tolls
+module Beta_profile = Beta_profile
+module Brute_force = Brute_force

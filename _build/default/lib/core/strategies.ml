@@ -1,0 +1,39 @@
+module Links = Sgr_links.Links
+module L = Sgr_latency.Latency
+
+type outcome = { strategy : float array; induced_cost : float; ratio_to_opt : float }
+
+let evaluate instance ~strategy =
+  let induced_cost = Links.stackelberg_cost instance ~strategy in
+  let opt_cost = Links.cost instance (Links.opt instance).assignment in
+  let ratio_to_opt = if opt_cost = 0.0 then 1.0 else induced_cost /. opt_cost in
+  { strategy; induced_cost; ratio_to_opt }
+
+let check_alpha alpha =
+  if not (0.0 <= alpha && alpha <= 1.0) then invalid_arg "Strategies: alpha must be in [0, 1]"
+
+let llf instance ~alpha =
+  check_alpha alpha;
+  let m = Links.num_links instance in
+  let opt = (Links.opt instance).assignment in
+  let order = Array.init m (fun i -> i) in
+  (* Decreasing latency at the optimum; stable on ties by index. *)
+  let lat i = L.eval instance.Links.latencies.(i) opt.(i) in
+  Array.sort (fun i j -> compare (lat j, i) (lat i, j)) order;
+  let budget = ref (alpha *. instance.Links.demand) in
+  let strategy = Array.make m 0.0 in
+  Array.iter
+    (fun i ->
+      let take = Float.min !budget opt.(i) in
+      strategy.(i) <- take;
+      budget := !budget -. take)
+    order;
+  evaluate instance ~strategy
+
+let scale instance ~alpha =
+  check_alpha alpha;
+  let opt = (Links.opt instance).assignment in
+  evaluate instance ~strategy:(Array.map (fun o -> alpha *. o) opt)
+
+let aloof instance =
+  evaluate instance ~strategy:(Array.make (Links.num_links instance) 0.0)

@@ -1,0 +1,76 @@
+module Links = Sgr_links.Links
+module Vec = Sgr_numerics.Vec
+module Tol = Sgr_numerics.Tolerance
+
+type load_class = Under_loaded | Over_loaded | Optimum_loaded
+
+let classify ?(eps = Tol.check_eps) ~nash ~opt i =
+  if nash.(i) < opt.(i) -. eps then Under_loaded
+  else if nash.(i) > opt.(i) +. eps then Over_loaded
+  else Optimum_loaded
+
+let frozen_links ?(eps = Tol.check_eps) ~nash strategy =
+  Array.mapi (fun i s -> s >= nash.(i) -. eps) strategy
+
+let is_useless ?(eps = Tol.check_eps) ~nash strategy =
+  Array.length strategy = Array.length nash
+  && Array.for_all2 (fun s n -> s <= n +. eps) strategy nash
+
+let useless_strategy_fixed_point ?(eps = Tol.check_eps) instance ~strategy =
+  let nash = (Links.nash instance).assignment in
+  if not (is_useless ~eps ~nash strategy) then
+    invalid_arg "Theory.useless_strategy_fixed_point: strategy is not useless";
+  let induced = (Links.induced instance ~strategy).assignment in
+  let combined = Vec.add strategy induced in
+  Vec.linf_dist combined nash <= eps *. Float.max 1.0 instance.Links.demand
+
+let frozen_receive_nothing ?(eps = Tol.check_eps) instance ~strategy =
+  let nash = (Links.nash instance).assignment in
+  let frozen = frozen_links ~eps:(eps /. 10.0) ~nash strategy in
+  let induced = (Links.induced instance ~strategy).assignment in
+  let ok = ref true in
+  Array.iteri
+    (fun i f ->
+      (* Links the strategy does not load are trivially "frozen" only when
+         n_i = 0; the theorems concern links with s_i >= n_i. *)
+      if f && induced.(i) > eps *. Float.max 1.0 instance.Links.demand then ok := false)
+    frozen;
+  !ok
+
+let nash_monotone ?(eps = Tol.check_eps) instance ~r' =
+  if r' > instance.Links.demand then invalid_arg "Theory.nash_monotone: r' exceeds r";
+  let n = (Links.nash instance).assignment in
+  let n' = (Links.nash (Links.with_demand instance r')).assignment in
+  let slack = eps *. Float.max 1.0 instance.Links.demand in
+  Array.for_all2 (fun a b -> a <= b +. slack) n' n
+
+type swap_witness = {
+  cost_before : float;
+  cost_after : float;
+  epsilon : float;
+  loads_after : float * float;
+}
+
+let swap ~slope ~b1 ~b2 ~s1 ~s2 ~t2 =
+  if slope <= 0.0 then invalid_arg "Theory.swap: slope must be positive";
+  if b1 > b2 then invalid_arg "Theory.swap: requires b1 <= b2";
+  if s1 < 0.0 || s2 < 0.0 || t2 <= 0.0 then invalid_arg "Theory.swap: bad loads";
+  let l1 x = (slope *. x) +. b1 and l2 x = (slope *. x) +. b2 in
+  let u = s2 +. t2 in
+  if l1 s1 < l2 u -. 1e-12 then
+    invalid_arg "Theory.swap: requires ℓ1(s1) >= ℓ2(s2+t2)";
+  let cost_before = (s1 *. l1 s1) +. (u *. l2 u) in
+  (* Swap: M1 gets u, M2 gets s1; slide ε back so that M2 drops to the old
+     ℓ1(s1) and M1 rises to the old ℓ2(u) (parallel plots). *)
+  let epsilon = (b2 -. b1) /. slope in
+  let epsilon = Float.min epsilon s1 in
+  let load1 = u +. epsilon and load2 = s1 -. epsilon in
+  let cost_after = (load1 *. l1 load1) +. (load2 *. l2 load2) in
+  { cost_before; cost_after; epsilon; loads_after = (load1, load2) }
+
+let sharma_williamson_threshold ?(eps = Tol.check_eps) instance =
+  let nash = (Links.nash instance).assignment in
+  let opt = (Links.opt instance).assignment in
+  let best = ref Float.infinity in
+  Array.iteri (fun i n -> if n < opt.(i) -. eps then best := Float.min !best n) nash;
+  !best

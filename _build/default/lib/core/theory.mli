@@ -1,0 +1,69 @@
+(** Executable counterparts of the paper's structural results (Sections 6
+    and 7). Each function either performs the construction a proof uses or
+    decides the predicate a theorem is about; the test suite and the
+    experiment harness check the theorems' conclusions on random instances
+    through these. *)
+
+(** {1 Definitions 4.3 / 4.4} *)
+
+type load_class = Under_loaded | Over_loaded | Optimum_loaded
+
+val classify : ?eps:float -> nash:float array -> opt:float array -> int -> load_class
+(** Classification of link [i] (Definition 4.3): under-loaded when
+    [nᵢ < oᵢ], over-loaded when [nᵢ > oᵢ]. *)
+
+val frozen_links : ?eps:float -> nash:float array -> float array -> bool array
+(** [frozen_links ~nash strategy]: [frozen.(i)] iff [sᵢ >= nᵢ]
+    (Definition 4.4). *)
+
+(** {1 Theorem 7.2 — useless strategies} *)
+
+val is_useless : ?eps:float -> nash:float array -> float array -> bool
+(** [is_useless ~nash strategy]: the strategy has [sᵢ <= nᵢ] on every link
+    (Definition 7.3 via Theorem 7.2) and so cannot move the equilibrium —
+    [S + T = N]. *)
+
+val useless_strategy_fixed_point :
+  ?eps:float -> Sgr_links.Links.t -> strategy:float array -> bool
+(** Checks Theorem 7.2's conclusion on an instance: for a useless
+    strategy, [S + T] coincides with [N] (and hence costs [C(N)]). *)
+
+(** {1 Theorem 7.4 / Lemma 7.5 — frozen links receive nothing} *)
+
+val frozen_receive_nothing :
+  ?eps:float -> Sgr_links.Links.t -> strategy:float array -> bool
+(** Computes the induced equilibrium [T] and checks [tᵢ = 0] on every
+    frozen link. (Theorem 7.4 when the strategy freezes every link it
+    loads; Lemma 7.5 in general.) *)
+
+(** {1 Proposition 7.1 — Nash monotonicity} *)
+
+val nash_monotone : ?eps:float -> Sgr_links.Links.t -> r':float -> bool
+(** For [r' <= r]: the equilibrium of [(M, r')] is pointwise below the
+    equilibrium of [(M, r)]. *)
+
+(** {1 Lemma 6.1 — the swap construction (Figs. 8–10)} *)
+
+type swap_witness = {
+  cost_before : float;  (** Partial cost of the two-link system before. *)
+  cost_after : float;  (** After swapping and sliding ε — never larger. *)
+  epsilon : float;  (** The slid amount [(b₂ - b₁)/a]. *)
+  loads_after : float * float;  (** New loads of (M₁, M₂). *)
+}
+
+val swap :
+  slope:float -> b1:float -> b2:float -> s1:float -> s2:float -> t2:float -> swap_witness
+(** The proof's reassignment on two common-slope links [ℓᵢ = a·x + bᵢ],
+    [b₁ <= b₂], where the Leader's flow [s₁] sits alone on [M₁]
+    (so [t₁ = 0]) while [M₂] carries [s₂ + t₂] with
+    [ℓ₁(s₁) >= ℓ₂(s₂+t₂)]: swap the loads, then slide
+    [ε = (b₂-b₁)/a] back from [M₂] to [M₁]. The construction restores the
+    ordering property of Lemma 6.1 at no extra cost.
+    @raise Invalid_argument if the preconditions fail. *)
+
+(** {1 Footnote 6 — the Sharma–Williamson threshold} *)
+
+val sharma_williamson_threshold : ?eps:float -> Sgr_links.Links.t -> float
+(** [min {nᵢ : nᵢ < oᵢ}] — any strategy improving on [C(N)] must control
+    at least this much flow. [infinity] when no link is under-loaded
+    (then [N = O] and nothing can be improved). *)

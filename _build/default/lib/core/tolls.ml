@@ -1,0 +1,62 @@
+module Links = Sgr_links.Links
+module Net = Sgr_network.Network
+module Eq = Sgr_network.Equilibrate
+module Obj = Sgr_network.Objective
+module L = Sgr_latency.Latency
+
+let add_toll lat toll =
+  if toll <= 0.0 then lat
+  else
+    (* ℓ(x) + τ keeps derivative and shifts the primitive linearly; the
+       sum is again a valid latency value. *)
+    L.custom
+      ~label:(Format.asprintf "%a + toll %.4g" L.pp lat toll)
+      ~eval:(fun x -> L.eval lat x +. toll)
+      ~deriv:(L.deriv lat)
+      ~primitive:(fun x -> L.primitive lat x +. (toll *. x))
+      ()
+
+(* Adding a constant toll to an affine/constant/polynomial latency stays in
+   closed form; prefer that so solvers keep their fast inverses. *)
+let add_toll_exact lat toll =
+  if toll <= 0.0 then lat
+  else
+    match L.kind lat with
+    | L.Constant c -> L.constant (c +. toll)
+    | L.Affine { slope; intercept } -> L.affine ~slope ~intercept:(intercept +. toll)
+    | L.Polynomial coeffs ->
+        let coeffs = Array.copy coeffs in
+        if Array.length coeffs = 0 then L.constant toll
+        else begin
+          coeffs.(0) <- coeffs.(0) +. toll;
+          L.polynomial coeffs
+        end
+    | L.Mm1 _ | L.Bpr _ | L.Shifted _ | L.Custom _ -> add_toll lat toll
+
+let links_tolls instance =
+  let opt = (Links.opt instance).assignment in
+  Array.mapi (fun i o -> o *. L.deriv instance.Links.latencies.(i) o) opt
+
+let tolled_links instance =
+  let tolls = links_tolls instance in
+  let latencies = Array.mapi (fun i lat -> add_toll_exact lat tolls.(i)) instance.Links.latencies in
+  Links.make latencies ~demand:instance.Links.demand
+
+let links_outcome instance =
+  let tolled = tolled_links instance in
+  let eq = (Links.nash tolled).assignment in
+  (eq, Links.cost instance eq)
+
+let network_tolls ?tol net =
+  let opt = (Eq.solve ?tol Obj.System_optimum net).Eq.edge_flow in
+  Array.mapi (fun e o -> o *. L.deriv net.Net.latencies.(e) o) opt
+
+let tolled_network ?tol net =
+  let tolls = network_tolls ?tol net in
+  let latencies = Array.mapi (fun e lat -> add_toll_exact lat tolls.(e)) net.Net.latencies in
+  Net.make net.Net.graph ~latencies ~commodities:net.Net.commodities
+
+let network_outcome ?tol net =
+  let tolled = tolled_network ?tol net in
+  let eq = (Eq.solve ?tol Obj.Wardrop tolled).Eq.edge_flow in
+  (eq, Net.cost net eq)

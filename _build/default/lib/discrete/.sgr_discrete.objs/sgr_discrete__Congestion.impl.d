@@ -1,0 +1,1 @@
+lib/discrete/congestion.ml: Array Float List Sgr_latency Sgr_numerics

@@ -1,0 +1,1 @@
+lib/discrete/congestion.mli: Sgr_latency

@@ -1,0 +1,184 @@
+module L = Sgr_latency.Latency
+
+type t = { latencies : L.t array; players : int }
+type state = int array
+
+let make latencies ~players =
+  if Array.length latencies = 0 then invalid_arg "Congestion.make: no links";
+  if players < 1 then invalid_arg "Congestion.make: need at least one player";
+  { latencies; players }
+
+let num_links t = Array.length t.latencies
+
+let loads t state =
+  let counts = Array.make (num_links t) 0 in
+  Array.iter (fun i -> counts.(i) <- counts.(i) + 1) state;
+  counts
+
+let eval_at t i k = L.eval t.latencies.(i) (float_of_int k)
+
+let social_cost t state =
+  let counts = loads t state in
+  let acc = ref 0.0 in
+  Array.iteri (fun i k -> if k > 0 then acc := !acc +. (float_of_int k *. eval_at t i k)) counts;
+  !acc
+
+let potential t state =
+  let counts = loads t state in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i k ->
+      for j = 1 to k do
+        acc := !acc +. eval_at t i j
+      done)
+    counts;
+  !acc
+
+let player_latency t state p =
+  let counts = loads t state in
+  eval_at t state.(p) counts.(state.(p))
+
+(* Best deviation for player [p] given the current loads: the link
+   minimizing its latency after the move (its own link keeps the current
+   load). Returns (link, latency-after-move). *)
+let best_move t counts current =
+  let best = ref current and best_lat = ref (eval_at t current counts.(current)) in
+  for j = 0 to num_links t - 1 do
+    if j <> current then begin
+      let lat = eval_at t j (counts.(j) + 1) in
+      if lat < !best_lat -. 1e-12 then begin
+        best := j;
+        best_lat := lat
+      end
+    end
+  done;
+  (!best, !best_lat)
+
+let is_equilibrium ?(eps = Sgr_numerics.Tolerance.check_eps) t state =
+  let counts = loads t state in
+  let ok = ref true in
+  Array.iter
+    (fun link ->
+      let current = eval_at t link counts.(link) in
+      let _, best = best_move t counts link in
+      if current > best +. eps then ok := false)
+    state;
+  !ok
+
+let dynamics ?(max_steps = 1_000_000) ~movable t state =
+  let state = Array.copy state in
+  let counts = loads t state in
+  let steps = ref 0 in
+  let improved = ref true in
+  while !improved && !steps < max_steps do
+    improved := false;
+    for p = 0 to t.players - 1 do
+      if movable.(p) then begin
+        let here = state.(p) in
+        let target, lat = best_move t counts here in
+        if target <> here && lat < eval_at t here counts.(here) -. 1e-12 then begin
+          counts.(here) <- counts.(here) - 1;
+          counts.(target) <- counts.(target) + 1;
+          state.(p) <- target;
+          incr steps;
+          improved := true
+        end
+      end
+    done
+  done;
+  (state, !steps)
+
+let best_response_dynamics ?max_steps t state =
+  dynamics ?max_steps ~movable:(Array.make t.players true) t state
+
+(* Greedy insertion: each player in turn takes the link with the lowest
+   latency after joining. *)
+let greedy_fill t ~state ~counts ~players =
+  List.iter
+    (fun p ->
+      let best = ref 0 and best_lat = ref Float.infinity in
+      for j = 0 to num_links t - 1 do
+        let lat = eval_at t j (counts.(j) + 1) in
+        if lat < !best_lat then begin
+          best := j;
+          best_lat := lat
+        end
+      done;
+      state.(p) <- !best;
+      counts.(!best) <- counts.(!best) + 1)
+    players
+
+let nash t =
+  let state = Array.make t.players 0 in
+  let counts = Array.make (num_links t) 0 in
+  greedy_fill t ~state ~counts ~players:(List.init t.players (fun p -> p));
+  fst (best_response_dynamics t state)
+
+let optimum_loads t =
+  let m = num_links t and n = t.players in
+  (* dp.(i).(k): cheapest way to place k players on links 0..i-1. *)
+  let dp = Array.make_matrix (m + 1) (n + 1) Float.infinity in
+  let choice = Array.make_matrix (m + 1) (n + 1) 0 in
+  dp.(0).(0) <- 0.0;
+  for i = 1 to m do
+    for k = 0 to n do
+      for c = 0 to k do
+        if dp.(i - 1).(k - c) < Float.infinity then begin
+          let cost =
+            dp.(i - 1).(k - c) +. if c = 0 then 0.0 else float_of_int c *. eval_at t (i - 1) c
+          in
+          if cost < dp.(i).(k) then begin
+            dp.(i).(k) <- cost;
+            choice.(i).(k) <- c
+          end
+        end
+      done
+    done
+  done;
+  let counts = Array.make m 0 in
+  let k = ref n in
+  for i = m downto 1 do
+    counts.(i - 1) <- choice.(i).(!k);
+    k := !k - choice.(i).(!k)
+  done;
+  counts
+
+let optimum_cost t =
+  let counts = optimum_loads t in
+  let acc = ref 0.0 in
+  Array.iteri (fun i k -> if k > 0 then acc := !acc +. (float_of_int k *. eval_at t i k)) counts;
+  !acc
+
+let stackelberg_llf t ~controlled =
+  if controlled < 0 || controlled > t.players then
+    invalid_arg "Congestion.stackelberg_llf: controlled out of range";
+  let opt = optimum_loads t in
+  (* Pin the controlled players on the optimal links, slowest first. *)
+  let order = Array.init (num_links t) (fun i -> i) in
+  let latency_at_opt i = if opt.(i) = 0 then Float.neg_infinity else eval_at t i opt.(i) in
+  Array.sort (fun a b -> compare (latency_at_opt b, a) (latency_at_opt a, b)) order;
+  let state = Array.make t.players 0 in
+  let counts = Array.make (num_links t) 0 in
+  let movable = Array.make t.players true in
+  let next_player = ref 0 in
+  Array.iter
+    (fun i ->
+      let want = opt.(i) in
+      let take = min want (controlled - !next_player) in
+      for _ = 1 to take do
+        state.(!next_player) <- i;
+        counts.(i) <- counts.(i) + 1;
+        movable.(!next_player) <- false;
+        incr next_player
+      done)
+    order;
+  (* Any leftover budget (optimum smaller than the pinned count cannot
+     happen: Σ opt = players >= controlled) — fill the free players
+     greedily, then settle them. *)
+  greedy_fill t ~state ~counts
+    ~players:(List.init (t.players - !next_player) (fun k -> !next_player + k));
+  fst (dynamics ~movable t state)
+
+let price_of_anarchy t =
+  let c_opt = optimum_cost t in
+  if c_opt <= 0.0 then 1.0 else social_cost t (nash t) /. c_opt

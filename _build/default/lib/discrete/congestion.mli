@@ -1,0 +1,69 @@
+(** Unsplittable atomic congestion games on parallel links.
+
+    The discrete cousin of the paper's model, studied for Stackelberg
+    control by Fotakis [12] (cited in Section 1.1): [n] unit-demand
+    players each pick {e one} link; link [i] under integer load [k] costs
+    each of its users [ℓᵢ(k)]. These are exact potential games
+    (Rosenthal): best-response dynamics strictly decrease
+    [Φ(state) = Σᵢ Σ_{k=1..loadᵢ} ℓᵢ(k)], so a pure Nash equilibrium
+    always exists and dynamics terminate.
+
+    The module provides the game, exact optima (by dynamic programming
+    over integer link loads), pure-equilibrium computation, and the
+    Largest-Latency-First Stackelberg scheme: a Leader dictates the
+    choices of [k] of the [n] players — placing them on their
+    optimal-assignment links from the slowest down — and the remaining
+    players best-respond to equilibrium. *)
+
+type t = private {
+  latencies : Sgr_latency.Latency.t array;
+  players : int;  (** Number of unit-demand players. *)
+}
+
+type state = int array
+(** [state.(p)] — the link chosen by player [p]. *)
+
+val make : Sgr_latency.Latency.t array -> players:int -> t
+(** @raise Invalid_argument without links or with [players < 1]. *)
+
+val loads : t -> state -> int array
+(** Number of players per link. *)
+
+val social_cost : t -> state -> float
+(** [Σᵢ loadᵢ·ℓᵢ(loadᵢ)]. *)
+
+val potential : t -> state -> float
+(** Rosenthal's potential [Σᵢ Σ_{k<=loadᵢ} ℓᵢ(k)]. *)
+
+val player_latency : t -> state -> int -> float
+(** The latency player [p] currently experiences. *)
+
+val is_equilibrium : ?eps:float -> t -> state -> bool
+(** No player can strictly reduce its latency by moving alone. *)
+
+val best_response_dynamics : ?max_steps:int -> t -> state -> state * int
+(** Iteratively move any improving player to its best link until no one
+    improves; returns the state and the number of single-player moves.
+    Termination is guaranteed by the potential; [max_steps] (default
+    [1_000_000]) is a safety net. *)
+
+val nash : t -> state
+(** Equilibrium reached from the empty-greedy initial state (players
+    inserted one by one on the currently best link — already a common
+    equilibrium construction for parallel links). *)
+
+val optimum_loads : t -> int array
+(** Integer link loads minimizing the social cost (exact DP, O(m·n²)). *)
+
+val optimum_cost : t -> float
+
+val stackelberg_llf : t -> controlled:int -> state
+(** LLF with [controlled] dictated players: they are pinned to the links
+    of the optimal assignment in decreasing order of optimal latency;
+    the free players then best-respond to equilibrium (the pinned players
+    never move).
+    @raise Invalid_argument unless [0 <= controlled <= players]. *)
+
+val price_of_anarchy : t -> float
+(** [social_cost (nash t) / optimum_cost t] (for the equilibrium reached
+    by {!nash}; pure equilibria need not be unique). *)

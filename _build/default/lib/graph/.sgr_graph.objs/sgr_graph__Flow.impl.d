@@ -1,0 +1,1 @@
+lib/graph/flow.ml: Array Digraph Float List Sgr_numerics

@@ -1,0 +1,1 @@
+lib/graph/topology.ml: Array Digraph Int List Option Queue Set

@@ -1,0 +1,56 @@
+type edge = { id : int; src : int; dst : int }
+
+type t = {
+  num_nodes : int;
+  edges : edge array;
+  out_adj : edge list array;
+  in_adj : edge list array;
+}
+
+type builder = { n : int; mutable rev_edges : edge list; mutable count : int }
+
+let builder ~num_nodes =
+  if num_nodes <= 0 then invalid_arg "Digraph.builder: need at least one node";
+  { n = num_nodes; rev_edges = []; count = 0 }
+
+let add_edge b ~src ~dst =
+  if src < 0 || src >= b.n || dst < 0 || dst >= b.n then
+    invalid_arg "Digraph.add_edge: endpoint out of range";
+  if src = dst then invalid_arg "Digraph.add_edge: self loops are not allowed";
+  let e = { id = b.count; src; dst } in
+  b.rev_edges <- e :: b.rev_edges;
+  b.count <- b.count + 1;
+  e.id
+
+let freeze b =
+  let edges = Array.of_list (List.rev b.rev_edges) in
+  let out_adj = Array.make b.n [] and in_adj = Array.make b.n [] in
+  (* Build adjacency in reverse so the lists end up in insertion order. *)
+  for i = Array.length edges - 1 downto 0 do
+    let e = edges.(i) in
+    out_adj.(e.src) <- e :: out_adj.(e.src);
+    in_adj.(e.dst) <- e :: in_adj.(e.dst)
+  done;
+  { num_nodes = b.n; edges; out_adj; in_adj }
+
+let of_edges ~num_nodes pairs =
+  let b = builder ~num_nodes in
+  List.iter (fun (src, dst) -> ignore (add_edge b ~src ~dst)) pairs;
+  freeze b
+
+let num_nodes t = t.num_nodes
+let num_edges t = Array.length t.edges
+
+let edge t i =
+  if i < 0 || i >= Array.length t.edges then invalid_arg "Digraph.edge: id out of range";
+  t.edges.(i)
+
+let edges t = t.edges
+let out_edges t v = t.out_adj.(v)
+let in_edges t v = t.in_adj.(v)
+let fold_edges f t init = Array.fold_left (fun acc e -> f e acc) init t.edges
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>digraph: %d nodes, %d edges" t.num_nodes (Array.length t.edges);
+  Array.iter (fun e -> Format.fprintf ppf "@,  e%d: %d -> %d" e.id e.src e.dst) t.edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+(** Directed multigraphs with integer node ids and dense edge ids.
+
+    Nodes are [0 .. num_nodes-1]; edges get consecutive ids in insertion
+    order, so per-edge data (latencies, flows, weights, capacities) lives in
+    plain arrays indexed by edge id. Parallel edges and antiparallel pairs
+    are allowed; self loops are rejected (the paper's model forbids them). *)
+
+type edge = private { id : int; src : int; dst : int }
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : num_nodes:int -> builder
+(** Fresh builder over nodes [0 .. num_nodes-1]. *)
+
+val add_edge : builder -> src:int -> dst:int -> int
+(** Adds an edge and returns its id.
+    @raise Invalid_argument on out-of-range endpoints or a self loop. *)
+
+val freeze : builder -> t
+(** Finalize into an immutable graph. The builder must not be reused. *)
+
+val of_edges : num_nodes:int -> (int * int) list -> t
+(** [of_edges ~num_nodes [(s1,d1); ...]] builds a graph whose edge ids
+    follow the list order. *)
+
+(** {1 Access} *)
+
+val num_nodes : t -> int
+val num_edges : t -> int
+
+val edge : t -> int -> edge
+(** Edge by id. @raise Invalid_argument if out of range. *)
+
+val edges : t -> edge array
+(** All edges by id (do not mutate). *)
+
+val out_edges : t -> int -> edge list
+(** Outgoing edges of a node, in insertion order. *)
+
+val in_edges : t -> int -> edge list
+(** Incoming edges of a node, in insertion order. *)
+
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+
+val pp : Format.formatter -> t -> unit

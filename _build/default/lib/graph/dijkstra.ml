@@ -1,0 +1,71 @@
+type result = { dist : float array; pred : int option array }
+
+let run_generic next_edges ~n ~weights ~origin =
+  assert (Array.for_all (fun w -> w >= 0.0) weights);
+  let dist = Array.make n Float.infinity in
+  let pred = Array.make n None in
+  let settled = Array.make n false in
+  let heap = Heap.create () in
+  dist.(origin) <- 0.0;
+  Heap.insert heap 0.0 origin;
+  let rec drain () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+        (* Lazy deletion: skip stale entries. *)
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          ignore d;
+          List.iter
+            (fun (eid, v) ->
+              let nd = dist.(u) +. weights.(eid) in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                pred.(v) <- Some eid;
+                Heap.insert heap nd v
+              end)
+            (next_edges u)
+        end;
+        drain ()
+  in
+  drain ();
+  { dist; pred }
+
+let run g ~weights ~source =
+  let next u = List.map (fun (e : Digraph.edge) -> (e.id, e.dst)) (Digraph.out_edges g u) in
+  run_generic next ~n:(Digraph.num_nodes g) ~weights ~origin:source
+
+let run_reverse g ~weights ~sink =
+  let next u = List.map (fun (e : Digraph.edge) -> (e.id, e.src)) (Digraph.in_edges g u) in
+  run_generic next ~n:(Digraph.num_nodes g) ~weights ~origin:sink
+
+let shortest_path g ~weights ~src ~dst =
+  let { dist; pred } = run g ~weights ~source:src in
+  if dist.(dst) = Float.infinity then None
+  else begin
+    let rec walk v acc =
+      if v = src then acc
+      else
+        match pred.(v) with
+        | None -> acc (* unreachable; cannot happen when dist is finite *)
+        | Some eid ->
+            let e = Digraph.edge g eid in
+            walk e.src (eid :: acc)
+    in
+    Some (walk dst [])
+  end
+
+let shortest_edge_subgraph ?(eps = Sgr_numerics.Tolerance.check_eps) g ~weights ~src ~dst =
+  let fwd = run g ~weights ~source:src in
+  let bwd = run_reverse g ~weights ~sink:dst in
+  let total = fwd.dist.(dst) in
+  let m = Digraph.num_edges g in
+  let on_sp = Array.make m false in
+  if total < Float.infinity then
+    Array.iter
+      (fun (e : Digraph.edge) ->
+        let through = fwd.dist.(e.src) +. weights.(e.id) +. bwd.dist.(e.dst) in
+        if through < Float.infinity && through <= total +. (eps *. Float.max 1.0 total) then
+          on_sp.(e.id) <- true)
+      (Digraph.edges g);
+  on_sp

@@ -1,0 +1,31 @@
+(** Single-source shortest paths with nonnegative edge weights.
+
+    MOP (the paper's algorithm for networks) needs, for each commodity,
+    both the distance labels under optimum-induced edge costs and the
+    subgraph of edges lying on *some* shortest s–t path (footnote 5).
+    The latter is characterized by
+    [dist_from_s(src e) + w e + dist_to_t(dst e) = dist_from_s(t)]. *)
+
+type result = {
+  dist : float array;  (** [dist.(v)] — distance from the source; [infinity] if unreachable. *)
+  pred : int option array;
+      (** [pred.(v)] — id of the edge entering [v] on one shortest path. *)
+}
+
+val run : Digraph.t -> weights:float array -> source:int -> result
+(** Dijkstra from [source]. [weights] is indexed by edge id; all weights
+    must be [>= 0] (asserted). *)
+
+val run_reverse : Digraph.t -> weights:float array -> sink:int -> result
+(** Distances *to* [sink] (Dijkstra on the reversed graph);
+    [pred.(v)] is the edge leaving [v] on a shortest path to the sink. *)
+
+val shortest_path : Digraph.t -> weights:float array -> src:int -> dst:int -> int list option
+(** Edge ids of one shortest [src]–[dst] path (in path order), or [None]
+    if unreachable. *)
+
+val shortest_edge_subgraph :
+  ?eps:float -> Digraph.t -> weights:float array -> src:int -> dst:int -> bool array
+(** [b.(e)] is true iff edge [e] lies on some shortest [src]–[dst] path,
+    up to additive slack [eps] (default {!Sgr_numerics.Tolerance.check_eps})
+    to absorb solver noise in the weights. *)

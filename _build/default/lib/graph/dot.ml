@@ -1,0 +1,31 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let export ?(name = "G") ?node_label ?edge_label ?edge_highlight g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  rankdir=LR;\n" (escape name));
+  for v = 0 to Digraph.num_nodes g - 1 do
+    let label = match node_label with Some f -> f v | None -> string_of_int v in
+    Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" v (escape label))
+  done;
+  Array.iter
+    (fun (e : Digraph.edge) ->
+      let label = match edge_label with Some f -> escape (f e) | None -> "" in
+      let hot = match edge_highlight with Some f -> f e | None -> false in
+      let attrs =
+        String.concat ", "
+          (List.filter
+             (fun s -> s <> "")
+             [
+               (if label = "" then "" else Printf.sprintf "label=\"%s\"" label);
+               (if hot then "color=red, penwidth=2.0" else "");
+             ])
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d%s;\n" e.src e.dst
+           (if attrs = "" then "" else " [" ^ attrs ^ "]")))
+    (Digraph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_channel ?name ?node_label ?edge_label ?edge_highlight oc g =
+  output_string oc (export ?name ?node_label ?edge_label ?edge_highlight g)

@@ -1,0 +1,21 @@
+(** Graphviz DOT export, for inspecting instances and flows. *)
+
+val export :
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?edge_label:(Digraph.edge -> string) ->
+  ?edge_highlight:(Digraph.edge -> bool) ->
+  Digraph.t ->
+  string
+(** [export g] renders the graph as a DOT digraph. [edge_highlight]ed
+    edges are drawn bold red (e.g. the Leader's edges in a Stackelberg
+    strategy). *)
+
+val to_channel :
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?edge_label:(Digraph.edge -> string) ->
+  ?edge_highlight:(Digraph.edge -> bool) ->
+  out_channel ->
+  Digraph.t ->
+  unit

@@ -1,0 +1,53 @@
+let excess g ~flow v =
+  let out = List.fold_left (fun a (e : Digraph.edge) -> a +. flow.(e.id)) 0.0 (Digraph.out_edges g v) in
+  let inn = List.fold_left (fun a (e : Digraph.edge) -> a +. flow.(e.id)) 0.0 (Digraph.in_edges g v) in
+  out -. inn
+
+let is_feasible ?(eps = Sgr_numerics.Tolerance.check_eps) g ~flow ~src ~dst ~demand =
+  Array.for_all (fun f -> f >= -.eps) flow
+  &&
+  let ok = ref true in
+  for v = 0 to Digraph.num_nodes g - 1 do
+    let want = if v = src then demand else if v = dst then -.demand else 0.0 in
+    if Float.abs (excess g ~flow v -. want) > eps *. Float.max 1.0 demand then ok := false
+  done;
+  !ok
+
+let decompose ?(eps = 1e-9) g ~flow ~src ~dst =
+  let residual = Array.copy flow in
+  let n = Digraph.num_nodes g in
+  let result = ref [] in
+  (* Trace one source→sink path through edges still carrying flow. *)
+  let trace () =
+    let visited = Array.make n false in
+    let rec go v acc =
+      if v = dst then Some (List.rev acc)
+      else begin
+        if visited.(v) then failwith "Flow.decompose: cycle in positive-flow subgraph";
+        visited.(v) <- true;
+        let next =
+          List.find_opt (fun (e : Digraph.edge) -> residual.(e.id) > eps) (Digraph.out_edges g v)
+        in
+        match next with None -> None | Some e -> go e.dst (e.id :: acc)
+      end
+    in
+    go src []
+  in
+  let continue = ref true in
+  while !continue do
+    match trace () with
+    | None -> continue := false
+    | Some [] -> continue := false
+    | Some path ->
+        let bottleneck =
+          List.fold_left (fun acc e -> Float.min acc residual.(e)) Float.infinity path
+        in
+        List.iter (fun e -> residual.(e) <- residual.(e) -. bottleneck) path;
+        if bottleneck > eps then result := (path, bottleneck) :: !result
+  done;
+  List.rev !result
+
+let of_paths g paths =
+  let flow = Array.make (Digraph.num_edges g) 0.0 in
+  List.iter (fun (path, amount) -> List.iter (fun e -> flow.(e) <- flow.(e) +. amount) path) paths;
+  flow

@@ -1,0 +1,23 @@
+(** Edge-flow utilities: conservation checks and path decomposition. *)
+
+val excess : Digraph.t -> flow:float array -> int -> float
+(** Net outflow minus inflow at a node. *)
+
+val is_feasible :
+  ?eps:float -> Digraph.t -> flow:float array -> src:int -> dst:int -> demand:float -> bool
+(** Nonnegative flow shipping [demand] from [src] to [dst] with
+    conservation elsewhere (up to [eps], default
+    {!Sgr_numerics.Tolerance.check_eps}). *)
+
+val decompose :
+  ?eps:float -> Digraph.t -> flow:float array -> src:int -> dst:int -> (Paths.t * float) list
+(** Greedy path decomposition of a feasible [src]–[dst] flow: repeatedly
+    follow positive-flow edges from [src] to [dst], subtract the
+    bottleneck. Flow units below [eps] (default [1e-9]) are dropped.
+
+    @raise Failure if the positive-flow subgraph contains a cycle
+    reachable while tracing (the optima produced by this library have
+    acyclic support, so a cycle indicates a solver bug). *)
+
+val of_paths : Digraph.t -> (Paths.t * float) list -> float array
+(** Accumulate path flows into per-edge flows. *)

@@ -1,0 +1,61 @@
+type 'a entry = { prio : float; payload : 'a }
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let is_empty h = h.len = 0
+let size h = h.len
+
+let grow h e =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nd = Array.make ncap e in
+    Array.blit h.data 0 nd 0 h.len;
+    h.data <- nd
+  end
+
+let insert h prio payload =
+  let e = { prio; payload } in
+  grow h e;
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  h.data.(!i) <- e;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if h.data.(parent).prio > h.data.(!i).prio then begin
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && h.data.(l).prio < h.data.(!smallest).prio then smallest := l;
+        if r < h.len && h.data.(r).prio < h.data.(!smallest).prio then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.prio, top.payload)
+  end

@@ -1,0 +1,14 @@
+(** Minimal binary min-heap of [(priority, payload)] pairs for Dijkstra.
+
+    Stale entries are handled by the caller (lazy deletion), so only
+    [insert] and [pop_min] are needed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val insert : 'a t -> float -> 'a -> unit
+
+val pop_min : 'a t -> (float * 'a) option
+(** Removes and returns the pair with the smallest priority. *)

@@ -1,0 +1,82 @@
+type result = { value : float; flow : float array }
+
+let solve ?(eps = 1e-12) g ~capacities ~src ~dst =
+  let m = Digraph.num_edges g in
+  assert (Array.length capacities = m);
+  assert (Array.for_all (fun c -> c >= 0.0) capacities);
+  let flow = Array.make m 0.0 in
+  let n = Digraph.num_nodes g in
+  (* BFS over the residual network: forward arcs with remaining capacity,
+     backward arcs with positive flow. The parent tag records direction. *)
+  let find_augmenting () =
+    let parent = Array.make n None in
+    let visited = Array.make n false in
+    let q = Queue.create () in
+    visited.(src) <- true;
+    Queue.push src q;
+    let rec bfs () =
+      if Queue.is_empty q || visited.(dst) then ()
+      else begin
+        let u = Queue.pop q in
+        List.iter
+          (fun (e : Digraph.edge) ->
+            if (not visited.(e.dst)) && capacities.(e.id) -. flow.(e.id) > eps then begin
+              visited.(e.dst) <- true;
+              parent.(e.dst) <- Some (`Forward e.id, u);
+              Queue.push e.dst q
+            end)
+          (Digraph.out_edges g u);
+        List.iter
+          (fun (e : Digraph.edge) ->
+            if (not visited.(e.src)) && flow.(e.id) > eps then begin
+              visited.(e.src) <- true;
+              parent.(e.src) <- Some (`Backward e.id, u);
+              Queue.push e.src q
+            end)
+          (Digraph.in_edges g u);
+        bfs ()
+      end
+    in
+    bfs ();
+    if not visited.(dst) then None
+    else begin
+      (* Walk back from dst collecting the residual path. *)
+      let rec walk v acc =
+        if v = src then acc
+        else
+          match parent.(v) with
+          | None -> assert false
+          | Some (arc, u) -> walk u (arc :: acc)
+      in
+      Some (walk dst [])
+    end
+  in
+  let bottleneck path =
+    List.fold_left
+      (fun acc arc ->
+        match arc with
+        | `Forward e -> Float.min acc (capacities.(e) -. flow.(e))
+        | `Backward e -> Float.min acc flow.(e))
+      Float.infinity path
+  in
+  let augment path delta =
+    List.iter
+      (function
+        | `Forward e -> flow.(e) <- flow.(e) +. delta
+        | `Backward e -> flow.(e) <- flow.(e) -. delta)
+      path
+  in
+  let value = ref 0.0 in
+  let rec loop () =
+    match find_augmenting () with
+    | None -> ()
+    | Some path ->
+        let delta = bottleneck path in
+        if delta > eps then begin
+          augment path delta;
+          value := !value +. delta;
+          loop ()
+        end
+  in
+  loop ();
+  { value = !value; flow }

@@ -1,0 +1,18 @@
+(** Maximum flow with real capacities (Edmonds–Karp).
+
+    MOP's "free flow" (footnote 5 of the paper) is the largest amount of
+    demand routable *inside the shortest-path subgraph* when every edge is
+    capacitated by its optimal flow; that is exactly a max-flow problem.
+    Capacities here are floats produced by a convex solver, so augmenting
+    stops when the residual bottleneck falls below a tolerance. *)
+
+type result = {
+  value : float;  (** Value of the maximum flow. *)
+  flow : float array;  (** Per-edge flow, indexed by edge id. *)
+}
+
+val solve : ?eps:float -> Digraph.t -> capacities:float array -> src:int -> dst:int -> result
+(** BFS augmentation on the residual graph (no reverse residual arcs are
+    needed beyond the standard construction, which is included). Paths with
+    bottleneck [< eps] (default [1e-12]) are treated as exhausted.
+    Capacities must be [>= 0]. *)

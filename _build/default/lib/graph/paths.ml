@@ -1,0 +1,61 @@
+type t = int list
+
+let source g = function
+  | [] -> invalid_arg "Paths.source: empty path"
+  | e :: _ -> (Digraph.edge g e).src
+
+let target g path =
+  match List.rev path with
+  | [] -> invalid_arg "Paths.target: empty path"
+  | e :: _ -> (Digraph.edge g e).dst
+
+let nodes g = function
+  | [] -> invalid_arg "Paths.nodes: empty path"
+  | first :: _ as path ->
+      (Digraph.edge g first).src :: List.map (fun e -> (Digraph.edge g e).dst) path
+
+let is_valid g ~src ~dst path =
+  match path with
+  | [] -> false
+  | _ ->
+      let ns = nodes g path in
+      let consecutive =
+        let rec chk = function
+          | e1 :: (e2 :: _ as rest) ->
+              (Digraph.edge g e1).dst = (Digraph.edge g e2).src && chk rest
+          | _ -> true
+        in
+        chk path
+      in
+      consecutive
+      && List.hd ns = src
+      && target g path = dst
+      && List.length (List.sort_uniq compare ns) = List.length ns
+
+let enumerate ?(limit = 20_000) g ~src ~dst =
+  let visited = Array.make (Digraph.num_nodes g) false in
+  let found = ref [] in
+  let count = ref 0 in
+  let rec dfs v acc =
+    if v = dst then begin
+      incr count;
+      if !count > limit then failwith "Paths.enumerate: path count exceeds limit";
+      found := List.rev acc :: !found
+    end
+    else begin
+      visited.(v) <- true;
+      List.iter
+        (fun (e : Digraph.edge) -> if not visited.(e.dst) then dfs e.dst (e.id :: acc))
+        (Digraph.out_edges g v);
+      visited.(v) <- false
+    end
+  in
+  dfs src [];
+  List.rev !found
+
+let cost path costs = List.fold_left (fun acc e -> acc +. costs.(e)) 0.0 path
+
+let pp g ppf path =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "→")
+    Format.pp_print_int ppf (nodes g path)

@@ -1,0 +1,31 @@
+(** Simple paths as edge-id lists.
+
+    Path enumeration is intentionally exhaustive (the path-equilibration
+    solver and the experiments run on small/medium networks); callers that
+    need scalability use the edge-based Frank–Wolfe solver instead. *)
+
+type t = int list
+(** Edge ids in path order (head edge leaves the path's source). *)
+
+val source : Digraph.t -> t -> int
+(** First node of a nonempty path. @raise Invalid_argument on []. *)
+
+val target : Digraph.t -> t -> int
+(** Last node of a nonempty path. @raise Invalid_argument on []. *)
+
+val nodes : Digraph.t -> t -> int list
+(** Node sequence visited, source first. *)
+
+val is_valid : Digraph.t -> src:int -> dst:int -> t -> bool
+(** Edges are consecutive, start at [src], end at [dst], and no node
+    repeats. *)
+
+val enumerate : ?limit:int -> Digraph.t -> src:int -> dst:int -> t list
+(** All simple [src]–[dst] paths by DFS, in lexicographic edge-id order.
+    @raise Failure when more than [limit] (default [20_000]) paths exist. *)
+
+val cost : t -> float array -> float
+(** Sum of per-edge costs along the path. *)
+
+val pp : Digraph.t -> Format.formatter -> t -> unit
+(** Prints the node sequence, e.g. ["0→2→3"]. *)

@@ -1,0 +1,74 @@
+let topological_order g =
+  let n = Digraph.num_nodes g in
+  let indeg = Array.make n 0 in
+  Digraph.fold_edges (fun e () -> indeg.(e.Digraph.dst) <- indeg.(e.Digraph.dst) + 1) g ();
+  (* A sorted-by-id frontier keeps the order deterministic. *)
+  let module IntSet = Set.Make (Int) in
+  let frontier = ref IntSet.empty in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then frontier := IntSet.add v !frontier
+  done;
+  let order = Array.make n 0 in
+  let placed = ref 0 in
+  while not (IntSet.is_empty !frontier) do
+    let v = IntSet.min_elt !frontier in
+    frontier := IntSet.remove v !frontier;
+    order.(!placed) <- v;
+    incr placed;
+    List.iter
+      (fun (e : Digraph.edge) ->
+        indeg.(e.dst) <- indeg.(e.dst) - 1;
+        if indeg.(e.dst) = 0 then frontier := IntSet.add e.dst !frontier)
+      (Digraph.out_edges g v)
+  done;
+  if !placed = n then Some order else None
+
+let is_dag g = Option.is_some (topological_order g)
+
+let has_cycle_in_support g ~support =
+  (* DFS with colors restricted to supported edges. *)
+  let n = Digraph.num_nodes g in
+  let color = Array.make n 0 in
+  (* 0 white, 1 grey, 2 black *)
+  let rec visit v =
+    if color.(v) = 1 then true
+    else if color.(v) = 2 then false
+    else begin
+      color.(v) <- 1;
+      let cyc =
+        List.exists
+          (fun (e : Digraph.edge) -> support.(e.id) && visit e.dst)
+          (Digraph.out_edges g v)
+      in
+      color.(v) <- 2;
+      cyc
+    end
+  in
+  let found = ref false in
+  for v = 0 to n - 1 do
+    if (not !found) && color.(v) = 0 then found := visit v
+  done;
+  !found
+
+let bfs next g origin =
+  let seen = Array.make (Digraph.num_nodes g) false in
+  let q = Queue.create () in
+  seen.(origin) <- true;
+  Queue.push origin q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun u ->
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          Queue.push u q
+        end)
+      (next v)
+  done;
+  seen
+
+let reachable_from g v =
+  bfs (fun u -> List.map (fun (e : Digraph.edge) -> e.dst) (Digraph.out_edges g u)) g v
+
+let co_reachable_to g v =
+  bfs (fun u -> List.map (fun (e : Digraph.edge) -> e.src) (Digraph.in_edges g u)) g v

@@ -1,0 +1,18 @@
+(** Topological structure queries on directed graphs. *)
+
+val topological_order : Digraph.t -> int array option
+(** A topological ordering of the nodes, or [None] when the graph has a
+    directed cycle. Kahn's algorithm; ties resolved by node id. *)
+
+val is_dag : Digraph.t -> bool
+
+val has_cycle_in_support : Digraph.t -> support:bool array -> bool
+(** Whether the subgraph of edges with [support.(e)] true contains a
+    directed cycle — used to sanity-check flow supports before path
+    decomposition. *)
+
+val reachable_from : Digraph.t -> int -> bool array
+(** Nodes reachable from the given node (BFS over out-edges). *)
+
+val co_reachable_to : Digraph.t -> int -> bool array
+(** Nodes from which the given node is reachable (BFS over in-edges). *)

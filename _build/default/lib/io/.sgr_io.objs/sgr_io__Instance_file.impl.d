@@ -1,0 +1,1 @@
+lib/io/instance_file.ml: Array Buffer In_channel Latency_spec List Printf Sgr_graph Sgr_links Sgr_network String

@@ -1,0 +1,1 @@
+lib/io/instance_file.mli: Sgr_links Sgr_network

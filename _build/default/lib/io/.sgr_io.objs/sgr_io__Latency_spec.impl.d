@@ -1,0 +1,1 @@
+lib/io/latency_spec.ml: Array List Printf Sgr_latency String

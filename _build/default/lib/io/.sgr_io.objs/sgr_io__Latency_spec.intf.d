@@ -1,0 +1,1 @@
+lib/io/latency_spec.mli: Sgr_latency

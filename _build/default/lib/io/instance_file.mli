@@ -1,0 +1,46 @@
+(** Plain-text instance files.
+
+    Two formats, distinguished by their first non-comment line. Lines
+    starting with [#] and blank lines are ignored; latency specifications
+    follow {!Latency_spec}.
+
+    {b Parallel links} ([links] header):
+    {v
+    links
+    demand 1.0
+    link x
+    link 2.5x + 0.1667
+    link const 0.7
+    v}
+
+    {b Network} ([network] header); edges may carry any latency spec
+    after the two endpoint node ids; [commodity SRC DST DEMAND] lines
+    declare the commodities:
+    {v
+    network
+    nodes 4
+    edge 0 1 x
+    edge 0 2 2x + 1
+    edge 1 3 mm1 2.0
+    commodity 0 3 1.0
+    v} *)
+
+type t =
+  | Links of Sgr_links.Links.t
+  | Network of Sgr_network.Network.t
+
+val parse : string -> (t, string) result
+(** Parse instance text. Errors carry a line number. *)
+
+val load : string -> (t, string) result
+(** Read and parse a file. *)
+
+val load_exn : string -> t
+(** @raise Failure with the parse error message. *)
+
+val print_links : Sgr_links.Links.t -> string
+(** Render a links instance in file format (round-trips through
+    {!parse} for serializable latencies). *)
+
+val print_network : Sgr_network.Network.t -> string
+(** Render a network instance in file format. *)

@@ -1,0 +1,91 @@
+module L = Sgr_latency.Latency
+
+let float_of_string_opt' s = float_of_string_opt (String.trim s)
+
+let parse_affine s =
+  (* Forms accepted: "x", "Ax", "A x", "Ax + B", "x + B", "B". *)
+  let compact = String.concat "" (String.split_on_char ' ' s) in
+  match String.index_opt compact 'x' with
+  | None -> (
+      match float_of_string_opt' compact with
+      | Some c when c >= 0.0 -> Ok (L.constant c)
+      | Some _ -> Error "negative constant latency"
+      | None -> Error (Printf.sprintf "cannot parse %S as a number or affine expression" s))
+  | Some i ->
+      let coeff_str = String.sub compact 0 i in
+      let rest = String.sub compact (i + 1) (String.length compact - i - 1) in
+      let coeff =
+        if coeff_str = "" then Some 1.0
+        else if coeff_str = "-" then None
+        else float_of_string_opt' coeff_str
+      in
+      let intercept =
+        if rest = "" then Some 0.0
+        else if String.length rest > 1 && rest.[0] = '+' then
+          float_of_string_opt' (String.sub rest 1 (String.length rest - 1))
+        else None
+      in
+      (match (coeff, intercept) with
+      | Some a, Some b when a >= 0.0 && b >= 0.0 -> Ok (L.affine ~slope:a ~intercept:b)
+      | Some _, Some _ -> Error "negative coefficient in affine latency"
+      | _ -> Error (Printf.sprintf "cannot parse %S as an affine expression" s))
+
+let words s =
+  String.split_on_char ' ' s |> List.map String.trim |> List.filter (fun w -> w <> "")
+
+let parse_floats ws =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | w :: rest -> ( match float_of_string_opt w with Some f -> go (f :: acc) rest | None -> None)
+  in
+  go [] ws
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Error "empty latency specification"
+  else
+    match words (String.lowercase_ascii s) with
+    | "const" :: rest -> (
+        match parse_floats rest with
+        | Some [ c ] when c >= 0.0 -> Ok (L.constant c)
+        | _ -> Error "const expects one nonnegative number")
+    | "mm1" :: rest -> (
+        match parse_floats rest with
+        | Some [ cap ] when cap > 0.0 -> Ok (L.mm1 ~capacity:cap)
+        | _ -> Error "mm1 expects one positive capacity")
+    | "bpr" :: rest -> (
+        match parse_floats rest with
+        | Some [ t0; cap ] -> (
+            try Ok (L.bpr ~free_flow:t0 ~capacity:cap ()) with Invalid_argument m -> Error m)
+        | Some [ t0; cap; alpha; beta ] -> (
+            try Ok (L.bpr ~free_flow:t0 ~capacity:cap ~alpha ~beta ())
+            with Invalid_argument m -> Error m)
+        | _ -> Error "bpr expects 'bpr T0 CAP [ALPHA BETA]'")
+    | "poly" :: rest -> (
+        match parse_floats rest with
+        | Some (_ :: _ as coeffs) -> (
+            try Ok (L.polynomial (Array.of_list coeffs)) with Invalid_argument m -> Error m)
+        | _ -> Error "poly expects at least one coefficient")
+    | _ -> parse_affine s
+
+let parse_exn s =
+  match parse s with Ok l -> l | Error m -> invalid_arg ("Latency_spec.parse: " ^ m)
+
+let print lat =
+  let num f =
+    (* Shortest representation that round-trips. *)
+    let s = Printf.sprintf "%.12g" f in
+    s
+  in
+  match L.kind lat with
+  | L.Constant c -> num c
+  | L.Affine { slope; intercept } ->
+      if intercept = 0.0 then Printf.sprintf "%sx" (num slope)
+      else Printf.sprintf "%sx + %s" (num slope) (num intercept)
+  | L.Polynomial coeffs ->
+      "poly " ^ String.concat " " (List.map num (Array.to_list coeffs))
+  | L.Mm1 { capacity } -> Printf.sprintf "mm1 %s" (num capacity)
+  | L.Bpr { free_flow; capacity; alpha; beta } ->
+      Printf.sprintf "bpr %s %s %s %s" (num free_flow) (num capacity) (num alpha) (num beta)
+  | L.Shifted _ -> invalid_arg "Latency_spec.print: shifted latencies are not serializable"
+  | L.Custom _ -> invalid_arg "Latency_spec.print: custom latencies are not serializable"

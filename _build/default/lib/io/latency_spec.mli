@@ -1,0 +1,22 @@
+(** Textual latency specifications, used by instance files and the CLI.
+
+    Grammar (case-insensitive keywords, whitespace-insensitive):
+
+    - affine expression: [\[A\]x \[+ B\]] or a bare number — e.g. ["x"],
+      ["2.5x + 0.1667"], ["0.7"] (a bare number is a constant latency);
+    - ["const C"] — constant latency [C];
+    - ["mm1 CAP"] — M/M/1 delay with capacity [CAP];
+    - ["bpr T0 CAP [ALPHA BETA]"] — BPR curve (defaults α=0.15, β=4);
+    - ["poly C0 C1 C2 ..."] — polynomial coefficients by ascending degree.
+*)
+
+val parse : string -> (Sgr_latency.Latency.t, string) result
+(** Parse a specification; [Error msg] describes the first problem. *)
+
+val parse_exn : string -> Sgr_latency.Latency.t
+(** @raise Invalid_argument on a malformed specification. *)
+
+val print : Sgr_latency.Latency.t -> string
+(** Render a latency back into parseable form.
+    [parse (print l)] reproduces [l] for every non-[Custom], non-[Shifted]
+    latency. @raise Invalid_argument on [Custom]/[Shifted] kinds. *)

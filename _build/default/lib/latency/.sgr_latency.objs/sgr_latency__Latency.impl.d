@@ -1,0 +1,1 @@
+lib/latency/latency.ml: Array Float Format Option Sgr_numerics

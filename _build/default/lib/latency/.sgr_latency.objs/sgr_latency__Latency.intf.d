@@ -1,0 +1,1 @@
+lib/latency/latency.mli: Format

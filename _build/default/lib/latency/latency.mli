@@ -1,0 +1,120 @@
+(** Load-dependent latency functions.
+
+    A latency function [ℓ] maps a nonnegative flow [x] to a nonnegative
+    delay [ℓ(x)]. The paper's standing assumptions (Section 4, Remark 2.5)
+    are: [ℓ] differentiable, strictly increasing, with [x·ℓ(x)] convex.
+    Following Remark 2.5's cited extension, constant latencies are also
+    admitted; the solvers treat them specially.
+
+    Values of type {!t} carry closed-form evaluation, derivative, primitive
+    [∫₀ˣ ℓ] (the Beckmann term) and, where available, closed-form inverses;
+    everything else falls back to guarded numerical routines. *)
+
+type kind =
+  | Constant of float  (** [ℓ(x) = c]. *)
+  | Affine of { slope : float; intercept : float }  (** [ℓ(x) = a·x + b]. *)
+  | Polynomial of float array
+      (** [ℓ(x) = Σ cᵢ xⁱ], coefficients by ascending degree. *)
+  | Mm1 of { capacity : float }
+      (** M/M/1 delay [ℓ(x) = 1 / (capacity - x)], defined for
+          [x < capacity] (Korilis–Lazar–Orda systems). *)
+  | Bpr of { free_flow : float; capacity : float; alpha : float; beta : float }
+      (** Bureau of Public Roads: [ℓ(x) = t₀·(1 + α (x/c)^β)]. *)
+  | Shifted of { offset : float; base : kind }
+      (** [ℓ(x) = base(offset + x)] — a-posteriori latency seen by
+          Followers when a Leader pre-loads [offset] (Section 4). *)
+  | Custom of string  (** Opaque user function; label used for printing. *)
+
+type t
+
+val kind : t -> kind
+
+(** {1 Constructors} *)
+
+val constant : float -> t
+(** [constant c]: [ℓ(x) = c], [c >= 0]. *)
+
+val affine : slope:float -> intercept:float -> t
+(** [affine ~slope:a ~intercept:b]: [ℓ(x) = a·x + b] with [a, b >= 0].
+    [slope = 0] yields a constant. *)
+
+val linear : float -> t
+(** [linear a] is [affine ~slope:a ~intercept:0.]. *)
+
+val polynomial : float array -> t
+(** [polynomial [|c0; c1; ...|]]: coefficients must be [>= 0] (a standard
+    sufficient condition for monotone latency and convex [x·ℓ(x)]).
+    @raise Invalid_argument on a negative coefficient. *)
+
+val monomial : coeff:float -> degree:int -> t
+(** [monomial ~coeff ~degree]: [ℓ(x) = coeff·x^degree]. *)
+
+val mm1 : capacity:float -> t
+(** [mm1 ~capacity]: M/M/1 delay; requires [capacity > 0]. *)
+
+val bpr : free_flow:float -> capacity:float -> ?alpha:float -> ?beta:float -> unit -> t
+(** BPR congestion curve; defaults [alpha = 0.15], [beta = 4.]. *)
+
+val custom :
+  ?label:string ->
+  eval:(float -> float) ->
+  ?deriv:(float -> float) ->
+  ?primitive:(float -> float) ->
+  unit ->
+  t
+(** Opaque latency. Missing [deriv] uses central differences; missing
+    [primitive] uses adaptive quadrature. The function must be strictly
+    increasing on [x >= 0]; this is the caller's obligation. *)
+
+val shift : float -> t -> t
+(** [shift s ℓ] is [x ↦ ℓ(s + x)]: the a-posteriori latency of a link
+    pre-loaded with Leader flow [s >= 0]. *)
+
+(** {1 Evaluation} *)
+
+val eval : t -> float -> float
+(** [eval ℓ x] is [ℓ(x)]. *)
+
+val deriv : t -> float -> float
+(** [deriv ℓ x] is [ℓ'(x)]. *)
+
+val primitive : t -> float -> float
+(** [primitive ℓ x] is [∫₀ˣ ℓ(u) du] — the link's Beckmann potential. *)
+
+val marginal : t -> float -> float
+(** [marginal ℓ x] is the marginal social cost [ℓ(x) + x·ℓ'(x)] — the
+    derivative of [x·ℓ(x)], equalized across loaded links at the optimum. *)
+
+val cost : t -> float -> float
+(** [cost ℓ x] is [x·ℓ(x)]. *)
+
+(** {1 Structure} *)
+
+val constant_value : t -> float option
+(** [Some c] when the latency is constant (including shifted constants and
+    zero-slope affines); [None] otherwise. Solvers use this to give
+    constant links their special water-filling treatment. *)
+
+val is_constant : t -> bool
+
+val inverse : t -> float -> float
+(** [inverse ℓ y] is the flow [x >= 0] with [ℓ(x) = y], assuming
+    [ℓ(0) <= y] and strictly increasing [ℓ]; returns [0.] when [y <= ℓ(0)].
+    Closed form for affine/shifted-affine/M/M/1, bisection otherwise.
+    @raise Failure when the latency is constant or bounded below [y]. *)
+
+val inverse_marginal : t -> float -> float
+(** Same as {!inverse} for the marginal-cost map [x ↦ ℓ(x) + xℓ'(x)]. *)
+
+(** {1 Misc} *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering, e.g. [5/2·x + 1/6] prints as
+    ["2.5x + 0.1667"]. *)
+
+val to_string : t -> string
+
+val check_increasing : ?samples:int -> ?hi:float -> t -> bool
+(** Sampled sanity check that [eval] is nondecreasing on [[0, hi]]
+    (default [hi = 10.], 64 samples). Used by validation code and tests;
+    not a proof. *)

@@ -1,0 +1,1 @@
+lib/links/links.ml: Array Float Format List Option Sgr_latency Sgr_numerics

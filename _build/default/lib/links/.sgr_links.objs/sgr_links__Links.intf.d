@@ -1,0 +1,1 @@
+lib/links/links.mli: Format Sgr_latency

@@ -1,0 +1,1 @@
+lib/network/equilibrate.ml: Array Float List Network Objective Sgr_graph Sgr_latency Sgr_numerics

@@ -1,0 +1,1 @@
+lib/network/equilibrate.mli: Network Objective Sgr_graph

@@ -1,0 +1,1 @@
+lib/network/frank_wolfe.ml: Array Float List Network Objective Sgr_graph Sgr_numerics

@@ -1,0 +1,1 @@
+lib/network/frank_wolfe.mli: Network Objective

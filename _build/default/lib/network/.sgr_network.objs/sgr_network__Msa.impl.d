@@ -1,0 +1,1 @@
+lib/network/msa.ml: Array Float Frank_wolfe Network Objective Sgr_graph Sgr_numerics

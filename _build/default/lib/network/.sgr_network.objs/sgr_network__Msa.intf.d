@@ -1,0 +1,1 @@
+lib/network/msa.mli: Network Objective

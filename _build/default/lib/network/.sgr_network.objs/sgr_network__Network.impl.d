@@ -1,0 +1,1 @@
+lib/network/network.ml: Array Float List Sgr_graph Sgr_latency Sgr_numerics

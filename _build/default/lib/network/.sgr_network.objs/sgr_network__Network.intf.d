@@ -1,0 +1,1 @@
+lib/network/network.mli: Sgr_graph Sgr_latency

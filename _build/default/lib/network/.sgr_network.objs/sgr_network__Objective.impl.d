@@ -1,0 +1,1 @@
+lib/network/objective.ml: Format Network Sgr_latency

@@ -1,0 +1,1 @@
+lib/network/objective.mli: Format Network Sgr_latency

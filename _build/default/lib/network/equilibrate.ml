@@ -1,0 +1,135 @@
+module G = Sgr_graph
+module L = Sgr_latency.Latency
+
+type solution = {
+  edge_flow : float array;
+  path_flows : float array array;
+  paths : G.Paths.t array array;
+  sweeps : int;
+  gap : float;
+}
+
+(* Edges appearing in [a] but not in [b] (as id lists; paths are simple so
+   each id appears at most once). *)
+let diff_edges a b =
+  let in_b = List.sort_uniq compare b in
+  List.filter (fun e -> not (List.mem e in_b)) a
+
+let path_value value net edge_flow path =
+  List.fold_left (fun acc e -> acc +. value net.Network.latencies.(e) edge_flow.(e)) 0.0 path
+
+let commodity_gap obj net ~edge_flow ~paths ~flows =
+  let value = Objective.edge_value obj in
+  let costs = Array.map (path_value value net edge_flow) paths in
+  let min_cost = Sgr_numerics.Vec.min_elt costs in
+  let worst = ref min_cost in
+  Array.iteri (fun j f -> if f > 1e-12 then worst := Float.max !worst costs.(j)) flows;
+  !worst -. min_cost
+
+let solve ?(tol = 1e-9) ?(max_sweeps = 200_000) obj net =
+  let value = Objective.edge_value obj in
+  let paths = Network.paths net in
+  let k = Array.length net.Network.commodities in
+  let m = G.Digraph.num_edges net.Network.graph in
+  let edge_flow = Array.make m 0.0 in
+  let add_to_path path amount =
+    List.iter (fun e -> edge_flow.(e) <- edge_flow.(e) +. amount) path
+  in
+  (* Initialize: each commodity's demand on its cheapest free-flow path. *)
+  let path_flows =
+    Array.mapi
+      (fun i c ->
+        let ps = paths.(i) in
+        if Array.length ps = 0 then invalid_arg "Equilibrate.solve: commodity without paths";
+        let costs = Array.map (path_value value net edge_flow) ps in
+        let j = Sgr_numerics.Vec.argmin costs in
+        let flows = Array.make (Array.length ps) 0.0 in
+        flows.(j) <- c.Network.demand;
+        add_to_path ps.(j) c.Network.demand;
+        flows)
+      net.Network.commodities
+  in
+  let used_eps = 1e-12 in
+  (* One pairwise equalization for commodity [i]; returns the commodity's
+     gap before the shift. *)
+  let equalize_once i =
+    let ps = paths.(i) and flows = path_flows.(i) in
+    let costs = Array.map (path_value value net edge_flow) ps in
+    let lo = Sgr_numerics.Vec.argmin costs in
+    let hi = ref (-1) in
+    Array.iteri
+      (fun j f ->
+        if f > used_eps && (!hi < 0 || costs.(j) > costs.(!hi)) then hi := j)
+      flows;
+    if !hi < 0 then 0.0
+    else begin
+      let gap = costs.(!hi) -. costs.(lo) in
+      if gap > 0.0 && !hi <> lo then begin
+        let hi_only = diff_edges ps.(!hi) ps.(lo) in
+        let lo_only = diff_edges ps.(lo) ps.(!hi) in
+        (* Cost difference (hi minus lo, restricted to the symmetric
+           difference) after moving delta; decreasing in delta. *)
+        let d delta =
+          let a =
+            List.fold_left
+              (fun acc e -> acc +. value net.Network.latencies.(e) (edge_flow.(e) -. delta))
+              0.0 hi_only
+          in
+          let b =
+            List.fold_left
+              (fun acc e -> acc +. value net.Network.latencies.(e) (edge_flow.(e) +. delta))
+              0.0 lo_only
+          in
+          a -. b
+        in
+        let cap = flows.(!hi) in
+        let delta =
+          if d cap >= 0.0 then cap
+          else Sgr_numerics.Bisection.root ~f:(fun x -> -.d x) ~lo:0.0 ~hi:cap ()
+        in
+        if delta > 0.0 then begin
+          flows.(!hi) <- flows.(!hi) -. delta;
+          flows.(lo) <- flows.(lo) +. delta;
+          List.iter (fun e -> edge_flow.(e) <- edge_flow.(e) -. delta) hi_only;
+          List.iter (fun e -> edge_flow.(e) <- edge_flow.(e) +. delta) lo_only
+        end
+      end;
+      gap
+    end
+  in
+  let sweeps = ref 0 in
+  let gap = ref Float.infinity in
+  while !gap > tol && !sweeps < max_sweeps do
+    incr sweeps;
+    let worst = ref 0.0 in
+    for i = 0 to k - 1 do
+      let g = equalize_once i in
+      worst := Float.max !worst g
+    done;
+    gap := !worst
+  done;
+  (* Report the true residual gap at the final flow. *)
+  let final_gap =
+    let worst = ref 0.0 in
+    for i = 0 to k - 1 do
+      worst :=
+        Float.max !worst (commodity_gap obj net ~edge_flow ~paths:paths.(i) ~flows:path_flows.(i))
+    done;
+    !worst
+  in
+  { edge_flow; path_flows; paths; sweeps = !sweeps; gap = final_gap }
+
+let verify ?(eps = Sgr_numerics.Tolerance.check_eps) obj net sol =
+  let value = Objective.edge_value obj in
+  let ok = ref true in
+  Array.iteri
+    (fun i ps ->
+      let costs = Array.map (path_value value net sol.edge_flow) ps in
+      let min_cost = Sgr_numerics.Vec.min_elt costs in
+      Array.iteri
+        (fun j f ->
+          if f > eps && not (Sgr_numerics.Tolerance.approx ~eps costs.(j) min_cost) then
+            ok := false)
+        sol.path_flows.(i))
+    sol.paths;
+  !ok

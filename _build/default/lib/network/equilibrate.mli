@@ -1,0 +1,37 @@
+(** Path-equilibration solver (Gauss–Seidel pairwise shifts).
+
+    Enumerates each commodity's simple paths and repeatedly moves flow from
+    the costliest *used* path to the cheapest path, equalizing the pair by
+    bisection on the shifted amount (only the symmetric difference of the
+    two paths matters). Each shift strictly decreases the convex objective,
+    so the sweep converges; the stopping rule is the Wardrop gap itself.
+
+    Slower asymptotically than Frank–Wolfe but far more accurate on small
+    and medium networks — which is what the paper's examples and the MOP
+    verification need. *)
+
+type solution = {
+  edge_flow : float array;  (** Per-edge flow at termination. *)
+  path_flows : float array array;
+      (** Per-commodity path flows, aligned with [paths]. *)
+  paths : Sgr_graph.Paths.t array array;  (** The enumerated path sets. *)
+  sweeps : int;  (** Number of full commodity sweeps performed. *)
+  gap : float;
+      (** Max over commodities of (costliest used path − cheapest path)
+          under the objective's edge values at termination. *)
+}
+
+val solve :
+  ?tol:float -> ?max_sweeps:int -> Objective.t -> Network.t -> solution
+(** [solve obj net] runs until [gap <= tol] (default [1e-9]) or
+    [max_sweeps] (default [200_000]) sweeps. *)
+
+val verify :
+  ?eps:float -> Objective.t -> Network.t -> solution -> bool
+(** Post-hoc Wardrop/optimality check: every used path's cost is within
+    [eps] of its commodity's minimum path cost. *)
+
+val commodity_gap :
+  Objective.t -> Network.t -> edge_flow:float array ->
+  paths:Sgr_graph.Paths.t array -> flows:float array -> float
+(** Gap of a single commodity at the given edge flow. *)

@@ -1,0 +1,69 @@
+module G = Sgr_graph
+module Vec = Sgr_numerics.Vec
+
+type solution = {
+  edge_flow : float array;
+  iterations : int;
+  relative_gap : float;
+  objective : float;
+}
+
+let all_or_nothing net ~weights =
+  let g = net.Network.graph in
+  let flow = Array.make (G.Digraph.num_edges g) 0.0 in
+  Array.iter
+    (fun c ->
+      match G.Dijkstra.shortest_path g ~weights ~src:c.Network.src ~dst:c.Network.dst with
+      | None -> invalid_arg "Frank_wolfe.all_or_nothing: unreachable commodity"
+      | Some path -> List.iter (fun e -> flow.(e) <- flow.(e) +. c.Network.demand) path)
+    net.Network.commodities;
+  flow
+
+let gradient obj net f =
+  let value = Objective.edge_value obj in
+  Array.mapi (fun e fe -> value net.Network.latencies.(e) fe) f
+
+let solve ?(tol = 1e-8) ?(max_iter = 100_000) obj net =
+  let m = G.Digraph.num_edges net.Network.graph in
+  let zero = Array.make m 0.0 in
+  let f = ref (all_or_nothing net ~weights:(gradient obj net zero)) in
+  let iterations = ref 0 in
+  let relgap = ref Float.infinity in
+  let continue = ref true in
+  while !continue && !iterations < max_iter do
+    incr iterations;
+    let grad = gradient obj net !f in
+    let y = all_or_nothing net ~weights:grad in
+    let d = Vec.sub y !f in
+    let gap = -.Vec.dot grad d in
+    let denom = Float.max 1e-12 (Float.abs (Vec.dot grad !f)) in
+    relgap := gap /. denom;
+    if !relgap <= tol then continue := false
+    else begin
+      (* Exact line search: the directional derivative of the convex
+         objective along d is nondecreasing in gamma. *)
+      let value = Objective.edge_value obj in
+      let dphi gamma =
+        let acc = ref 0.0 in
+        for e = 0 to m - 1 do
+          if d.(e) <> 0.0 then
+            acc :=
+              !acc +. (d.(e) *. value net.Network.latencies.(e) (!f.(e) +. (gamma *. d.(e))))
+        done;
+        !acc
+      in
+      let gamma = Sgr_numerics.Minimize.line_search_convex ~df:dphi ~lo:0.0 ~hi:1.0 () in
+      let gamma = if gamma <= 0.0 then 1e-12 else gamma in
+      Vec.axpy gamma d !f;
+      (* Clip negative rounding noise. *)
+      for e = 0 to m - 1 do
+        if !f.(e) < 0.0 then !f.(e) <- 0.0
+      done
+    end
+  done;
+  {
+    edge_flow = !f;
+    iterations = !iterations;
+    relative_gap = !relgap;
+    objective = Objective.objective obj net !f;
+  }

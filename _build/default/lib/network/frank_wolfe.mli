@@ -1,0 +1,29 @@
+(** Frank–Wolfe (conditional gradient) solver over edge flows.
+
+    The classic traffic-assignment method: linearize the convex objective
+    at the current flow, solve the linear subproblem by all-or-nothing
+    shortest-path assignment, and move toward the vertex with an exact
+    line search (bisection on the directional derivative, which is
+    nondecreasing by convexity).
+
+    Scales to networks where path enumeration is infeasible; accuracy is
+    O(1/iterations), so use {!Equilibrate} when high precision on a small
+    network is required. *)
+
+type solution = {
+  edge_flow : float array;
+  iterations : int;
+  relative_gap : float;
+      (** Frank–Wolfe duality gap [∇φ(f)·(f - y) / |∇φ(f)·f|] at
+          termination. *)
+  objective : float;  (** Objective value at [edge_flow]. *)
+}
+
+val all_or_nothing : Network.t -> weights:float array -> float array
+(** Route each commodity's entire demand on one shortest path under the
+    given edge weights. *)
+
+val solve :
+  ?tol:float -> ?max_iter:int -> Objective.t -> Network.t -> solution
+(** [solve obj net] iterates until [relative_gap <= tol]
+    (default [1e-8]) or [max_iter] (default [100_000]) iterations. *)

@@ -1,0 +1,41 @@
+module Vec = Sgr_numerics.Vec
+
+type solution = {
+  edge_flow : float array;
+  iterations : int;
+  relative_gap : float;
+  objective : float;
+}
+
+let solve ?(tol = 1e-6) ?(max_iter = 200_000) obj net =
+  let m = Sgr_graph.Digraph.num_edges net.Network.graph in
+  let value = Objective.edge_value obj in
+  let gradient f = Array.mapi (fun e fe -> value net.Network.latencies.(e) fe) f in
+  let zero = Array.make m 0.0 in
+  let f = ref (Frank_wolfe.all_or_nothing net ~weights:(gradient zero)) in
+  let iterations = ref 0 in
+  let relgap = ref Float.infinity in
+  let continue = ref true in
+  while !continue && !iterations < max_iter do
+    incr iterations;
+    let grad = gradient !f in
+    let y = Frank_wolfe.all_or_nothing net ~weights:grad in
+    let d = Vec.sub y !f in
+    let gap = -.Vec.dot grad d in
+    let denom = Float.max 1e-12 (Float.abs (Vec.dot grad !f)) in
+    relgap := gap /. denom;
+    if !relgap <= tol then continue := false
+    else begin
+      let gamma = 1.0 /. float_of_int (!iterations + 1) in
+      Vec.axpy gamma d !f;
+      for e = 0 to m - 1 do
+        if !f.(e) < 0.0 then !f.(e) <- 0.0
+      done
+    end
+  done;
+  {
+    edge_flow = !f;
+    iterations = !iterations;
+    relative_gap = !relgap;
+    objective = Objective.objective obj net !f;
+  }

@@ -1,0 +1,21 @@
+(** Method of Successive Averages.
+
+    The third classic traffic-assignment solver, kept alongside
+    {!Frank_wolfe} and {!Equilibrate} as an ablation baseline: identical
+    all-or-nothing subproblem to Frank–Wolfe, but with a predetermined
+    step [1/k] instead of a line search. Converges for the same convex
+    objectives, typically slower than Frank–Wolfe per iteration count but
+    with a cheaper iteration — the benchmark harness compares all three. *)
+
+type solution = {
+  edge_flow : float array;
+  iterations : int;
+  relative_gap : float;  (** Frank–Wolfe gap at termination. *)
+  objective : float;
+}
+
+val solve :
+  ?tol:float -> ?max_iter:int -> Objective.t -> Network.t -> solution
+(** [solve obj net] iterates with step [1/k] until the relative gap drops
+    below [tol] (default [1e-6] — MSA's sublinear tail makes tighter
+    defaults impractical) or [max_iter] (default [200_000]). *)

@@ -1,0 +1,13 @@
+module L = Sgr_latency.Latency
+
+type t = Wardrop | System_optimum
+
+let edge_value = function Wardrop -> L.eval | System_optimum -> L.marginal
+
+let objective = function
+  | Wardrop -> Network.beckmann
+  | System_optimum -> Network.cost
+
+let pp ppf = function
+  | Wardrop -> Format.pp_print_string ppf "wardrop"
+  | System_optimum -> Format.pp_print_string ppf "system-optimum"

@@ -1,0 +1,23 @@
+(** Which convex program a network solver targets.
+
+    Both canonical flows are minimizers of a convex separable functional
+    over the feasible flow polytope (see [41, Sec. 2]):
+    - the Wardrop/Nash equilibrium minimizes the Beckmann potential, whose
+      per-edge integrand gradient is the latency [ℓ_e];
+    - the system optimum minimizes total cost, whose gradient is the
+      marginal cost [ℓ_e(x) + x·ℓ_e'(x)].
+
+    Solvers are written once against this abstraction. *)
+
+type t =
+  | Wardrop  (** Equalize path latencies (Nash equilibrium). *)
+  | System_optimum  (** Equalize path marginal costs (optimum). *)
+
+val edge_value : t -> Sgr_latency.Latency.t -> float -> float
+(** Gradient of the objective on one edge: latency or marginal cost. *)
+
+val objective : t -> Network.t -> float array -> float
+(** Value of the convex functional at an edge flow: Beckmann potential or
+    total cost. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+let root ?(tol = Tolerance.solver_eps) ?(max_iter = 200) ~f ~lo ~hi () =
+  if not (lo <= hi) then invalid_arg "Bisection.root: lo > hi";
+  if f lo > 0.0 then lo
+  else if f hi < 0.0 then hi
+  else begin
+    let lo = ref lo and hi = ref hi in
+    let iter = ref 0 in
+    let width_ok () =
+      !hi -. !lo <= tol *. Float.max 1.0 (Float.max (Float.abs !lo) (Float.abs !hi))
+    in
+    while (not (width_ok ())) && !iter < max_iter do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if f mid <= 0.0 then lo := mid else hi := mid;
+      incr iter
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let expand_upper ?(start = 1.0) ?(limit = 1e18) ~f ~target () =
+  let hi = ref (Float.max start 1e-12) in
+  while f !hi < target && !hi < limit do
+    hi := !hi *. 2.0
+  done;
+  if f !hi < target then
+    failwith "Bisection.expand_upper: function never reaches target";
+  !hi
+
+let solve_increasing ?tol ~f ~y ~lo ~hi () = root ?tol ~f:(fun x -> f x -. y) ~lo ~hi ()

@@ -1,0 +1,34 @@
+(** Root finding on monotone functions by bisection.
+
+    The equilibrium solvers reduce everything to inverting nondecreasing
+    functions (latency levels, marginal costs, aggregate link demand), so a
+    robust monotone bisection is the workhorse of the whole library. *)
+
+val root :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float
+(** [root ~f ~lo ~hi ()] finds [x] in [[lo, hi]] with [f x ≈ 0] for a
+    nondecreasing [f] with [f lo <= 0 <= f hi].
+
+    If [f lo > 0] returns [lo]; if [f hi < 0] returns [hi] (saturated
+    boundary solutions, which is what the flow solvers need for links that
+    are unloaded or capacity-bound). [tol] bounds the final interval width
+    relative to the interval scale; default [Tolerance.solver_eps]. *)
+
+val expand_upper :
+  ?start:float -> ?limit:float -> f:(float -> float) -> target:float -> unit -> float
+(** [expand_upper ~f ~target ()] returns some [hi > 0] with
+    [f hi >= target], doubling from [start] (default [1.0]).
+
+    @raise Failure if [limit] (default [1e18]) is exceeded — which signals a
+    function that never reaches [target], e.g. a bounded latency. *)
+
+val solve_increasing :
+  ?tol:float -> f:(float -> float) -> y:float -> lo:float -> hi:float -> unit -> float
+(** [solve_increasing ~f ~y ~lo ~hi ()] finds [x] with [f x ≈ y]
+    for nondecreasing [f]; boundary-saturating like {!root}. *)

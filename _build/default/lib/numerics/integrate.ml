@@ -1,0 +1,24 @@
+let simpson a b fa fm fb = (b -. a) /. 6.0 *. (fa +. (4.0 *. fm) +. fb)
+
+let adaptive_simpson ?(tol = 1e-12) ?(max_depth = 50) ~f ~lo ~hi () =
+  if lo = hi then 0.0
+  else begin
+    (* Standard recursive refinement: accept a panel when the two-half
+       Simpson estimate agrees with the whole-panel one to 15*tol. *)
+    let rec go a b fa fm fb whole tol depth =
+      let m = 0.5 *. (a +. b) in
+      let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+      let flm = f lm and frm = f rm in
+      let left = simpson a m fa flm fm in
+      let right = simpson m b fm frm fb in
+      let delta = left +. right -. whole in
+      if depth <= 0 || Float.abs delta <= 15.0 *. tol then
+        left +. right +. (delta /. 15.0)
+      else
+        go a m fa flm fm left (0.5 *. tol) (depth - 1)
+        +. go m b fm frm fb right (0.5 *. tol) (depth - 1)
+    in
+    let fa = f lo and fb = f hi and fm = f (0.5 *. (lo +. hi)) in
+    let whole = simpson lo hi fa fm fb in
+    go lo hi fa fm fb whole tol max_depth
+  end

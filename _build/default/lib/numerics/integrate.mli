@@ -1,0 +1,11 @@
+(** Adaptive numerical integration.
+
+    Used for Beckmann potentials of latency functions without a closed-form
+    primitive (custom latencies), and in tests to validate the closed-form
+    primitives of the standard latency families. *)
+
+val adaptive_simpson :
+  ?tol:float -> ?max_depth:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** [adaptive_simpson ~f ~lo ~hi ()] approximates [∫_lo^hi f] with adaptive
+    Simpson quadrature to absolute tolerance [tol] (default [1e-12]).
+    Exact for cubics on each panel. *)

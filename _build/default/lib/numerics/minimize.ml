@@ -1,0 +1,30 @@
+let inv_phi = 0.5 *. (Float.sqrt 5.0 -. 1.0)
+
+let golden ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  if not (lo <= hi) then invalid_arg "Minimize.golden: lo > hi";
+  let a = ref lo and b = ref hi in
+  let x1 = ref (!b -. (inv_phi *. (!b -. !a))) in
+  let x2 = ref (!a +. (inv_phi *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  let iter = ref 0 in
+  while !b -. !a > tol *. Float.max 1.0 (hi -. lo) && !iter < max_iter do
+    if !f1 <= !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (inv_phi *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (inv_phi *. (!b -. !a));
+      f2 := f !x2
+    end;
+    incr iter
+  done;
+  let x = 0.5 *. (!a +. !b) in
+  (x, f x)
+
+let line_search_convex ?tol ~df ~lo ~hi () = Bisection.root ?tol ~f:df ~lo ~hi ()

@@ -1,0 +1,18 @@
+(** One-dimensional minimization of unimodal functions.
+
+    Theorem 2.4's partition search and the Frank–Wolfe line search both
+    reduce to minimizing a convex (hence unimodal) function over an
+    interval. *)
+
+val golden :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> float * float
+(** [golden ~f ~lo ~hi ()] returns [(x_min, f x_min)] minimizing a unimodal [f]
+    over [[lo, hi]] by golden-section search, to interval width
+    [tol * max 1 (hi - lo)] (default tol [1e-12]). *)
+
+val line_search_convex :
+  ?tol:float -> df:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** [line_search_convex ~df ~lo ~hi ()] minimizes a differentiable convex
+    function over [[lo, hi]] given only its (nondecreasing) derivative
+    [df], by bisecting for [df x = 0]; saturates at the boundary when the
+    minimizer lies outside. *)

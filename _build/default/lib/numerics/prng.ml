@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let float t =
+  let bits53 = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits53 *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  assert (n > 0);
+  (* Rejection-free modulo is fine here: n is tiny relative to 2^64 and
+     these draws parameterize test workloads, not cryptography. *)
+  Int64.to_int (Int64.unsigned_rem (int64 t) (Int64.of_int n))
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = { state = int64 t }

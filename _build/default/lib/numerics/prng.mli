@@ -1,0 +1,34 @@
+(** Deterministic SplitMix64 pseudo-random generator.
+
+    Workload generators take an explicit generator so that every random
+    instance in tests, examples and benchmarks is reproducible from a seed,
+    independent of the global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform draw in [[0, 1)] with 53 bits of precision. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform draw in [[lo, hi)]. Requires [lo <= hi]. *)
+
+val int : t -> int -> int
+(** [int g n] draws uniformly from [[0, n-1]]. Requires [n > 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent generator (for nested generation). *)

@@ -1,0 +1,10 @@
+let solver_eps = 1e-10
+let check_eps = 1e-6
+
+let scale a b = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+let approx ?(eps = check_eps) a b = Float.abs (a -. b) <= eps *. scale a b
+let approx_le ?(eps = check_eps) a b = a <= b +. (eps *. scale a b)
+let approx_ge ?(eps = check_eps) a b = a >= b -. (eps *. scale a b)
+
+let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
+let clamp_nonneg x = Float.max 0. x

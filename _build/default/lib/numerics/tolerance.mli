@@ -1,0 +1,29 @@
+(** Floating-point tolerance conventions used across the library.
+
+    All solvers in this repository work on nonnegative flows of magnitude
+    comparable to the instance demand, so a mixed absolute/relative
+    comparison with a single epsilon is adequate everywhere. *)
+
+val solver_eps : float
+(** Tolerance to which equilibria and optima are computed ([1e-10]). *)
+
+val check_eps : float
+(** Tolerance used when *verifying* solver outputs and experiment claims
+    ([1e-6]); looser than {!solver_eps} so verification is robust. *)
+
+val approx : ?eps:float -> float -> float -> bool
+(** [approx a b] holds when [a] and [b] agree up to [eps] mixed
+    absolute/relative error. Default [eps] is {!check_eps}. *)
+
+val approx_le : ?eps:float -> float -> float -> bool
+(** [approx_le a b] holds when [a <= b + slack]. *)
+
+val approx_ge : ?eps:float -> float -> float -> bool
+(** [approx_ge a b] holds when [a >= b - slack]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] restricts [x] to the interval [[lo, hi]]. *)
+
+val clamp_nonneg : float -> float
+(** [clamp_nonneg x] is [max x 0.], mapping tiny negative solver noise
+    to a feasible flow value. *)

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Array Sgr_graph Sgr_latency Sgr_links Sgr_network Sgr_numerics

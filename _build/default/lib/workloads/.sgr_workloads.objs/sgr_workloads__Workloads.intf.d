@@ -1,0 +1,1 @@
+lib/workloads/workloads.mli: Sgr_links Sgr_network Sgr_numerics

@@ -1,0 +1,224 @@
+module Links = Sgr_links.Links
+module Network = Sgr_network.Network
+module L = Sgr_latency.Latency
+module G = Sgr_graph
+module Prng = Sgr_numerics.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Named instances                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pigou = Links.make [| L.linear 1.0; L.constant 1.0 |] ~demand:1.0
+
+let fig456 =
+  Links.make
+    [|
+      L.linear 1.0;
+      L.linear 1.5;
+      L.linear 2.0;
+      L.affine ~slope:2.5 ~intercept:(1.0 /. 6.0);
+      L.constant 0.7;
+    |]
+    ~demand:1.0
+
+let fig7_edge_names = [| "s->v"; "s->w"; "v->w"; "v->t"; "w->t" |]
+
+(* Nodes: s=0, v=1, w=2, t=3. Edge ids follow [fig7_edge_names]. *)
+let braess_graph () = G.Digraph.of_edges ~num_nodes:4 [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 3) ]
+
+let fig7 ?(epsilon = 0.02) () =
+  if not (0.0 <= epsilon && epsilon < 0.125) then
+    invalid_arg "Workloads.fig7: epsilon must lie in [0, 1/8)";
+  let g = braess_graph () in
+  let outer = L.affine ~slope:1.0 ~intercept:(2.0 -. (8.0 *. epsilon)) in
+  let latencies = [| L.linear 1.0; outer; L.linear 1.0; outer; L.linear 1.0 |] in
+  Network.single g ~latencies ~src:0 ~dst:3 ~demand:1.0
+
+let braess_classic ?(demand = 1.0) () =
+  let g = braess_graph () in
+  let latencies = [| L.linear 1.0; L.constant 1.0; L.constant 0.0; L.constant 1.0; L.linear 1.0 |] in
+  Network.single g ~latencies ~src:0 ~dst:3 ~demand
+
+let mm1_links ~capacities ~demand =
+  let total = Array.fold_left ( +. ) 0.0 capacities in
+  if total <= demand then invalid_arg "Workloads.mm1_links: total capacity must exceed demand";
+  Links.make (Array.map (fun c -> L.mm1 ~capacity:c) capacities) ~demand
+
+(* Two commodities sharing one congested middle edge; see the interface
+   for the topology. Nodes: s1=0, s2=1, m1=2, m2=3, t1=4, t2=5. *)
+let two_commodity () =
+  let g =
+    G.Digraph.of_edges ~num_nodes:6
+      [ (0, 2); (2, 3); (3, 4); (0, 4); (1, 2); (3, 5); (1, 5) ]
+  in
+  let latencies =
+    [|
+      L.linear 1.0;                          (* s1 -> m1 *)
+      L.linear 1.0;                          (* m1 -> m2 : shared bottleneck *)
+      L.linear 1.0;                          (* m2 -> t1 *)
+      L.affine ~slope:1.0 ~intercept:3.0;    (* s1 -> t1 direct *)
+      L.linear 1.0;                          (* s2 -> m1 *)
+      L.linear 1.0;                          (* m2 -> t2 *)
+      L.affine ~slope:1.0 ~intercept:3.0;    (* s2 -> t2 direct *)
+    |]
+  in
+  Network.make g ~latencies
+    ~commodities:
+      [|
+        { Network.src = 0; dst = 4; demand = 1.0 };
+        { Network.src = 1; dst = 5; demand = 1.0 };
+      |]
+
+(* ------------------------------------------------------------------ *)
+(* Worst-case families                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let pigou_degree d =
+  if d < 1 then invalid_arg "Workloads.pigou_degree: degree must be >= 1";
+  Links.make [| L.monomial ~coeff:1.0 ~degree:d; L.constant 1.0 |] ~demand:1.0
+
+(* Nash: everything on the monomial link (latency 1 = the constant), so
+   C(N) = 1. Optimum: marginal (d+1)x^d = 1 on link 1, i.e.
+   x = (d+1)^(-1/d), with cost x^(d+1) + (1-x). *)
+let pigou_degree_poa d =
+  if d < 1 then invalid_arg "Workloads.pigou_degree_poa: degree must be >= 1";
+  let df = float_of_int d in
+  let x = (df +. 1.0) ** (-1.0 /. df) in
+  1.0 /. ((x ** (df +. 1.0)) +. 1.0 -. x)
+
+let pigou_degree_beta d =
+  if d < 1 then invalid_arg "Workloads.pigou_degree_beta: degree must be >= 1";
+  let df = float_of_int d in
+  1.0 -. ((df +. 1.0) ** (-1.0 /. df))
+
+let braess_unbounded_beta d =
+  if d < 1 then invalid_arg "Workloads.braess_unbounded_beta: degree must be >= 1";
+  let df = float_of_int d in
+  2.0 *. (1.0 -. ((df +. 1.0) ** (-1.0 /. df)))
+
+let braess_unbounded ?(degree = 2) () =
+  if degree < 1 then invalid_arg "Workloads.braess_unbounded: degree must be >= 1";
+  let g = braess_graph () in
+  let hot = L.monomial ~coeff:1.0 ~degree in
+  let latencies = [| hot; L.constant 1.0; L.constant 0.0; L.constant 1.0; hot |] in
+  Network.single g ~latencies ~src:0 ~dst:3 ~demand:1.0
+
+(* ------------------------------------------------------------------ *)
+(* Random generators                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let random_affine_links rng ~m ?(demand = 1.0) () =
+  let lats =
+    Array.init m (fun _ ->
+        L.affine ~slope:(Prng.uniform rng ~lo:0.5 ~hi:3.0)
+          ~intercept:(Prng.uniform rng ~lo:0.0 ~hi:2.0))
+  in
+  Links.make lats ~demand
+
+let random_common_slope_links rng ~m ?slope ?(demand = 1.0) () =
+  let slope = match slope with Some a -> a | None -> Prng.uniform rng ~lo:0.5 ~hi:2.0 in
+  let intercepts = Array.init m (fun _ -> Prng.uniform rng ~lo:0.0 ~hi:2.0) in
+  Array.sort compare intercepts;
+  Links.make (Array.map (fun b -> L.affine ~slope ~intercept:b) intercepts) ~demand
+
+let random_polynomial_links rng ~m ?(max_degree = 4) ?(demand = 1.0) () =
+  let lats =
+    Array.init m (fun _ ->
+        let d = 1 + Prng.int rng max_degree in
+        let c = Prng.uniform rng ~lo:0.5 ~hi:2.0 in
+        let b = Prng.uniform rng ~lo:0.0 ~hi:1.0 in
+        let coeffs = Array.make (d + 1) 0.0 in
+        coeffs.(0) <- b;
+        coeffs.(d) <- c;
+        L.polynomial coeffs)
+  in
+  Links.make lats ~demand
+
+let random_mm1_links rng ~m ?(demand = 1.0) () =
+  let raw = Array.init m (fun _ -> Prng.uniform rng ~lo:0.5 ~hi:1.5) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  let scale = 2.0 *. demand /. total in
+  mm1_links ~capacities:(Array.map (fun c -> c *. scale) raw) ~demand
+
+let random_affine rng =
+  L.affine ~slope:(Prng.uniform rng ~lo:0.1 ~hi:2.0)
+    ~intercept:(Prng.uniform rng ~lo:0.0 ~hi:1.0)
+
+let random_layered_network rng ~layers ~width ?(extra_edges = 0) ?(demand = 1.0) () =
+  if layers < 1 || width < 1 then invalid_arg "Workloads.random_layered_network: bad shape";
+  let node l j = 1 + (l * width) + j in
+  let sink = 1 + (layers * width) in
+  let b = G.Digraph.builder ~num_nodes:(sink + 1) in
+  for j = 0 to width - 1 do
+    ignore (G.Digraph.add_edge b ~src:0 ~dst:(node 0 j))
+  done;
+  for l = 0 to layers - 2 do
+    for j = 0 to width - 1 do
+      for j' = 0 to width - 1 do
+        ignore (G.Digraph.add_edge b ~src:(node l j) ~dst:(node (l + 1) j'))
+      done
+    done
+  done;
+  for j = 0 to width - 1 do
+    ignore (G.Digraph.add_edge b ~src:(node (layers - 1) j) ~dst:sink)
+  done;
+  (* Forward skip edges keep the graph acyclic. *)
+  for _ = 1 to extra_edges do
+    if layers >= 2 then begin
+      let l = Prng.int rng (layers - 1) in
+      let l' = l + 1 + Prng.int rng (layers - 1 - l) in
+      let j = Prng.int rng width and j' = Prng.int rng width in
+      ignore (G.Digraph.add_edge b ~src:(node l j) ~dst:(node l' j'))
+    end
+  done;
+  let g = G.Digraph.freeze b in
+  let latencies = Array.init (G.Digraph.num_edges g) (fun _ -> random_affine rng) in
+  Network.single g ~latencies ~src:0 ~dst:sink ~demand
+
+let grid_network rng ~rows ~cols ?(demand = 1.0) () =
+  if rows < 2 || cols < 2 then invalid_arg "Workloads.grid_network: need at least a 2x2 grid";
+  let node r c = (r * cols) + c in
+  let b = G.Digraph.builder ~num_nodes:(rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then ignore (G.Digraph.add_edge b ~src:(node r c) ~dst:(node r (c + 1)));
+      if r + 1 < rows then ignore (G.Digraph.add_edge b ~src:(node r c) ~dst:(node (r + 1) c))
+    done
+  done;
+  let g = G.Digraph.freeze b in
+  let latencies =
+    Array.init (G.Digraph.num_edges g) (fun _ ->
+        L.bpr
+          ~free_flow:(Prng.uniform rng ~lo:0.5 ~hi:2.0)
+          ~capacity:(Prng.uniform rng ~lo:(0.5 *. demand) ~hi:(1.5 *. demand))
+          ())
+  in
+  Network.single g ~latencies ~src:0 ~dst:((rows * cols) - 1) ~demand
+
+let random_multicommodity rng ~rows ~cols ~commodities ?(demand_hi = 1.0) () =
+  if rows < 2 || cols < 2 then invalid_arg "Workloads.random_multicommodity: grid too small";
+  if commodities < 1 then invalid_arg "Workloads.random_multicommodity: need a commodity";
+  let node r c = (r * cols) + c in
+  let b = G.Digraph.builder ~num_nodes:(rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then ignore (G.Digraph.add_edge b ~src:(node r c) ~dst:(node r (c + 1)));
+      if r + 1 < rows then ignore (G.Digraph.add_edge b ~src:(node r c) ~dst:(node (r + 1) c))
+    done
+  done;
+  let g = G.Digraph.freeze b in
+  let latencies = Array.init (G.Digraph.num_edges g) (fun _ -> random_affine rng) in
+  (* Edges point south-east, so src strictly north-west of dst is always
+     routable. *)
+  let commodities =
+    Array.init commodities (fun _ ->
+        let r1 = Prng.int rng (rows - 1) and c1 = Prng.int rng (cols - 1) in
+        let r2 = r1 + 1 + Prng.int rng (rows - 1 - r1) in
+        let c2 = c1 + 1 + Prng.int rng (cols - 1 - c1) in
+        {
+          Network.src = node r1 c1;
+          dst = node r2 c2;
+          demand = Prng.uniform rng ~lo:(0.1 *. demand_hi) ~hi:demand_hi;
+        })
+  in
+  Network.make g ~latencies ~commodities

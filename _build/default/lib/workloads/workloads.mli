@@ -1,0 +1,130 @@
+(** Instance catalog: the paper's worked examples plus generators for
+    random instances used in tests, experiments and benchmarks.
+
+    Every generator takes an explicit {!Sgr_numerics.Prng.t}, so any
+    instance is reproducible from its seed. *)
+
+module Links = Sgr_links.Links
+module Network = Sgr_network.Network
+
+(** {1 The paper's named instances} *)
+
+val pigou : Links.t
+(** Figs. 1–3: [ℓ₁(x) = x], [ℓ₂(x) = 1], [r = 1]. PoA = 4/3; the Leader
+    needs [β = 1/2] (strategy ⟨0, 1/2⟩) to induce the optimum. *)
+
+val fig456 : Links.t
+(** Figs. 4–6 (OpTop illustration): five links with
+    [ℓ₁ = x, ℓ₂ = 3/2·x, ℓ₃ = 2x, ℓ₄ = 5/2·x + 1/6, ℓ₅ = 7/10], [r = 1].
+    OpTop freezes M₄ and M₅ in one round; [β_M = o₄ + o₅ = 29/120]. *)
+
+val fig7 : ?epsilon:float -> unit -> Network.t
+(** Fig. 7 — Roughgarden's Braess-like lower-bound graph
+    ([41, Example 6.5.1]), reconstructed so that the optimum matches the
+    published caption exactly (see DESIGN.md): nodes s=0, v=1, w=2, t=3;
+    [ℓ(x) = x] on s→v, v→w, w→t; [ℓ(x) = (2-8ε) + x] on s→w, v→t; [r = 1].
+    Optimal flows: [o_sv = o_wt = 3/4-ε], [o_sw = o_vt = 1/4+ε],
+    [o_vw = 1/2-2ε]; MOP gives [β_G = 1/2+2ε]. Default [ε = 0.02];
+    requires [0 <= ε < 1/8] (so that s→v→w→t stays the unique shortest
+    path under optimal costs). *)
+
+val fig7_edge_names : string array
+(** Labels of {!fig7}'s edges by edge id: s→v, s→w, v→w, v→t, w→t. *)
+
+val braess_classic : ?demand:float -> unit -> Network.t
+(** The classic Braess paradox graph: [ℓ(x) = x] on s→v and w→t, [ℓ = 1]
+    on s→w and v→t, [ℓ = 0] on the shortcut v→w; demand 1 by default.
+    Nash cost 2, optimum 3/2 — and no Stackelberg strategy helps (the
+    negative example of Section 1.1(ii)). Edge order as in {!fig7}. *)
+
+val mm1_links : capacities:float array -> demand:float -> Links.t
+(** M/M/1 parallel links [ℓᵢ(x) = 1/(cᵢ - x)] (the Korilis–Lazar–Orda
+    setting the paper cites for non-optimizing behaviour below β). *)
+
+val two_commodity : unit -> Network.t
+(** A 6-node, 2-commodity instance exercising Theorem 2.1: two
+    overlapping diamonds sharing a congested middle edge. *)
+
+(** {1 Worst-case families} *)
+
+val pigou_degree : int -> Links.t
+(** The degree-[d] Pigou instance [ℓ₁(x) = x^d], [ℓ₂(x) = 1], [r = 1]:
+    its price of anarchy approaches
+    {!Stackelberg.Bounds.poa_polynomial}[ d] and grows without bound in
+    [d] — the paper's opening claim that the coordination ratio of
+    Expression (1) "can be arbitrarily larger than 1" [42]. *)
+
+val pigou_degree_poa : int -> float
+(** Closed-form PoA of {!pigou_degree}:
+    [1 / (1 - d·(d+1)^(-(d+1)/d))]. *)
+
+val pigou_degree_beta : int -> float
+(** Closed-form price of optimum of {!pigou_degree}: the optimum load of
+    the constant link, [1 - (d+1)^(-1/d)]. *)
+
+val braess_unbounded : ?degree:int -> unit -> Network.t
+(** The degree-[d] Braess family: like {!braess_classic} but with
+    [ℓ(x) = x^d] on the congestible edges (default degree 2). At [d = 1]
+    the optimum avoids the shortcut entirely and [β_G = 1]; for [d > 1]
+    the optimum routes [2(d+1)^(-1/d) - 1] through the shortcut and
+    [β_G = ]{!braess_unbounded_beta}[ d < 1]. *)
+
+val braess_unbounded_beta : int -> float
+(** Closed-form price of optimum of {!braess_unbounded}:
+    [2·(1 - (d+1)^(-1/d))]. Equals 1 at [d = 1] (the classic paradox
+    graph, where the Leader needs everything) and decreases toward 0 as
+    [d] grows. *)
+
+(** {1 Random generators} *)
+
+val random_affine_links :
+  Sgr_numerics.Prng.t -> m:int -> ?demand:float -> unit -> Links.t
+(** [m] links with slopes in [[0.5, 3]] and intercepts in [[0, 2]]. *)
+
+val random_common_slope_links :
+  Sgr_numerics.Prng.t -> m:int -> ?slope:float -> ?demand:float -> unit -> Links.t
+(** Theorem 2.4's class: one common slope (default drawn in [[0.5, 2]]),
+    intercepts drawn in [[0, 2]] and sorted increasingly. *)
+
+val random_polynomial_links :
+  Sgr_numerics.Prng.t -> m:int -> ?max_degree:int -> ?demand:float -> unit -> Links.t
+(** Random monomial-plus-constant latencies [c·x^d + b], [d <= max_degree]
+    (default 4). *)
+
+val random_mm1_links :
+  Sgr_numerics.Prng.t -> m:int -> ?demand:float -> unit -> Links.t
+(** Random M/M/1 capacities, scaled so total capacity is twice demand. *)
+
+val random_layered_network :
+  Sgr_numerics.Prng.t ->
+  layers:int ->
+  width:int ->
+  ?extra_edges:int ->
+  ?demand:float ->
+  unit ->
+  Network.t
+(** Single-commodity layered DAG: a source fans out to [layers] layers of
+    [width] nodes each, then into a sink; consecutive layers are fully
+    connected and [extra_edges] random skip edges are added. Affine
+    latencies with random coefficients. *)
+
+val grid_network :
+  Sgr_numerics.Prng.t -> rows:int -> cols:int -> ?demand:float -> unit -> Network.t
+(** [rows]×[cols] directed grid (edges point right and down) from the
+    top-left to the bottom-right corner, with randomized BPR latencies —
+    a small "city" road network. *)
+
+val random_multicommodity :
+  Sgr_numerics.Prng.t ->
+  rows:int ->
+  cols:int ->
+  commodities:int ->
+  ?demand_hi:float ->
+  unit ->
+  Network.t
+(** A [rows]×[cols] grid with affine latencies and [commodities] random
+    source–destination pairs (each source strictly north-west of its
+    destination so every pair is routable); per-commodity demands drawn
+    in [(0, demand_hi]] (default 1). Exercises Theorem 2.1's k-commodity
+    setting. @raise Invalid_argument when a grid smaller than 2×2 or no
+    commodities are requested. *)

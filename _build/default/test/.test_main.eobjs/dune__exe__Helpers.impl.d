@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array QCheck QCheck_alcotest Sgr_numerics

@@ -1,0 +1,1 @@
+test/test_atomic.ml: Alcotest Array Float Helpers List Printf QCheck Sgr_atomic Sgr_latency Sgr_links Sgr_numerics Sgr_workloads

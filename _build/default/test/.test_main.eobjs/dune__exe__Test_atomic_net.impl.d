@@ -1,0 +1,1 @@
+test/test_atomic_net.ml: Alcotest Array Helpers QCheck Sgr_atomic Sgr_links Sgr_network Sgr_numerics Sgr_workloads Stackelberg

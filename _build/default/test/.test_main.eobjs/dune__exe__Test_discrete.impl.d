@@ -1,0 +1,1 @@
+test/test_discrete.ml: Alcotest Array Float Helpers QCheck Sgr_discrete Sgr_latency Sgr_links Sgr_numerics

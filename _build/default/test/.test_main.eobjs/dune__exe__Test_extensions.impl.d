@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Helpers List Printf QCheck Sgr_graph Sgr_latency Sgr_links Sgr_network Sgr_numerics Sgr_workloads Stackelberg

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Helpers List QCheck Queue Sgr_graph Sgr_numerics String

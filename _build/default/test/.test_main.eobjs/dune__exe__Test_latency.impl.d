@@ -1,0 +1,1 @@
+test/test_latency.ml: Alcotest Float Helpers List QCheck Sgr_latency Sgr_numerics String

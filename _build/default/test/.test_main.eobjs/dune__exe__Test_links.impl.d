@@ -1,0 +1,1 @@
+test/test_links.ml: Alcotest Array Float Helpers QCheck Sgr_latency Sgr_links Sgr_numerics Sgr_workloads

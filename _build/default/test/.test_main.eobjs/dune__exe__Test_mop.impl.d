@@ -1,0 +1,1 @@
+test/test_mop.ml: Alcotest Array Float Helpers List Printf QCheck Sgr_graph Sgr_latency Sgr_network Sgr_numerics Sgr_workloads Stackelberg

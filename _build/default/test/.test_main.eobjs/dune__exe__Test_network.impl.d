@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Float Helpers QCheck Sgr_graph Sgr_latency Sgr_network Sgr_numerics Sgr_workloads

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Helpers QCheck Sgr_numerics

@@ -1,0 +1,1 @@
+test/test_optop.ml: Alcotest Array Float Helpers List QCheck Sgr_links Sgr_numerics Sgr_workloads Stackelberg

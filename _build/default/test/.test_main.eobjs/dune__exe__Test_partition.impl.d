@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Float Helpers List Printf QCheck Sgr_latency Sgr_links Sgr_numerics Sgr_workloads Stackelberg

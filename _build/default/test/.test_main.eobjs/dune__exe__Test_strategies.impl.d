@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest Array Float Helpers List Printf QCheck Sgr_latency Sgr_links Sgr_numerics Sgr_workloads Stackelberg

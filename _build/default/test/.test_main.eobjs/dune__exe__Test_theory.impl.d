@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Array Float Helpers QCheck Sgr_links Sgr_numerics Sgr_workloads Stackelberg

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Helpers Printf QCheck Sgr_graph Sgr_network Sgr_numerics Sgr_workloads String

@@ -1,0 +1,38 @@
+  $ sgr catalog
+  $ sgr catalog pigou
+  $ sgr catalog pigou > pigou.sgr
+  $ sgr catalog fig456 > fig456.sgr
+  $ sgr catalog fig7 > fig7.sgr
+  $ sgr catalog braess > braess.sgr
+  $ sgr solve pigou.sgr
+  $ sgr optop pigou.sgr
+  $ sgr optop fig456.sgr --trace
+  $ sgr mop fig7.sgr
+  $ sgr mop braess.sgr | head -2
+  $ sgr llf pigou.sgr --alpha 0.5
+  $ sgr scale pigou.sgr --alpha 0.5
+  $ cat > hard.sgr <<'EOF'
+  > links
+  > demand 1.0
+  > link x
+  > link x + 1
+  > EOF
+  $ sgr thm24 hard.sgr --alpha 0.1
+  $ sgr sweep pigou.sgr --samples 5 --csv
+  $ sgr bound pigou.sgr
+  $ sgr profile pigou.sgr --from 0.5 --to 2.0 --samples 4 --csv
+  $ sgr info pigou.sgr
+  $ sgr info fig7.sgr
+  $ sgr tolls pigou.sgr
+  $ sgr tolls braess.sgr
+  $ sgr random common-slope --seed 3 --size 3 > r1.sgr
+  $ sgr random common-slope --seed 3 --size 3 > r2.sgr
+  $ diff r1.sgr r2.sgr
+  $ sgr solve /nonexistent.sgr
+  $ cat > bad.sgr <<'EOF'
+  > links
+  > demand 1.0
+  > link zebra
+  > EOF
+  $ sgr solve bad.sgr
+  $ sgr optop fig7.sgr

@@ -1,0 +1,176 @@
+The catalog lists the paper's named instances:
+
+  $ sgr catalog
+  available instances:
+    pigou
+    fig456
+    fig7
+    braess
+    two-commodity
+    pigou-degree-4
+
+Named instances print in instance-file format:
+
+  $ sgr catalog pigou
+  links
+  demand 1
+  link 1x
+  link 1
+
+  $ sgr catalog pigou > pigou.sgr
+  $ sgr catalog fig456 > fig456.sgr
+  $ sgr catalog fig7 > fig7.sgr
+  $ sgr catalog braess > braess.sgr
+
+Solving Pigou reproduces the classic numbers (PoA = 4/3):
+
+  $ sgr solve pigou.sgr
+  instance: 2 parallel links, r = 1
+  nash     = ⟨1, 0⟩  (common latency 1)
+  optimum  = ⟨0.5, 0.5⟩  (marginal level 1)
+  C(N) = 1, C(O) = 0.75, price of anarchy = 1.33333
+
+OpTop computes the price of optimum (Corollary 2.2):
+
+  $ sgr optop pigou.sgr
+  beta      = 0.5
+  strategy  = ⟨0, 0.5⟩
+  C(N)      = 1
+  C(O)      = 0.75
+  C(S+T)    = 0.75
+
+  $ sgr optop fig456.sgr --trace
+  round 1: r = 1, frozen = {4,5}
+  round 2: r = 0.758333, frozen = {}
+  beta      = 0.241666667
+  strategy  = ⟨0, 0, 0, 0.106667, 0.135⟩
+  C(N)      = 0.415584416
+  C(O)      = 0.406138889
+  C(S+T)    = 0.406138889
+
+MOP on the Fig. 7 graph (β = 1/2 + 2ε with ε = 0.02):
+
+  $ sgr mop fig7.sgr
+  beta (strong) = 0.54
+  beta (weak)   = 0.54
+  C(N)          = 2.84
+  C(O)          = 2.4168
+  C(S+T)        = 2.4168
+  commodity 0: free flow 0.46, controlled 0.54, 2 leader paths
+
+MOP on the classic Braess graph needs the whole flow (β = 1):
+
+  $ sgr mop braess.sgr | head -2
+  beta (strong) = 1
+  beta (weak)   = 1
+
+The heuristics report their a-posteriori anarchy cost:
+
+  $ sgr llf pigou.sgr --alpha 0.5
+  strategy  = ⟨0, 0.5⟩
+  C(S+T)    = 0.75
+  ratio     = 1
+
+  $ sgr scale pigou.sgr --alpha 0.5
+  strategy  = ⟨0.25, 0.25⟩
+  C(S+T)    = 0.8125
+  ratio     = 1.08333333
+
+Theorem 2.4's exact solver on a hard common-slope instance:
+
+  $ cat > hard.sgr <<'EOF'
+  > links
+  > demand 1.0
+  > link x
+  > link x + 1
+  > EOF
+The optimum parks the whole budget on the slow link (ε ≈ 0, cost
+(0.9)² + 0.1·1.1 = 0.92):
+
+  $ sgr thm24 hard.sgr --alpha 0.1
+  strategy   = ⟨4.19397e-13, 0.1⟩
+  C(S+T)     = 0.92
+  partition  = prefix of 1 links, epsilon = 4.1939676e-13
+
+The α-sweep emits CSV for plotting:
+
+  $ sgr sweep pigou.sgr --samples 5 --csv
+  alpha,ratio,method
+  0.000000,1.333333333,grid
+  0.250000,1.083333333,grid
+  0.500000,1.000000000,threshold
+  0.750000,1.000000000,threshold
+  1.000000,1.000000000,threshold
+
+Pigou bounds certify the price of anarchy independent of topology:
+
+  $ sgr bound pigou.sgr
+  latency 0: 1x                       pigou bound 1.333333
+  latency 1: 1                        pigou bound 1.000000
+  worst pigou bound (topology-free PoA bound) = 1.333333
+  measured price of anarchy                   = 1.333333
+
+β as a function of the demand (the Pigou closed form 1 - 1/(2r)):
+
+  $ sgr profile pigou.sgr --from 0.5 --to 2.0 --samples 4 --csv
+  demand,beta,poa
+  0.500000,0.000000000,1.000000000
+  1.000000,0.500000000,1.333333333
+  1.500000,0.666666667,1.200000000
+  2.000000,0.750000000,1.142857143
+
+Instance inspection:
+
+  $ sgr info pigou.sgr
+  kind: parallel links
+  links: 2, demand: 1
+    M1: 1x
+    M2: 1  (constant)
+  common-slope linear (Thm 2.4 class): false
+
+  $ sgr info fig7.sgr
+  kind: network
+  nodes: 4, edges: 5, commodities: 1, total demand: 1
+  acyclic: true
+  commodity 0: 0 -> 3, demand 1, 3 simple paths
+
+Marginal-cost tolls restore the optimum:
+
+  $ sgr tolls pigou.sgr
+  tolls           = ⟨0.5, 0⟩
+  tolled flow     = ⟨0.5, 0.5⟩
+  latency cost    = 0.75
+  optimum C(O)    = 0.75
+
+  $ sgr tolls braess.sgr
+  tolls           = ⟨0.5, 0, 0, 0, 0.5⟩
+  tolled flow     = ⟨0.5, 0.5, 0, 0.5, 0.5⟩
+  latency cost    = 1.5
+  optimum C(O)    = 1.5
+
+Random instances are reproducible from their seed:
+
+  $ sgr random common-slope --seed 3 --size 3 > r1.sgr
+  $ sgr random common-slope --seed 3 --size 3 > r2.sgr
+  $ diff r1.sgr r2.sgr
+
+Errors are reported with context:
+
+  $ sgr solve /nonexistent.sgr
+  sgr: FILE argument: no '/nonexistent.sgr' file or directory
+  Usage: sgr solve [OPTION]… FILE
+  Try 'sgr solve --help' or 'sgr --help' for more information.
+  [124]
+
+  $ cat > bad.sgr <<'EOF'
+  > links
+  > demand 1.0
+  > link zebra
+  > EOF
+  $ sgr solve bad.sgr
+  error: bad.sgr: line 3: cannot parse "zebra" as a number or affine expression
+  [2]
+
+  $ sgr optop fig7.sgr
+  error: this command needs a parallel-links instance
+  [2]

@@ -1,0 +1,155 @@
+(* Tests for the atomic splittable game: exact best responses, equilibrium
+   convergence, the single-player = optimum and many-players = Wardrop
+   limits, and the classical two-player Pigou equilibrium. *)
+
+open Helpers
+module A = Sgr_atomic.Atomic_links
+module Links = Sgr_links.Links
+module L = Sgr_latency.Latency
+module W = Sgr_workloads.Workloads
+module Prng = Sgr_numerics.Prng
+module Vec = Sgr_numerics.Vec
+
+let pigou_lats () = [| L.linear 1.0; L.constant 1.0 |]
+
+let test_make_validation () =
+  (match A.make [||] ~demands:[| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no links rejected");
+  match A.make (pigou_lats ()) ~demands:[| -1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative demand rejected"
+
+let test_single_player_is_optimum () =
+  (* One player owning everything routes at the system optimum. *)
+  let t = A.make (pigou_lats ()) ~demands:[| 1.0 |] in
+  let profile, _ = A.equilibrium t in
+  approx_array "monopolist = optimum" [| 0.5; 0.5 |] profile.(0);
+  approx "cost = C(O)" 0.75 (A.social_cost t profile)
+
+let test_two_player_pigou () =
+  (* Two symmetric players on Pigou: each equalizes its own marginal
+     ℓ(X) + x_k ℓ'(X) across links; by symmetry x_k = X/2, so on the
+     linear link X + X/2 = 1 at an interior equilibrium: X = 2/3,
+     each player splits (1/3, 1/6). *)
+  let t = A.split_evenly (pigou_lats ()) ~total:1.0 ~players:2 in
+  let profile, _ = A.equilibrium t in
+  let load = A.total_load t profile in
+  approx ~eps:1e-6 "linear link total 2/3" (2.0 /. 3.0) load.(0);
+  approx ~eps:1e-6 "each player 1/3" (1.0 /. 3.0) profile.(0).(0);
+  check_true "verified equilibrium" (A.is_equilibrium t profile);
+  (* Social cost between C(O) and C(N). *)
+  let cost = A.social_cost t profile in
+  check_true "between optimum and Wardrop" (0.75 -. 1e-9 <= cost && cost <= 1.0 +. 1e-9)
+
+let test_equilibrium_costs_ordered () =
+  (* More players = more selfishness: social cost is nondecreasing in the
+     number of players on Pigou. *)
+  let costs =
+    List.map
+      (fun n ->
+        let t = A.split_evenly (pigou_lats ()) ~total:1.0 ~players:n in
+        let profile, _ = A.equilibrium t in
+        A.social_cost t profile)
+      [ 1; 2; 4; 8 ]
+  in
+  let rec chk = function
+    | a :: (b :: _ as rest) ->
+        approx_le "nondecreasing" a (b +. 1e-9);
+        chk rest
+    | _ -> ()
+  in
+  chk costs
+
+let test_convergence_to_wardrop () =
+  (* The classical limit: evenly split atomic players approach the
+     nonatomic Wardrop equilibrium. *)
+  let lats = pigou_lats () in
+  let wardrop = (Links.nash (Links.make lats ~demand:1.0)).assignment in
+  let dist n =
+    let t = A.split_evenly lats ~total:1.0 ~players:n in
+    let profile, _ = A.equilibrium t in
+    Vec.linf_dist (A.total_load t profile) wardrop
+  in
+  (* Closed form on Pigou: total load on the linear link is n/(n+1), so
+     the gap to the Wardrop load 1 is exactly 1/(n+1). *)
+  List.iter
+    (fun n -> approx ~eps:1e-5 (Printf.sprintf "gap = 1/(n+1) at n=%d" n)
+        (1.0 /. float_of_int (n + 1)) (dist n))
+    [ 2; 4; 8; 32 ];
+  check_true "distance shrinks" (dist 32 < dist 4)
+
+let test_best_response_optimality () =
+  (* The analytic best response on Pigou vs an opponent playing (0.3, 0.2):
+     minimize x(0.3+x) + (0.5-x): derivative 0.3 + 2x - 1 = 0 -> x = 0.35. *)
+  let t = A.make (pigou_lats ()) ~demands:[| 0.5; 0.5 |] in
+  let profile = [| [| 0.0; 0.0 |]; [| 0.3; 0.2 |] |] in
+  let br = A.best_response t profile ~player:0 in
+  approx ~eps:1e-6 "interior best response" 0.35 br.(0);
+  approx ~eps:1e-6 "rest on constant link" 0.15 br.(1)
+
+let test_asymmetric_players () =
+  let t = A.make (pigou_lats ()) ~demands:[| 0.75; 0.25 |] in
+  let profile, _ = A.equilibrium t in
+  check_true "equilibrium verified" (A.is_equilibrium t profile);
+  (* The larger player internalizes more congestion: its share on the
+     congestible link is proportionally smaller. *)
+  let big_ratio = profile.(0).(0) /. 0.75 and small_ratio = profile.(1).(0) /. 0.25 in
+  check_true "big player shades the congested link" (big_ratio <= small_ratio +. 1e-9)
+
+let test_player_cost_accounting () =
+  let t = A.split_evenly (pigou_lats ()) ~total:1.0 ~players:2 in
+  let profile, _ = A.equilibrium t in
+  let total = A.player_cost t profile 0 +. A.player_cost t profile 1 in
+  approx "player costs sum to the social cost" (A.social_cost t profile) total
+
+let random_lats rng m =
+  Array.init m (fun _ ->
+      match Prng.int rng 3 with
+      | 0 ->
+          L.affine ~slope:(Prng.uniform rng ~lo:0.3 ~hi:2.0)
+            ~intercept:(Prng.uniform rng ~lo:0.0 ~hi:1.0)
+      | 1 -> L.monomial ~coeff:(Prng.uniform rng ~lo:0.5 ~hi:1.5) ~degree:(1 + Prng.int rng 2)
+      | _ -> L.constant (Prng.uniform rng ~lo:0.5 ~hi:1.5))
+
+let prop_best_response_dynamics_converge =
+  qcheck ~count:25 "best-response dynamics reach a verified equilibrium" QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let m = 2 + Prng.int rng 3 and n = 1 + Prng.int rng 4 in
+      let t =
+        A.make (random_lats rng m)
+          ~demands:(Array.init n (fun _ -> Prng.uniform rng ~lo:0.1 ~hi:1.0))
+      in
+      let profile, rounds = A.equilibrium t in
+      rounds < 10_000 && A.is_equilibrium ~eps:1e-5 t profile)
+
+let prop_atomic_cost_at_least_optimum =
+  qcheck ~count:25 "atomic equilibrium costs at least the optimum" QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create (seed + 100) in
+      let m = 2 + Prng.int rng 3 and n = 1 + Prng.int rng 4 in
+      let lats = random_lats rng m in
+      let demands = Array.init n (fun _ -> Prng.uniform rng ~lo:0.1 ~hi:1.0) in
+      let t = A.make lats ~demands in
+      let profile, _ = A.equilibrium t in
+      let total = Array.fold_left ( +. ) 0.0 demands in
+      let opt_cost =
+        let inst = Links.make lats ~demand:total in
+        Links.cost inst (Links.opt inst).assignment
+      in
+      A.social_cost t profile >= opt_cost -. (1e-6 *. Float.max 1.0 opt_cost))
+
+let suite =
+  [
+    case "validation" test_make_validation;
+    case "single player = optimum" test_single_player_is_optimum;
+    case "two players on pigou (closed form)" test_two_player_pigou;
+    case "social cost nondecreasing in players" test_equilibrium_costs_ordered;
+    case "convergence to Wardrop" test_convergence_to_wardrop;
+    case "best response (closed form)" test_best_response_optimality;
+    case "asymmetric players" test_asymmetric_players;
+    case "player cost accounting" test_player_cost_accounting;
+    prop_best_response_dynamics_converge;
+    prop_atomic_cost_at_least_optimum;
+  ]

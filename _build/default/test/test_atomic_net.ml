@@ -1,0 +1,146 @@
+(* Tests for atomic splittable routing on networks and for marginal-cost
+   tolls — the two neighbours of the paper's model (finite players;
+   first-best pricing). *)
+
+open Helpers
+module AN = Sgr_atomic.Atomic_net
+module Tolls = Stackelberg.Tolls
+module Net = Sgr_network.Network
+module Eq = Sgr_network.Equilibrate
+module Obj = Sgr_network.Objective
+module Links = Sgr_links.Links
+module W = Sgr_workloads.Workloads
+module Prng = Sgr_numerics.Prng
+module Vec = Sgr_numerics.Vec
+
+(* ---- atomic networks ---- *)
+
+let test_replicate_validation () =
+  (match AN.replicate (W.two_commodity ()) ~players:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "multicommodity replicate rejected");
+  match AN.replicate (W.fig7 ()) ~players:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero players rejected"
+
+let test_single_player_is_optimum () =
+  let t = AN.replicate (W.braess_classic ()) ~players:1 in
+  let profile, _ = AN.equilibrium t in
+  approx ~eps:1e-5 "monopolist cost = C(O) = 3/2" 1.5 (AN.social_cost t profile);
+  check_true "verified" (AN.is_equilibrium t profile)
+
+let test_braess_interpolation () =
+  (* Atomic Braess: the equilibrium cost climbs from C(O) = 3/2 toward
+     the Wardrop cost 2 as the players multiply. *)
+  let cost n =
+    let t = AN.replicate (W.braess_classic ()) ~players:n in
+    let profile, _ = AN.equilibrium t in
+    AN.social_cost t profile
+  in
+  let c1 = cost 1 and c2 = cost 2 and c8 = cost 8 in
+  approx ~eps:1e-5 "n=1 optimal" 1.5 c1;
+  check_true "monotone toward Wardrop" (c1 <= c2 +. 1e-7 && c2 <= c8 +. 1e-7);
+  check_true "strictly below Wardrop" (c8 < 2.0 +. 1e-7)
+
+let test_convergence_to_wardrop_net () =
+  let net = W.fig7 () in
+  let wardrop = (Eq.solve Obj.Wardrop net).Eq.edge_flow in
+  let dist n =
+    let t = AN.replicate net ~players:n in
+    let profile, _ = AN.equilibrium t in
+    Vec.linf_dist (AN.total_load t profile) wardrop
+  in
+  let d2 = dist 2 and d16 = dist 16 in
+  (* O(1/n) convergence: doubling the players three times should shrink
+     the gap by well over half (measured: 0.31 -> 0.054). *)
+  check_true "distance shrinks by > 2x" (d16 < 0.5 *. d2);
+  check_true "close at n=16" (d16 < 0.08)
+
+let test_two_commodity_players () =
+  (* Each commodity of the 2-commodity instance as one atomic player. *)
+  let t = AN.make (W.two_commodity ()) in
+  let profile, rounds = AN.equilibrium t in
+  check_true "converged" (rounds < 2_000);
+  check_true "equilibrium verified" (AN.is_equilibrium t profile);
+  let cost = AN.social_cost t profile in
+  let opt = Eq.solve Obj.System_optimum (W.two_commodity ()) in
+  let nash = Eq.solve Obj.Wardrop (W.two_commodity ()) in
+  let co = Net.cost (W.two_commodity ()) opt.Eq.edge_flow in
+  let cn = Net.cost (W.two_commodity ()) nash.Eq.edge_flow in
+  check_true "between optimum and Wardrop" (co -. 1e-6 <= cost && cost <= cn +. 1e-6)
+
+let test_player_cost_sums () =
+  let t = AN.replicate (W.fig7 ()) ~players:3 in
+  let profile, _ = AN.equilibrium t in
+  let total = AN.player_cost t profile 0 +. AN.player_cost t profile 1 +. AN.player_cost t profile 2 in
+  approx ~eps:1e-6 "player costs sum to social cost" (AN.social_cost t profile) total
+
+(* ---- tolls ---- *)
+
+let test_tolls_pigou () =
+  let tolls = Tolls.links_tolls W.pigou in
+  approx "toll on the linear link = o·ℓ' = 1/2" 0.5 tolls.(0);
+  approx "no toll on the constant link" 0.0 tolls.(1);
+  let eq, cost = Tolls.links_outcome W.pigou in
+  approx_array "tolled equilibrium = optimum" [| 0.5; 0.5 |] eq;
+  approx "latency cost = C(O)" 0.75 cost
+
+let test_tolls_fig456 () =
+  let eq, cost = Tolls.links_outcome W.fig456 in
+  let opt = (Links.opt W.fig456).assignment in
+  approx_array ~eps:1e-5 "tolled equilibrium = optimum" opt eq;
+  approx ~eps:1e-6 "cost = C(O)" (Links.cost W.fig456 opt) cost
+
+let test_tolls_braess () =
+  (* First-best tolls fix the Braess paradox outright (β = 1 for the
+     Stackelberg Leader, yet two numbers suffice as tolls). *)
+  let net = W.braess_classic () in
+  let _, cost = Tolls.network_outcome net in
+  approx ~eps:1e-5 "tolled cost = C(O) = 3/2" 1.5 cost
+
+let test_tolls_fig7 () =
+  let net = W.fig7 () in
+  let flow, cost = Tolls.network_outcome net in
+  let opt = Eq.solve Obj.System_optimum net in
+  approx ~eps:1e-4 "cost = C(O)" (Net.cost net opt.Eq.edge_flow) cost;
+  check_true "flow = O" (Vec.linf_dist flow opt.Eq.edge_flow <= 1e-3)
+
+let prop_tolls_induce_optimum_links =
+  qcheck ~count:40 "marginal-cost tolls induce the optimum on random links" QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let t =
+        match Prng.int rng 2 with
+        | 0 -> W.random_affine_links rng ~m:(2 + Prng.int rng 6) ~demand:1.0 ()
+        | _ -> W.random_polynomial_links rng ~m:(2 + Prng.int rng 6) ~demand:1.0 ()
+      in
+      let _, cost = Tolls.links_outcome t in
+      let opt_cost = Links.cost t (Links.opt t).assignment in
+      Sgr_numerics.Tolerance.approx ~eps:1e-5 cost opt_cost)
+
+let prop_tolls_induce_optimum_networks =
+  qcheck ~count:15 "marginal-cost tolls induce the optimum on random networks" QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create (seed + 50) in
+      let net =
+        W.random_layered_network rng ~layers:(1 + Prng.int rng 2) ~width:(1 + Prng.int rng 2) ()
+      in
+      let _, cost = Tolls.network_outcome net in
+      let opt = Eq.solve Obj.System_optimum net in
+      Sgr_numerics.Tolerance.approx ~eps:1e-4 cost (Net.cost net opt.Eq.edge_flow))
+
+let suite =
+  [
+    case "atomic net: validation" test_replicate_validation;
+    case "atomic net: monopolist = optimum" test_single_player_is_optimum;
+    case "atomic net: braess interpolation" test_braess_interpolation;
+    case "atomic net: convergence to Wardrop" test_convergence_to_wardrop_net;
+    case "atomic net: 2 commodities as players" test_two_commodity_players;
+    case "atomic net: cost accounting" test_player_cost_sums;
+    case "tolls: pigou" test_tolls_pigou;
+    case "tolls: fig4-6" test_tolls_fig456;
+    case "tolls: braess paradox fixed" test_tolls_braess;
+    case "tolls: fig7" test_tolls_fig7;
+    prop_tolls_induce_optimum_links;
+    prop_tolls_induce_optimum_networks;
+  ]

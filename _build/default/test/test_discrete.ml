@@ -1,0 +1,181 @@
+(* Tests for unsplittable atomic congestion games (the Fotakis [12]
+   setting): potential-game structure, pure equilibria, exact optima and
+   the discrete LLF Stackelberg scheme. *)
+
+open Helpers
+module C = Sgr_discrete.Congestion
+module L = Sgr_latency.Latency
+module Prng = Sgr_numerics.Prng
+
+let two_identical n = C.make [| L.linear 1.0; L.linear 1.0 |] ~players:n
+
+let test_make_validation () =
+  (match C.make [||] ~players:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no links rejected");
+  match C.make [| L.linear 1.0 |] ~players:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero players rejected"
+
+let test_loads_and_cost () =
+  let t = two_identical 4 in
+  let state = [| 0; 0; 1; 0 |] in
+  Alcotest.(check (array int)) "loads" [| 3; 1 |] (C.loads t state);
+  approx "social cost 3·3 + 1·1" 10.0 (C.social_cost t state);
+  approx "potential 1+2+3 + 1" 7.0 (C.potential t state);
+  approx "player 2's latency" 1.0 (C.player_latency t state 2)
+
+let test_identical_split_is_nash () =
+  let t = two_identical 4 in
+  let nash = C.nash t in
+  Alcotest.(check (array int)) "even split" [| 2; 2 |] (C.loads t nash);
+  check_true "equilibrium" (C.is_equilibrium t nash);
+  approx "PoA 1 on identical links" 1.0 (C.price_of_anarchy t)
+
+let test_discrete_pigou () =
+  (* ℓ1 = x, ℓ2 = const 2.5, three players: the selfish outcome piles all
+     three on link 1 (latency 3 > 2.5 — wait, a player on load-3 link
+     would move to latency 2.5): equilibrium loads are (2, 1) or (3, 0)?
+     From load (3,0): a player sees 3 vs 2.5 -> moves: (2,1): 2 vs
+     joining const 2.5: stays; the const player sees 2.5 vs joining link1
+     at 3: stays. Equilibrium (2,1), cost 2·2 + 2.5 = 6.5. *)
+  let t = C.make [| L.linear 1.0; L.constant 2.5 |] ~players:3 in
+  let nash = C.nash t in
+  Alcotest.(check (array int)) "equilibrium loads" [| 2; 1 |] (C.loads t nash);
+  approx "C(N)" 6.5 (C.social_cost t nash);
+  (* Optimum: loads (1,2) cost 1 + 5 = 6, or (2,1) cost 6.5, or (3,0)
+     cost 9: DP must find (1,2). *)
+  Alcotest.(check (array int)) "optimum loads" [| 1; 2 |] (C.optimum_loads t);
+  approx "C(O)" 6.0 (C.optimum_cost t)
+
+let test_equilibrium_checker_rejects () =
+  let t = C.make [| L.linear 1.0; L.constant 2.5 |] ~players:3 in
+  check_true "all-on-link-1 is not an equilibrium"
+    (not (C.is_equilibrium t [| 0; 0; 0 |]))
+
+let test_dynamics_terminate_and_decrease_potential () =
+  let t = C.make [| L.linear 1.0; L.affine ~slope:0.5 ~intercept:0.4; L.constant 1.9 |] ~players:6 in
+  let start = [| 0; 0; 0; 0; 0; 0 |] in
+  let phi0 = C.potential t start in
+  let final, steps = C.best_response_dynamics t start in
+  check_true "terminates" (steps < 1_000_000);
+  check_true "equilibrium" (C.is_equilibrium t final);
+  approx_le "potential decreased" (C.potential t final) (phi0 +. 1e-9)
+
+let test_stackelberg_llf_full_control_is_optimal () =
+  let t = C.make [| L.linear 1.0; L.constant 2.5 |] ~players:3 in
+  let state = C.stackelberg_llf t ~controlled:3 in
+  approx "full control = optimum" (C.optimum_cost t) (C.social_cost t state)
+
+let test_stackelberg_llf_partial () =
+  let t = C.make [| L.linear 1.0; L.constant 2.5 |] ~players:3 in
+  (* Controlling one player: pin it on the slowest optimal link (the
+     constant, latency 2.5 > ℓ1(1) = 1): free players then best-respond.
+     Loads become (2, 1)... the same equilibrium, but controlling two
+     players pins both const users: loads (1, 2) = optimum. *)
+  let one = C.stackelberg_llf t ~controlled:1 in
+  let two = C.stackelberg_llf t ~controlled:2 in
+  approx_le "k=1 no worse than Nash" (C.social_cost t one) (C.social_cost t (C.nash t) +. 1e-9);
+  approx "k=2 reaches the optimum" (C.optimum_cost t) (C.social_cost t two)
+
+let test_llf_validation () =
+  let t = two_identical 3 in
+  match C.stackelberg_llf t ~controlled:7 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "controlled > players rejected"
+
+let random_game seed =
+  let rng = Prng.create seed in
+  let m = 2 + Prng.int rng 3 and n = 2 + Prng.int rng 6 in
+  let lats =
+    Array.init m (fun _ ->
+        match Prng.int rng 3 with
+        | 0 ->
+            L.affine ~slope:(Prng.uniform rng ~lo:0.2 ~hi:2.0)
+              ~intercept:(Prng.uniform rng ~lo:0.0 ~hi:2.0)
+        | 1 -> L.monomial ~coeff:(Prng.uniform rng ~lo:0.5 ~hi:1.5) ~degree:(1 + Prng.int rng 2)
+        | _ -> L.constant (Prng.uniform rng ~lo:0.5 ~hi:3.0))
+  in
+  C.make lats ~players:n
+
+let prop_nash_is_equilibrium =
+  qcheck ~count:60 "greedy + dynamics reaches a pure equilibrium" QCheck.small_nat (fun seed ->
+      let t = random_game (seed + 1) in
+      C.is_equilibrium t (C.nash t))
+
+let prop_optimum_beats_equilibrium =
+  qcheck ~count:60 "C(O) <= C(N)" QCheck.small_nat (fun seed ->
+      let t = random_game (seed + 1) in
+      C.optimum_cost t <= C.social_cost t (C.nash t) +. 1e-9)
+
+let prop_optimum_beats_random_states =
+  qcheck ~count:40 "DP optimum beats random assignments" QCheck.small_nat (fun seed ->
+      let t = random_game (seed + 1) in
+      let rng = Prng.create (seed + 777) in
+      let m = Array.length t.C.latencies in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let state = Array.init t.C.players (fun _ -> Prng.int rng m) in
+        if C.social_cost t state < C.optimum_cost t -. 1e-9 then ok := false
+      done;
+      !ok)
+
+let prop_full_control_is_optimal =
+  qcheck ~count:40 "LLF with all players controlled achieves C(O)" QCheck.small_nat
+    (fun seed ->
+      let t = random_game (seed + 1) in
+      let state = C.stackelberg_llf t ~controlled:t.C.players in
+      Float.abs (C.social_cost t state -. C.optimum_cost t) <= 1e-9)
+
+let prop_continuous_relaxation_lower_bounds =
+  (* Consistency across models: the splittable optimum of the same
+     latencies and total demand can only be cheaper than the integral
+     optimum. *)
+  qcheck ~count:40 "splittable optimum <= unsplittable optimum" QCheck.small_nat (fun seed ->
+      let t = random_game (seed + 1) in
+      let cont =
+        Sgr_links.Links.make t.C.latencies ~demand:(float_of_int t.C.players)
+      in
+      let c_cont = Sgr_links.Links.cost cont (Sgr_links.Links.opt cont).assignment in
+      c_cont <= C.optimum_cost t +. 1e-9)
+
+let prop_moves_decrease_potential =
+  (* The defining property of an exact potential game: a unilateral move
+     changes the potential by exactly the mover's latency change. *)
+  qcheck ~count:60 "unilateral deviations shift Φ by the latency delta" QCheck.small_nat
+    (fun seed ->
+      let t = random_game (seed + 1) in
+      let rng = Prng.create (seed + 997) in
+      let m = Array.length t.C.latencies in
+      let state = Array.init t.C.players (fun _ -> Prng.int rng m) in
+      let p = Prng.int rng t.C.players in
+      let j = Prng.int rng m in
+      if j = state.(p) then true
+      else begin
+        let phi_before = C.potential t state in
+        let lat_before = C.player_latency t state p in
+        let state' = Array.copy state in
+        state'.(p) <- j;
+        let phi_after = C.potential t state' in
+        let lat_after = C.player_latency t state' p in
+        Float.abs (phi_after -. phi_before -. (lat_after -. lat_before)) <= 1e-9
+      end)
+
+let suite =
+  [
+    case "validation" test_make_validation;
+    case "loads, cost, potential" test_loads_and_cost;
+    case "identical links: even split" test_identical_split_is_nash;
+    case "discrete pigou: nash vs optimum" test_discrete_pigou;
+    case "equilibrium checker" test_equilibrium_checker_rejects;
+    case "dynamics terminate, potential decreases" test_dynamics_terminate_and_decrease_potential;
+    case "llf: full control = optimum" test_stackelberg_llf_full_control_is_optimal;
+    case "llf: partial control" test_stackelberg_llf_partial;
+    case "llf: validation" test_llf_validation;
+    prop_nash_is_equilibrium;
+    prop_optimum_beats_equilibrium;
+    prop_optimum_beats_random_states;
+    prop_full_control_is_optimal;
+    prop_continuous_relaxation_lower_bounds;
+    prop_moves_decrease_potential;
+  ]

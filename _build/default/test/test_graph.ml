@@ -1,0 +1,305 @@
+(* Tests for the graph substrate: construction, Dijkstra, shortest-path
+   subgraphs, path enumeration, max-flow and flow decomposition. *)
+
+open Helpers
+module G = Sgr_graph
+module Prng = Sgr_numerics.Prng
+
+(* The Braess diamond used throughout: s=0, v=1, w=2, t=3. *)
+let diamond () = G.Digraph.of_edges ~num_nodes:4 [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 3) ]
+
+let test_build () =
+  let g = diamond () in
+  Alcotest.(check int) "nodes" 4 (G.Digraph.num_nodes g);
+  Alcotest.(check int) "edges" 5 (G.Digraph.num_edges g);
+  let e = G.Digraph.edge g 2 in
+  Alcotest.(check int) "src" 1 e.src;
+  Alcotest.(check int) "dst" 2 e.dst;
+  Alcotest.(check int) "out-degree of v" 2 (List.length (G.Digraph.out_edges g 1));
+  Alcotest.(check int) "in-degree of t" 2 (List.length (G.Digraph.in_edges g 3))
+
+let test_build_rejects_self_loop () =
+  match G.Digraph.of_edges ~num_nodes:2 [ (0, 0) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "self loop must be rejected"
+
+let test_build_rejects_out_of_range () =
+  match G.Digraph.of_edges ~num_nodes:2 [ (0, 5) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range endpoint must be rejected"
+
+let test_parallel_edges_allowed () =
+  let g = G.Digraph.of_edges ~num_nodes:2 [ (0, 1); (0, 1) ] in
+  Alcotest.(check int) "two parallel edges" 2 (G.Digraph.num_edges g)
+
+let test_heap_sorts () =
+  let h = G.Heap.create () in
+  let rng = Prng.create 5 in
+  let input = Array.init 500 (fun _ -> Prng.float rng) in
+  Array.iter (fun x -> G.Heap.insert h x x) input;
+  Alcotest.(check int) "size" 500 (G.Heap.size h);
+  let prev = ref Float.neg_infinity in
+  let rec drain n =
+    match G.Heap.pop_min h with
+    | None -> Alcotest.(check int) "drained all" 500 n
+    | Some (p, _) ->
+        check_true "nondecreasing" (p >= !prev);
+        prev := p;
+        drain (n + 1)
+  in
+  drain 0
+
+let test_dijkstra_diamond () =
+  let g = diamond () in
+  let weights = [| 1.0; 4.0; 0.5; 4.0; 1.0 |] in
+  let r = G.Dijkstra.run g ~weights ~source:0 in
+  approx "dist t" 2.5 r.dist.(3);
+  approx "dist v" 1.0 r.dist.(1);
+  approx "dist w" 1.5 r.dist.(2);
+  match G.Dijkstra.shortest_path g ~weights ~src:0 ~dst:3 with
+  | Some [ 0; 2; 4 ] -> ()
+  | Some p -> Alcotest.failf "wrong path: %s" (String.concat "," (List.map string_of_int p))
+  | None -> Alcotest.fail "path must exist"
+
+let test_dijkstra_unreachable () =
+  let g = G.Digraph.of_edges ~num_nodes:3 [ (0, 1) ] in
+  let r = G.Dijkstra.run g ~weights:[| 1.0 |] ~source:0 in
+  check_true "unreachable is infinite" (r.dist.(2) = Float.infinity);
+  Alcotest.(check (option (list int))) "no path" None
+    (G.Dijkstra.shortest_path g ~weights:[| 1.0 |] ~src:0 ~dst:2)
+
+let test_dijkstra_reverse () =
+  let g = diamond () in
+  let weights = [| 1.0; 4.0; 0.5; 4.0; 1.0 |] in
+  let r = G.Dijkstra.run_reverse g ~weights ~sink:3 in
+  approx "dist from s to t" 2.5 r.dist.(0);
+  approx "dist from v" 1.5 r.dist.(1);
+  approx "dist from w" 1.0 r.dist.(2)
+
+let test_shortest_subgraph () =
+  let g = diamond () in
+  let weights = [| 1.0; 4.0; 0.5; 4.0; 1.0 |] in
+  let on_sp = G.Dijkstra.shortest_edge_subgraph g ~weights ~src:0 ~dst:3 in
+  Alcotest.(check (array bool)) "only s→v→w→t" [| true; false; true; false; true |] on_sp
+
+let test_shortest_subgraph_ties () =
+  (* Two equal-cost parallel routes: all edges are on a shortest path. *)
+  let g = G.Digraph.of_edges ~num_nodes:4 [ (0, 1); (1, 3); (0, 2); (2, 3) ] in
+  let on_sp = G.Dijkstra.shortest_edge_subgraph g ~weights:[| 1.0; 1.0; 1.0; 1.0 |] ~src:0 ~dst:3 in
+  Alcotest.(check (array bool)) "all tied" [| true; true; true; true |] on_sp
+
+let test_enumerate_paths () =
+  let g = diamond () in
+  let paths = G.Paths.enumerate g ~src:0 ~dst:3 in
+  Alcotest.(check int) "three simple paths" 3 (List.length paths);
+  List.iter (fun p -> check_true "valid" (G.Paths.is_valid g ~src:0 ~dst:3 p)) paths
+
+let test_enumerate_limit () =
+  let g = diamond () in
+  match G.Paths.enumerate ~limit:2 g ~src:0 ~dst:3 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "limit must trigger"
+
+let test_path_accessors () =
+  let g = diamond () in
+  let p = [ 0; 2; 4 ] in
+  Alcotest.(check int) "source" 0 (G.Paths.source g p);
+  Alcotest.(check int) "target" 3 (G.Paths.target g p);
+  Alcotest.(check (list int)) "nodes" [ 0; 1; 2; 3 ] (G.Paths.nodes g p);
+  approx "cost" 2.5 (G.Paths.cost p [| 1.0; 4.0; 0.5; 4.0; 1.0 |]);
+  check_true "disconnected edge list invalid" (not (G.Paths.is_valid g ~src:0 ~dst:3 [ 0; 4 ]))
+
+let test_maxflow_diamond () =
+  let g = diamond () in
+  (* Capacities force the classic augment-through-the-middle pattern. *)
+  let capacities = [| 1.0; 1.0; 1.0; 1.0; 1.0 |] in
+  let r = G.Maxflow.solve g ~capacities ~src:0 ~dst:3 in
+  approx "value" 2.0 r.value;
+  check_true "feasible" (G.Flow.is_feasible g ~flow:r.flow ~src:0 ~dst:3 ~demand:r.value)
+
+let test_maxflow_needs_back_edges () =
+  (* A graph where a greedy first path must be partially undone. *)
+  let g = G.Digraph.of_edges ~num_nodes:4 [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 3) ] in
+  let capacities = [| 1.0; 1.0; 1.0; 1.0; 1.0 |] in
+  let r = G.Maxflow.solve g ~capacities ~src:0 ~dst:3 in
+  approx "value" 2.0 r.value
+
+let test_maxflow_bottleneck () =
+  let g = G.Digraph.of_edges ~num_nodes:3 [ (0, 1); (1, 2) ] in
+  let r = G.Maxflow.solve g ~capacities:[| 5.0; 2.5 |] ~src:0 ~dst:2 in
+  approx "value" 2.5 r.value
+
+let test_flow_decompose_roundtrip () =
+  let g = diamond () in
+  let paths = [ ([ 0; 2; 4 ], 0.46); ([ 0; 3 ], 0.27); ([ 1; 4 ], 0.27) ] in
+  let flow = G.Flow.of_paths g paths in
+  approx "edge s→v" 0.73 flow.(0);
+  let decomposed = G.Flow.decompose g ~flow ~src:0 ~dst:3 in
+  let rebuilt = G.Flow.of_paths g decomposed in
+  approx_array "decompose ∘ of_paths round trip" flow rebuilt;
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 decomposed in
+  approx "total demand preserved" 1.0 total
+
+let test_flow_feasibility () =
+  let g = diamond () in
+  let flow = G.Flow.of_paths g [ ([ 0; 2; 4 ], 1.0) ] in
+  check_true "feasible" (G.Flow.is_feasible g ~flow ~src:0 ~dst:3 ~demand:1.0);
+  check_true "wrong demand" (not (G.Flow.is_feasible g ~flow ~src:0 ~dst:3 ~demand:2.0));
+  flow.(0) <- flow.(0) +. 0.5;
+  check_true "broken conservation" (not (G.Flow.is_feasible g ~flow ~src:0 ~dst:3 ~demand:1.0))
+
+let random_layered_graph rng =
+  let layers = 2 + Prng.int rng 3 and width = 1 + Prng.int rng 3 in
+  let node l j = 1 + (l * width) + j in
+  let sink = 1 + (layers * width) in
+  let b = G.Digraph.builder ~num_nodes:(sink + 1) in
+  for j = 0 to width - 1 do
+    ignore (G.Digraph.add_edge b ~src:0 ~dst:(node 0 j));
+    ignore (G.Digraph.add_edge b ~src:(node (layers - 1) j) ~dst:sink)
+  done;
+  for l = 0 to layers - 2 do
+    for j = 0 to width - 1 do
+      for j' = 0 to width - 1 do
+        ignore (G.Digraph.add_edge b ~src:(node l j) ~dst:(node (l + 1) j'))
+      done
+    done
+  done;
+  (G.Digraph.freeze b, sink)
+
+(* An independent shortest-path oracle: Bellman-Ford over edges. *)
+let bellman_ford g ~weights ~source =
+  let n = G.Digraph.num_nodes g in
+  let dist = Array.make n Float.infinity in
+  dist.(source) <- 0.0;
+  for _ = 1 to n - 1 do
+    Array.iter
+      (fun (e : G.Digraph.edge) ->
+        if dist.(e.src) +. weights.(e.id) < dist.(e.dst) then
+          dist.(e.dst) <- dist.(e.src) +. weights.(e.id))
+      (G.Digraph.edges g)
+  done;
+  dist
+
+let prop_dijkstra_vs_bellman_ford =
+  qcheck ~count:50 "dijkstra agrees with bellman-ford" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 300) in
+      let g, _ = random_layered_graph rng in
+      let weights = Array.init (G.Digraph.num_edges g) (fun _ -> Prng.uniform rng ~lo:0.0 ~hi:5.0) in
+      let d1 = (G.Dijkstra.run g ~weights ~source:0).dist in
+      let d2 = bellman_ford g ~weights ~source:0 in
+      let ok = ref true in
+      Array.iteri
+        (fun v dv ->
+          if dv < Float.infinity || d2.(v) < Float.infinity then
+            if Float.abs (dv -. d2.(v)) > 1e-9 then ok := false)
+        d1;
+      !ok)
+
+let prop_maxflow_has_min_cut_certificate =
+  (* Max-flow/min-cut: the set of nodes reachable in the residual graph
+     defines a cut whose capacity equals the flow value. *)
+  qcheck ~count:50 "maxflow saturates a cut of equal capacity" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 400) in
+      let g, sink = random_layered_graph rng in
+      let capacities =
+        Array.init (G.Digraph.num_edges g) (fun _ -> Prng.uniform rng ~lo:0.1 ~hi:2.0)
+      in
+      let r = G.Maxflow.solve g ~capacities ~src:0 ~dst:sink in
+      (* Residual reachability from the source. *)
+      let n = G.Digraph.num_nodes g in
+      let seen = Array.make n false in
+      let q = Queue.create () in
+      seen.(0) <- true;
+      Queue.push 0 q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun (e : G.Digraph.edge) ->
+            if (not seen.(e.dst)) && capacities.(e.id) -. r.flow.(e.id) > 1e-9 then begin
+              seen.(e.dst) <- true;
+              Queue.push e.dst q
+            end)
+          (G.Digraph.out_edges g u);
+        List.iter
+          (fun (e : G.Digraph.edge) ->
+            if (not seen.(e.src)) && r.flow.(e.id) > 1e-9 then begin
+              seen.(e.src) <- true;
+              Queue.push e.src q
+            end)
+          (G.Digraph.in_edges g u)
+      done;
+      let cut_capacity =
+        Array.fold_left
+          (fun acc (e : G.Digraph.edge) ->
+            if seen.(e.src) && not seen.(e.dst) then acc +. capacities.(e.id) else acc)
+          0.0 (G.Digraph.edges g)
+      in
+      (not seen.(sink)) && Float.abs (cut_capacity -. r.value) <= 1e-6)
+
+let prop_dijkstra_vs_enumeration =
+  qcheck ~count:50 "dijkstra agrees with exhaustive path search" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let g, sink = random_layered_graph rng in
+      let weights = Array.init (G.Digraph.num_edges g) (fun _ -> Prng.uniform rng ~lo:0.0 ~hi:5.0) in
+      let d = (G.Dijkstra.run g ~weights ~source:0).dist.(sink) in
+      let best =
+        G.Paths.enumerate g ~src:0 ~dst:sink
+        |> List.fold_left (fun acc p -> Float.min acc (G.Paths.cost p weights)) Float.infinity
+      in
+      Float.abs (d -. best) <= 1e-9)
+
+let prop_maxflow_min_cut_saturation =
+  qcheck ~count:50 "maxflow is feasible and saturates a cut bound" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 100) in
+      let g, sink = random_layered_graph rng in
+      let capacities =
+        Array.init (G.Digraph.num_edges g) (fun _ -> Prng.uniform rng ~lo:0.1 ~hi:2.0)
+      in
+      let r = G.Maxflow.solve g ~capacities ~src:0 ~dst:sink in
+      (* The flow is feasible and no edge overflows its capacity; the
+         source's outgoing capacity is an upper bound. *)
+      let cap_bound =
+        List.fold_left
+          (fun acc (e : G.Digraph.edge) -> acc +. capacities.(e.id))
+          0.0 (G.Digraph.out_edges g 0)
+      in
+      G.Flow.is_feasible g ~flow:r.flow ~src:0 ~dst:sink ~demand:r.value
+      && Array.for_all2 (fun f c -> f <= c +. 1e-9) r.flow capacities
+      && r.value <= cap_bound +. 1e-9)
+
+let prop_decompose_roundtrip =
+  qcheck ~count:50 "random path flows decompose consistently" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 200) in
+      let g, sink = random_layered_graph rng in
+      let all_paths = G.Paths.enumerate g ~src:0 ~dst:sink in
+      let flows = List.map (fun p -> (p, Prng.uniform rng ~lo:0.0 ~hi:1.0)) all_paths in
+      let flow = G.Flow.of_paths g flows in
+      let rebuilt = G.Flow.of_paths g (G.Flow.decompose g ~flow ~src:0 ~dst:sink) in
+      Sgr_numerics.Vec.linf_dist flow rebuilt <= 1e-7)
+
+let suite =
+  [
+    case "digraph: build + adjacency" test_build;
+    case "digraph: rejects self loops" test_build_rejects_self_loop;
+    case "digraph: rejects bad endpoints" test_build_rejects_out_of_range;
+    case "digraph: parallel edges" test_parallel_edges_allowed;
+    case "heap: sorts random input" test_heap_sorts;
+    case "dijkstra: diamond" test_dijkstra_diamond;
+    case "dijkstra: unreachable" test_dijkstra_unreachable;
+    case "dijkstra: reverse distances" test_dijkstra_reverse;
+    case "dijkstra: shortest-edge subgraph" test_shortest_subgraph;
+    case "dijkstra: subgraph with ties" test_shortest_subgraph_ties;
+    case "paths: enumerate diamond" test_enumerate_paths;
+    case "paths: enumeration limit" test_enumerate_limit;
+    case "paths: accessors" test_path_accessors;
+    case "maxflow: diamond" test_maxflow_diamond;
+    case "maxflow: residual arcs" test_maxflow_needs_back_edges;
+    case "maxflow: bottleneck" test_maxflow_bottleneck;
+    case "flow: decompose round trip" test_flow_decompose_roundtrip;
+    case "flow: feasibility checks" test_flow_feasibility;
+    prop_dijkstra_vs_enumeration;
+    prop_dijkstra_vs_bellman_ford;
+    prop_maxflow_min_cut_saturation;
+    prop_maxflow_has_min_cut_certificate;
+    prop_decompose_roundtrip;
+  ]

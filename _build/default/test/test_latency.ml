@@ -1,0 +1,189 @@
+(* Unit and property tests for latency functions: closed forms vs
+   numerical derivatives/integrals, inverses, shifting, classification. *)
+
+open Helpers
+module L = Sgr_latency.Latency
+module Integrate = Sgr_numerics.Integrate
+module Prng = Sgr_numerics.Prng
+
+let numeric_deriv f x =
+  let h = 1e-6 *. Float.max 1.0 (Float.abs x) in
+  (f (x +. h) -. f (Float.max 0.0 (x -. h))) /. (x +. h -. Float.max 0.0 (x -. h))
+
+let check_consistency ?(hi = 3.0) name lat =
+  (* Closed-form derivative and primitive must match numerical ones. *)
+  List.iter
+    (fun x ->
+      approx ~eps:1e-4 (name ^ ": deriv at " ^ string_of_float x)
+        (numeric_deriv (L.eval lat) x) (L.deriv lat x);
+      approx ~eps:1e-8 (name ^ ": primitive at " ^ string_of_float x)
+        (Integrate.adaptive_simpson ~f:(L.eval lat) ~lo:0.0 ~hi:x ())
+        (L.primitive lat x))
+    [ 0.1; 0.5; 1.0; hi ]
+
+let test_constant () =
+  let c = L.constant 0.7 in
+  approx "eval" 0.7 (L.eval c 3.0);
+  approx "deriv" 0.0 (L.deriv c 3.0);
+  approx "primitive" 2.1 (L.primitive c 3.0);
+  approx "marginal" 0.7 (L.marginal c 3.0);
+  check_true "is_constant" (L.is_constant c);
+  Alcotest.(check (option (float 1e-12))) "constant_value" (Some 0.7) (L.constant_value c)
+
+let test_affine () =
+  let l = L.affine ~slope:2.5 ~intercept:(1.0 /. 6.0) in
+  approx "eval" (2.5 +. (1.0 /. 6.0)) (L.eval l 1.0);
+  approx "marginal" (5.0 +. (1.0 /. 6.0)) (L.marginal l 1.0);
+  check_consistency "affine" l;
+  check_true "not constant" (not (L.is_constant l));
+  (* Zero slope degrades to a constant. *)
+  check_true "zero slope constant" (L.is_constant (L.affine ~slope:0.0 ~intercept:1.0))
+
+let test_affine_negative_rejected () =
+  match L.affine ~slope:(-1.0) ~intercept:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative slope must be rejected"
+
+let test_polynomial () =
+  let p = L.polynomial [| 1.0; 0.0; 3.0 |] in
+  (* 1 + 3x^2 *)
+  approx "eval" 13.0 (L.eval p 2.0);
+  approx "deriv" 12.0 (L.deriv p 2.0);
+  approx "primitive" (2.0 +. 8.0) (L.primitive p 2.0);
+  approx "marginal" (13.0 +. 24.0) (L.marginal p 2.0);
+  check_consistency "polynomial" p;
+  check_true "constant poly detected" (L.is_constant (L.polynomial [| 2.0 |]));
+  check_true "constant poly w/ zero high coeffs" (L.is_constant (L.polynomial [| 2.0; 0.0 |]))
+
+let test_polynomial_negative_rejected () =
+  match L.polynomial [| 1.0; -2.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative coefficient must be rejected"
+
+let test_monomial () =
+  let m = L.monomial ~coeff:2.0 ~degree:3 in
+  approx "eval" 16.0 (L.eval m 2.0);
+  approx "deriv" 24.0 (L.deriv m 2.0)
+
+let test_mm1 () =
+  let q = L.mm1 ~capacity:2.0 in
+  approx "eval" 1.0 (L.eval q 1.0);
+  approx "deriv" 1.0 (L.deriv q 1.0);
+  approx "primitive" (Float.log 2.0) (L.primitive q 1.0);
+  check_consistency ~hi:1.5 "mm1" q;
+  check_true "saturation" (L.eval q 2.5 = Float.infinity)
+
+let test_bpr () =
+  let b = L.bpr ~free_flow:1.0 ~capacity:2.0 () in
+  approx "free-flow delay" 1.0 (L.eval b 0.0);
+  approx "at capacity" 1.15 (L.eval b 2.0);
+  check_consistency "bpr" b
+
+let test_custom_numeric_fallbacks () =
+  let c = L.custom ~eval:(fun x -> Float.exp x -. 1.0 +. 0.5) () in
+  approx ~eps:1e-4 "numeric deriv" (Float.exp 1.0) (L.deriv c 1.0);
+  approx ~eps:1e-8 "numeric primitive" (Float.exp 1.0 -. 1.0 -. 1.0 +. 0.5) (L.primitive c 1.0)
+
+let test_shift () =
+  let l = L.affine ~slope:2.0 ~intercept:1.0 in
+  let s = L.shift 0.5 l in
+  approx "shifted eval" (L.eval l 1.5) (L.eval s 1.0);
+  approx "shifted deriv" 2.0 (L.deriv s 1.0);
+  (* Primitive of shifted: ∫0^x ℓ(s+u)du = F(s+x) - F(s). *)
+  approx "shifted primitive" (L.primitive l 1.5 -. L.primitive l 0.5) (L.primitive s 1.0);
+  check_true "zero shift is identity" (L.shift 0.0 l == l);
+  check_true "shifted constant stays constant" (L.is_constant (L.shift 1.0 (L.constant 2.0)))
+
+let test_inverse_affine () =
+  let l = L.affine ~slope:2.0 ~intercept:1.0 in
+  approx "inverse" 2.0 (L.inverse l 5.0);
+  approx "inverse below intercept" 0.0 (L.inverse l 0.5);
+  approx "inverse_marginal" 1.0 (L.inverse_marginal l 5.0)
+
+let test_inverse_shifted_affine () =
+  let s = L.shift 0.5 (L.affine ~slope:2.0 ~intercept:1.0) in
+  (* ℓ(0.5+x) = 2x + 2; inverse of 4 is 1. *)
+  approx "inverse" 1.0 (L.inverse s 4.0);
+  approx "inverse saturates at 0" 0.0 (L.inverse s 1.0)
+
+let test_inverse_mm1 () =
+  let q = L.mm1 ~capacity:2.0 in
+  approx "inverse" 1.0 (L.inverse q 1.0);
+  approx "inverse below idle delay" 0.0 (L.inverse q 0.25);
+  let s = L.shift 0.5 q in
+  approx "shifted inverse" 0.5 (L.inverse s 1.0)
+
+let test_inverse_constant_fails () =
+  match L.inverse (L.constant 1.0) 2.0 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "inverse of constant must fail"
+
+let test_check_increasing () =
+  check_true "affine increasing" (L.check_increasing (L.linear 1.0));
+  check_true "constant weakly increasing" (L.check_increasing (L.constant 1.0))
+
+let test_pp () =
+  check_true "affine rendering"
+    (String.length (L.to_string (L.affine ~slope:2.5 ~intercept:0.1667)) > 0);
+  check_true "poly rendering" (String.length (L.to_string (L.polynomial [| 1.0; 0.0; 2.0 |])) > 0)
+
+let random_latency rng =
+  match Prng.int rng 4 with
+  | 0 -> L.affine ~slope:(Prng.uniform rng ~lo:0.1 ~hi:3.0) ~intercept:(Prng.uniform rng ~lo:0.0 ~hi:2.0)
+  | 1 ->
+      let d = 1 + Prng.int rng 3 in
+      L.monomial ~coeff:(Prng.uniform rng ~lo:0.1 ~hi:2.0) ~degree:d
+  | 2 -> L.bpr ~free_flow:(Prng.uniform rng ~lo:0.5 ~hi:2.0) ~capacity:(Prng.uniform rng ~lo:0.5 ~hi:2.0) ()
+  | _ -> L.mm1 ~capacity:(Prng.uniform rng ~lo:2.0 ~hi:4.0)
+
+let prop_inverse_roundtrip =
+  qcheck "inverse ∘ eval is the identity above ℓ(0)" QCheck.(pair small_nat (float_bound_exclusive 1.5))
+    (fun (seed, xraw) ->
+      let rng = Prng.create (seed + 1) in
+      let lat = random_latency rng in
+      let x = Float.abs xraw +. 0.01 in
+      let y = L.eval lat x in
+      y = Float.infinity || Float.abs (L.inverse lat y -. x) <= 1e-6 *. Float.max 1.0 x)
+
+let prop_marginal_ge_latency =
+  qcheck "marginal cost dominates latency" QCheck.(pair small_nat (float_bound_exclusive 1.5))
+    (fun (seed, xraw) ->
+      let rng = Prng.create (seed + 1) in
+      let lat = random_latency rng in
+      let x = Float.abs xraw in
+      let m = L.marginal lat x and v = L.eval lat x in
+      m = Float.infinity || m >= v -. 1e-9)
+
+let prop_primitive_matches_quadrature =
+  qcheck "closed-form primitive matches quadrature" QCheck.(pair small_nat (float_bound_exclusive 1.5))
+    (fun (seed, xraw) ->
+      let rng = Prng.create (seed + 1) in
+      let lat = random_latency rng in
+      let x = Float.abs xraw in
+      let p = L.primitive lat x in
+      p = Float.infinity
+      || Float.abs (p -. Integrate.adaptive_simpson ~f:(L.eval lat) ~lo:0.0 ~hi:x ())
+         <= 1e-7 *. Float.max 1.0 p)
+
+let suite =
+  [
+    case "constant" test_constant;
+    case "affine" test_affine;
+    case "affine: negative rejected" test_affine_negative_rejected;
+    case "polynomial" test_polynomial;
+    case "polynomial: negative rejected" test_polynomial_negative_rejected;
+    case "monomial" test_monomial;
+    case "mm1" test_mm1;
+    case "bpr" test_bpr;
+    case "custom fallbacks" test_custom_numeric_fallbacks;
+    case "shift" test_shift;
+    case "inverse: affine" test_inverse_affine;
+    case "inverse: shifted affine" test_inverse_shifted_affine;
+    case "inverse: mm1" test_inverse_mm1;
+    case "inverse: constant fails" test_inverse_constant_fails;
+    case "check_increasing" test_check_increasing;
+    case "pretty printing" test_pp;
+    prop_inverse_roundtrip;
+    prop_marginal_ge_latency;
+    prop_primitive_matches_quadrature;
+  ]

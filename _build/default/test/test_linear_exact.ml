@@ -1,0 +1,140 @@
+(* Tests for Theorem 2.4: the polynomial-time optimal strategy on hard
+   instances (alpha < beta) with common-slope linear latencies. The gold
+   standard is the brute-force grid search on small instances. *)
+
+open Helpers
+module Links = Sgr_links.Links
+module LE = Stackelberg.Linear_exact
+module L = Sgr_latency.Latency
+module W = Sgr_workloads.Workloads
+module Prng = Sgr_numerics.Prng
+module Vec = Sgr_numerics.Vec
+
+let two_links =
+  (* ℓ1 = x, ℓ2 = x + 1, r = 1. Nash: all on link 1 (L = 1). Optimum:
+     marginals 2x = 2x+1 -> o = (3/4, 1/4), C(O) = 9/16 + 1/4·5/4 = 0.875.
+     OpTop: link 2 under-loaded, β = 1/4. *)
+  Links.make [| L.linear 1.0; L.affine ~slope:1.0 ~intercept:1.0 |] ~demand:1.0
+
+let test_class_detection () =
+  check_true "common slope" (LE.is_common_slope two_links);
+  check_true "different slopes rejected" (not (LE.is_common_slope W.fig456));
+  check_true "pigou has slope 0 constant" (not (LE.is_common_slope W.pigou))
+
+let test_two_links_beta () =
+  approx "β = 1/4" 0.25 (Stackelberg.Optop.beta two_links)
+
+let test_alpha_at_beta_reaches_optimum () =
+  let r = LE.solve two_links ~alpha:0.25 in
+  approx ~eps:1e-5 "C(O) reached at α = β" 0.875 r.induced_cost
+
+let test_strategy_feasible () =
+  let alpha = 0.15 in
+  let r = LE.solve two_links ~alpha in
+  check_true "nonneg" (Vec.all_nonneg r.strategy);
+  approx_le "budget respected" (Vec.sum r.strategy) (alpha +. 1e-9)
+
+let test_predicted_matches_induced () =
+  List.iter
+    (fun alpha ->
+      let r = LE.solve two_links ~alpha in
+      approx ~eps:1e-5
+        (Printf.sprintf "prediction consistent at α=%.2f" alpha)
+        r.predicted_cost r.induced_cost)
+    [ 0.05; 0.1; 0.15; 0.2; 0.24 ]
+
+let test_two_links_vs_brute_force () =
+  List.iter
+    (fun alpha ->
+      let exact = LE.solve two_links ~alpha in
+      let bf = Stackelberg.Brute_force.optimal_strategy ~resolution:60 two_links ~alpha in
+      (* The grid is coarse: exact must be no worse, and close. *)
+      approx_le
+        (Printf.sprintf "exact <= grid at α=%.2f" alpha)
+        exact.induced_cost (bf.induced_cost +. 1e-9);
+      approx ~eps:2e-3
+        (Printf.sprintf "exact ≈ grid at α=%.2f" alpha)
+        bf.induced_cost exact.induced_cost)
+    [ 0.05; 0.1; 0.2 ]
+
+let test_rejects_wrong_class () =
+  match LE.solve W.fig456 ~alpha:0.1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-common-slope instance must be rejected"
+
+let test_rejects_bad_alpha () =
+  match LE.solve two_links ~alpha:1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "alpha > 1 must be rejected"
+
+let test_alpha_zero_gives_nash () =
+  let r = LE.solve two_links ~alpha:0.0 in
+  let nash_cost = Links.cost two_links (Links.nash two_links).assignment in
+  approx "α = 0 induces C(N)" nash_cost r.induced_cost
+
+let test_monotone_in_alpha () =
+  (* More control can never hurt: optimal induced cost is nonincreasing. *)
+  let costs =
+    List.map (fun alpha -> (LE.solve two_links ~alpha).induced_cost)
+      [ 0.0; 0.05; 0.1; 0.15; 0.2; 0.25 ]
+  in
+  let rec chk = function
+    | a :: (b :: _ as rest) ->
+        approx_le "nonincreasing in α" b (a +. 1e-7);
+        chk rest
+    | _ -> ()
+  in
+  chk costs
+
+let prop_matches_brute_force =
+  qcheck ~count:20 "Thm 2.4 solver matches grid search on random instances" QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let m = 2 + Prng.int rng 2 in
+      let t = W.random_common_slope_links rng ~m ~demand:1.0 () in
+      let beta = Stackelberg.Optop.beta t in
+      if beta < 0.05 then true
+      else begin
+        let alpha = Prng.uniform rng ~lo:0.02 ~hi:beta in
+        let exact = LE.solve t ~alpha in
+        let bf = Stackelberg.Brute_force.optimal_strategy ~resolution:40 t ~alpha in
+        (* Exact must not lose to the grid, and must be near it. *)
+        exact.induced_cost <= bf.induced_cost +. 1e-7
+        && bf.induced_cost -. exact.induced_cost <= 5e-3 *. Float.max 1.0 bf.induced_cost
+      end)
+
+let prop_never_below_optimum =
+  qcheck ~count:40 "induced cost stays >= C(O)" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let t = W.random_common_slope_links rng ~m:(2 + Prng.int rng 4) ~demand:1.0 () in
+      let alpha = Prng.uniform rng ~lo:0.0 ~hi:1.0 in
+      let r = LE.solve t ~alpha in
+      let opt_cost = Links.cost t (Links.opt t).assignment in
+      r.induced_cost >= opt_cost -. (1e-6 *. Float.max 1.0 opt_cost))
+
+let prop_alpha_ge_beta_reaches_optimum =
+  qcheck ~count:30 "α >= β recovers the optimum cost" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let t = W.random_common_slope_links rng ~m:(2 + Prng.int rng 4) ~demand:1.0 () in
+      let beta = Stackelberg.Optop.beta t in
+      let alpha = Float.min 1.0 (beta +. 0.05) in
+      let r = LE.solve t ~alpha in
+      let opt_cost = Links.cost t (Links.opt t).assignment in
+      Sgr_numerics.Tolerance.approx ~eps:1e-4 r.induced_cost opt_cost)
+
+let suite =
+  [
+    case "class detection" test_class_detection;
+    case "two-link instance: β" test_two_links_beta;
+    case "α = β reaches C(O)" test_alpha_at_beta_reaches_optimum;
+    case "strategy feasibility" test_strategy_feasible;
+    case "prediction = induced cost" test_predicted_matches_induced;
+    case "two links vs brute force" test_two_links_vs_brute_force;
+    case "rejects non-common-slope" test_rejects_wrong_class;
+    case "rejects bad alpha" test_rejects_bad_alpha;
+    case "α = 0 gives C(N)" test_alpha_zero_gives_nash;
+    case "optimal cost monotone in α" test_monotone_in_alpha;
+    prop_matches_brute_force;
+    prop_never_below_optimum;
+    prop_alpha_ge_beta_reaches_optimum;
+  ]

@@ -1,0 +1,242 @@
+(* Tests for parallel-links instances: water-filling Nash and optimum,
+   costs, induced equilibria. Closed forms are checked where they exist
+   (Pigou, linear systems); Wardrop/KKT conditions are verified post hoc on
+   random instances. *)
+
+open Helpers
+module Links = Sgr_links.Links
+module L = Sgr_latency.Latency
+module W = Sgr_workloads.Workloads
+module Prng = Sgr_numerics.Prng
+module Vec = Sgr_numerics.Vec
+
+let test_make_validation () =
+  (match Links.make [||] ~demand:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty system rejected");
+  match Links.make [| L.linear 1.0 |] ~demand:(-1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative demand rejected"
+
+let test_pigou_nash () =
+  let n = Links.nash W.pigou in
+  approx_array "N = (1,0)" [| 1.0; 0.0 |] n.assignment;
+  approx "level" 1.0 n.level;
+  approx "C(N)" 1.0 (Links.cost W.pigou n.assignment)
+
+let test_pigou_opt () =
+  let o = Links.opt W.pigou in
+  approx_array "O = (1/2,1/2)" [| 0.5; 0.5 |] o.assignment;
+  approx "marginal level" 1.0 o.level;
+  approx "C(O)" 0.75 (Links.cost W.pigou o.assignment)
+
+let test_pigou_poa () = approx "PoA = 4/3" (4.0 /. 3.0) (Links.price_of_anarchy W.pigou)
+
+let test_fig456_nash () =
+  (* Hand-solved: L(1 + 2/3 + 1/2 + 2/5) = 1 + 1/15  =>  L = 32/77. *)
+  let n = Links.nash W.fig456 in
+  approx "level 32/77" (32.0 /. 77.0) n.level;
+  approx "n1 = L" (32.0 /. 77.0) n.assignment.(0);
+  approx "n5 = 0 (constant too slow)" 0.0 n.assignment.(4)
+
+let test_fig456_opt () =
+  (* Constant link pins the marginal level at 0.7. *)
+  let o = Links.opt W.fig456 in
+  approx "level" 0.7 o.level;
+  approx_array "optimum"
+    [| 0.35; 0.7 /. 3.0; 0.175; 8.0 /. 75.0; 27.0 /. 200.0 |]
+    o.assignment
+
+let test_two_constant_links_share () =
+  (* Two identical constants at the level split the remainder evenly. *)
+  let t = Links.make [| L.linear 1.0; L.constant 0.5; L.constant 0.5 |] ~demand:2.0 in
+  let n = Links.nash t in
+  approx "level" 0.5 n.level;
+  approx "fast link at inverse" 0.5 n.assignment.(0);
+  approx "constants split" 0.75 n.assignment.(1);
+  approx "constants split (2)" 0.75 n.assignment.(2)
+
+let test_zero_demand () =
+  let t = Links.make [| L.linear 1.0; L.constant 1.0 |] ~demand:0.0 in
+  approx_array "all zeros" [| 0.0; 0.0 |] (Links.nash t).assignment;
+  approx_array "opt zeros" [| 0.0; 0.0 |] (Links.opt t).assignment
+
+let test_sub_instance () =
+  let sub, map = Links.sub W.fig456 ~keep:[| true; false; true; false; true |] ~demand:0.4 in
+  Alcotest.(check int) "links kept" 3 (Links.num_links sub);
+  Alcotest.(check (array int)) "index map" [| 0; 2; 4 |] map;
+  approx "demand" 0.4 sub.Links.demand
+
+let test_mm1_symmetric () =
+  (* Identical M/M/1 links: Nash = optimum = even split. *)
+  let t = W.mm1_links ~capacities:[| 0.6; 0.6; 0.6; 0.6 |] ~demand:1.0 in
+  let n = Links.nash t and o = Links.opt t in
+  approx_array "nash even" [| 0.25; 0.25; 0.25; 0.25 |] n.assignment;
+  approx_array "opt even" [| 0.25; 0.25; 0.25; 0.25 |] o.assignment;
+  approx "PoA 1" 1.0 (Links.price_of_anarchy t)
+
+let test_induced_pigou () =
+  (* Leader plays ⟨0, 1/2⟩; Followers route the other 1/2 onto link 1. *)
+  let ind = Links.induced W.pigou ~strategy:[| 0.0; 0.5 |] in
+  approx_array "T = (1/2, 0)" [| 0.5; 0.0 |] ind.assignment;
+  approx "C(S+T) = C(O)" 0.75 (Links.stackelberg_cost W.pigou ~strategy:[| 0.0; 0.5 |])
+
+let test_induced_infeasible_strategy () =
+  (match Links.induced W.pigou ~strategy:[| 2.0; 0.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "overfull strategy rejected");
+  match Links.induced W.pigou ~strategy:[| -0.5; 0.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative strategy rejected"
+
+let test_mm1_overload_fails () =
+  (* Demand beyond total capacity has no equilibrium: the solver must
+     fail loudly, not return garbage. *)
+  let t = Links.make [| L.mm1 ~capacity:0.4; L.mm1 ~capacity:0.4 |] ~demand:1.0 in
+  (match Links.nash t with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "overloaded M/M/1 nash must fail");
+  match Links.opt t with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "overloaded M/M/1 opt must fail"
+
+let test_induced_full_budget () =
+  (* The Leader may own the whole flow; the Followers then route 0. *)
+  let ind = Links.induced W.pigou ~strategy:[| 0.5; 0.5 |] in
+  approx_array "T = 0" [| 0.0; 0.0 |] ind.assignment;
+  approx "cost is the optimum" 0.75 (Links.stackelberg_cost W.pigou ~strategy:[| 0.5; 0.5 |])
+
+let test_huge_and_tiny_demands () =
+  let t = Links.make [| L.linear 1.0; L.affine ~slope:2.0 ~intercept:1.0 |] ~demand:1e6 in
+  check_true "huge demand solves" (Links.verify_nash t (Links.nash t).assignment);
+  let t' = Links.with_demand t 1e-9 in
+  check_true "tiny demand solves" (Links.is_feasible ~eps:1e-12 t' (Links.nash t').assignment)
+
+let test_verify_functions () =
+  let n = Links.nash W.fig456 and o = Links.opt W.fig456 in
+  check_true "nash verifies" (Links.verify_nash W.fig456 n.assignment);
+  check_true "opt verifies" (Links.verify_opt W.fig456 o.assignment);
+  check_true "nash is not optimal here" (not (Links.verify_opt W.fig456 n.assignment));
+  check_true "junk fails" (not (Links.verify_nash W.fig456 [| 0.2; 0.2; 0.2; 0.2; 0.2 |]))
+
+let random_instance seed =
+  let rng = Prng.create seed in
+  match Prng.int rng 3 with
+  | 0 -> W.random_affine_links rng ~m:(2 + Prng.int rng 6) ~demand:(Prng.uniform rng ~lo:0.5 ~hi:4.0) ()
+  | 1 ->
+      W.random_polynomial_links rng ~m:(2 + Prng.int rng 6)
+        ~demand:(Prng.uniform rng ~lo:0.5 ~hi:4.0) ()
+  | _ -> W.random_mm1_links rng ~m:(2 + Prng.int rng 6) ~demand:(Prng.uniform rng ~lo:0.5 ~hi:4.0) ()
+
+let prop_nash_wardrop =
+  qcheck "nash satisfies the Wardrop conditions" QCheck.small_nat (fun seed ->
+      let t = random_instance (seed + 1) in
+      let n = Links.nash t in
+      Links.is_feasible t n.assignment && Links.verify_nash t n.assignment)
+
+let prop_opt_kkt =
+  qcheck "optimum satisfies marginal-cost equalization" QCheck.small_nat (fun seed ->
+      let t = random_instance (seed + 1) in
+      let o = Links.opt t in
+      Links.is_feasible t o.assignment && Links.verify_opt t o.assignment)
+
+let prop_opt_beats_perturbations =
+  qcheck "optimum cost is a local (hence global) minimum" QCheck.small_nat (fun seed ->
+      let t = random_instance (seed + 1) in
+      let rng = Prng.create (seed + 7919) in
+      let o = (Links.opt t).assignment in
+      let co = Links.cost t o in
+      let m = Links.num_links t in
+      (* Random feasible transfers from one link to another never help. *)
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let i = Prng.int rng m and j = Prng.int rng m in
+        if i <> j && o.(i) > 0.0 then begin
+          let d = Prng.uniform rng ~lo:0.0 ~hi:o.(i) in
+          let x = Array.copy o in
+          x.(i) <- x.(i) -. d;
+          x.(j) <- x.(j) +. d;
+          if Links.cost t x < co -. (1e-7 *. Float.max 1.0 co) then ok := false
+        end
+      done;
+      !ok)
+
+let prop_poa_at_least_one =
+  qcheck "C(N) >= C(O)" QCheck.small_nat (fun seed ->
+      Links.price_of_anarchy (random_instance (seed + 1)) >= 1.0 -. 1e-7)
+
+let prop_linear_poa_bound =
+  qcheck "PoA <= 4/3 on affine instances" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let t =
+        W.random_affine_links rng ~m:(2 + Prng.int rng 6)
+          ~demand:(Prng.uniform rng ~lo:0.5 ~hi:4.0) ()
+      in
+      Links.price_of_anarchy t <= (4.0 /. 3.0) +. 1e-6)
+
+let test_beckmann_pigou () =
+  (* Φ(x, 1-x) = x²/2 + (1-x): minimized at x = 1 — the Nash point. *)
+  approx "at nash" 0.5 (Links.beckmann W.pigou [| 1.0; 0.0 |]);
+  approx "at optimum" (0.125 +. 0.5) (Links.beckmann W.pigou [| 0.5; 0.5 |])
+
+let prop_nash_minimizes_beckmann =
+  qcheck "the Nash assignment minimizes the Beckmann potential" QCheck.small_nat (fun seed ->
+      let t = random_instance (seed + 1) in
+      let rng = Prng.create (seed + 4241) in
+      let n = (Links.nash t).assignment in
+      let phi_n = Links.beckmann t n in
+      (* Compare against random feasible assignments (Dirichlet-ish). *)
+      let m = Links.num_links t in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let w = Array.init m (fun _ -> -.Float.log (1.0 -. Prng.float rng)) in
+        let s = Vec.sum w in
+        let x = Array.map (fun wi -> wi /. s *. t.Links.demand) w in
+        if Links.beckmann t x < phi_n -. (1e-7 *. Float.max 1.0 (Float.abs phi_n)) then
+          ok := false
+      done;
+      !ok)
+
+let prop_induced_is_wardrop_on_shifted =
+  qcheck "induced flow is a Wardrop equilibrium of the shifted game" QCheck.small_nat
+    (fun seed ->
+      let t = random_instance (seed + 1) in
+      let rng = Prng.create (seed + 31) in
+      let o = (Links.opt t).assignment in
+      let alpha = Prng.uniform rng ~lo:0.0 ~hi:1.0 in
+      let strategy = Vec.scale alpha o in
+      let ind = Links.induced t ~strategy in
+      let shifted =
+        Links.make
+          (Array.mapi (fun i lat -> L.shift strategy.(i) lat) t.Links.latencies)
+          ~demand:(t.Links.demand -. Vec.sum strategy)
+      in
+      Links.verify_nash shifted ind.assignment)
+
+let suite =
+  [
+    case "make: validation" test_make_validation;
+    case "pigou: nash" test_pigou_nash;
+    case "pigou: optimum" test_pigou_opt;
+    case "pigou: PoA = 4/3" test_pigou_poa;
+    case "fig4-6: nash closed form" test_fig456_nash;
+    case "fig4-6: optimum closed form" test_fig456_opt;
+    case "constants: tie splitting" test_two_constant_links_share;
+    case "zero demand" test_zero_demand;
+    case "sub-instances" test_sub_instance;
+    case "mm1: symmetric system" test_mm1_symmetric;
+    case "induced: pigou" test_induced_pigou;
+    case "induced: infeasible strategies rejected" test_induced_infeasible_strategy;
+    case "mm1: overload fails loudly" test_mm1_overload_fails;
+    case "induced: leader owns everything" test_induced_full_budget;
+    case "extreme demands" test_huge_and_tiny_demands;
+    case "verify_nash / verify_opt" test_verify_functions;
+    case "beckmann potential: pigou" test_beckmann_pigou;
+    prop_nash_minimizes_beckmann;
+    prop_nash_wardrop;
+    prop_opt_kkt;
+    prop_opt_beats_perturbations;
+    prop_poa_at_least_one;
+    prop_linear_poa_bound;
+    prop_induced_is_wardrop_on_shifted;
+  ]

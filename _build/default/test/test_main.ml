@@ -1,0 +1,24 @@
+(* Aggregated Alcotest runner for all suites. *)
+
+let () =
+  Alcotest.run "stackelberg-price-of-optimum"
+    [
+      ("numerics", Test_numerics.suite);
+      ("latency", Test_latency.suite);
+      ("graph", Test_graph.suite);
+      ("topology", Test_topology.suite);
+      ("links", Test_links.suite);
+      ("network", Test_network.suite);
+      ("optop", Test_optop.suite);
+      ("strategies", Test_strategies.suite);
+      ("theory", Test_theory.suite);
+      ("linear-exact", Test_linear_exact.suite);
+      ("partition-heuristic", Test_partition.suite);
+      ("mop", Test_mop.suite);
+      ("extensions", Test_extensions.suite);
+      ("io", Test_io.suite);
+      ("atomic", Test_atomic.suite);
+      ("atomic-net & tolls", Test_atomic_net.suite);
+      ("discrete", Test_discrete.suite);
+      ("workloads", Test_workloads.suite);
+    ]

@@ -1,0 +1,192 @@
+(* Tests for MOP (Theorem 2.1 / Corollary 2.3): the Fig. 7 worked example,
+   the classic Braess graph, k commodities, and random networks. *)
+
+open Helpers
+module Net = Sgr_network.Network
+module Mop = Stackelberg.Mop
+module Induced = Stackelberg.Induced
+module W = Sgr_workloads.Workloads
+module Prng = Sgr_numerics.Prng
+module Vec = Sgr_numerics.Vec
+module Tol = Sgr_numerics.Tolerance
+
+let test_fig7_beta () =
+  List.iter
+    (fun epsilon ->
+      let net = W.fig7 ~epsilon () in
+      let r = Mop.run net in
+      approx ~eps:1e-4
+        (Printf.sprintf "β = 1/2 + 2ε at ε=%.3f" epsilon)
+        (0.5 +. (2.0 *. epsilon))
+        r.beta)
+    [ 0.0; 0.02; 0.05; 0.1 ]
+
+let test_fig7_strategy_paths () =
+  (* Leader controls exactly the two non-shortest paths s→v→t and s→w→t,
+     each with optimal flow 1/4 + ε. *)
+  let epsilon = 0.02 in
+  let net = W.fig7 ~epsilon () in
+  let r = Mop.run net in
+  let rep = r.per_commodity.(0) in
+  Alcotest.(check int) "two leader paths" 2 (List.length rep.leader_paths);
+  List.iter
+    (fun (path, amount) ->
+      approx "each carries 1/4 + ε" (0.25 +. epsilon) amount;
+      Alcotest.(check int) "outer paths have 2 edges" 2 (List.length path))
+    rep.leader_paths;
+  (* Followers keep the middle path. *)
+  match rep.follower_paths with
+  | [ (path, amount) ] ->
+      approx "free flow 1/2 - 2ε" (0.5 -. (2.0 *. epsilon)) amount;
+      Alcotest.(check int) "middle path has 3 edges" 3 (List.length path)
+  | _ -> Alcotest.fail "expected exactly the middle path"
+
+let test_fig7_induces_optimum () =
+  let net = W.fig7 () in
+  let r = Mop.run net in
+  approx ~eps:1e-5 "C(S+T) = C(O)" r.opt_cost r.induced.cost;
+  check_true "S+T = O (edge flows)"
+    (Vec.linf_dist r.induced.combined_edge_flow r.opt_edge_flow <= 1e-4)
+
+let test_fig7_shortest_subgraph () =
+  let net = W.fig7 () in
+  let r = Mop.run net in
+  (* Only the middle path s→v, v→w, w→t lies on a shortest path. *)
+  Alcotest.(check (array bool)) "shortest subgraph"
+    [| true; false; true; false; true |]
+    r.per_commodity.(0).on_shortest
+
+let test_braess_classic_beta_one () =
+  let r = Mop.run (W.braess_classic ()) in
+  approx "β = 1" 1.0 r.beta;
+  approx "C(N) = 2" 2.0 r.nash_cost;
+  approx "C(O) = 3/2" 1.5 r.opt_cost;
+  approx ~eps:1e-5 "leader alone reproduces the optimum" 1.5 r.induced.cost
+
+let test_pigou_as_network () =
+  (* Sanity: MOP on a 2-parallel-edge network must agree with OpTop. *)
+  let g = Sgr_graph.Digraph.of_edges ~num_nodes:2 [ (0, 1); (0, 1) ] in
+  let net =
+    Net.single g
+      ~latencies:[| Sgr_latency.Latency.linear 1.0; Sgr_latency.Latency.constant 1.0 |]
+      ~src:0 ~dst:1 ~demand:1.0
+  in
+  let r = Mop.run net in
+  approx "β = 1/2 (matches OpTop on pigou)" 0.5 r.beta;
+  approx ~eps:1e-5 "induced = 3/4" 0.75 r.induced.cost
+
+let test_two_commodity () =
+  let net = W.two_commodity () in
+  let r = Mop.run net in
+  check_true "β ∈ [0,1]" (0.0 <= r.beta && r.beta <= 1.0);
+  approx ~eps:1e-4 "induced = C(O) with two commodities" r.opt_cost r.induced.cost;
+  check_true "combined = O"
+    (Vec.linf_dist r.induced.combined_edge_flow r.opt_edge_flow <= 1e-3);
+  (* Leader budget accounting. *)
+  let controlled =
+    Array.fold_left (fun acc (rep : Mop.commodity_report) -> acc +. rep.controlled) 0.0
+      r.per_commodity
+  in
+  approx "β·r = controlled flow" (r.beta *. Net.total_demand net) controlled
+
+let test_minimality_fig7 () =
+  (* Section 5.1: releasing any part of the Leader's non-shortest-path
+     flow back to the Followers breaks optimality. *)
+  let net = W.fig7 () in
+  let r = Mop.run net in
+  check_true "no leader flow is dispensable" (Mop.verify_minimality net r)
+
+let test_minimality_two_commodity () =
+  let net = W.two_commodity () in
+  let r = Mop.run net in
+  check_true "minimality across commodities" (Mop.verify_minimality net r)
+
+let test_induced_module_validation () =
+  let net = W.fig7 () in
+  let m = Sgr_graph.Digraph.num_edges net.Net.graph in
+  (match Induced.equilibrium net ~leader_edge_flow:(Array.make 2 0.0) ~follower_demands:[| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad edge-flow size rejected");
+  match Induced.equilibrium net ~leader_edge_flow:(Array.make m 0.0) ~follower_demands:[| -1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative follower demand rejected"
+
+let test_induced_no_leader_is_nash () =
+  let net = W.fig7 () in
+  let m = Sgr_graph.Digraph.num_edges net.Net.graph in
+  let out = Induced.equilibrium net ~leader_edge_flow:(Array.make m 0.0) ~follower_demands:[| 1.0 |] in
+  approx ~eps:1e-5 "no leader = plain Nash cost" (Mop.run net).nash_cost out.cost
+
+let random_network seed =
+  let rng = Prng.create seed in
+  W.random_layered_network rng ~layers:(1 + Prng.int rng 2) ~width:(1 + Prng.int rng 3)
+    ~extra_edges:(Prng.int rng 2)
+    ~demand:(Prng.uniform rng ~lo:0.5 ~hi:2.0) ()
+
+let prop_beta_in_unit_interval =
+  qcheck ~count:30 "β ∈ [0,1] on random networks" QCheck.small_nat (fun seed ->
+      let r = Mop.run (random_network (seed + 1)) in
+      -1e-9 <= r.beta && r.beta <= 1.0 +. 1e-9)
+
+let prop_induces_optimum =
+  qcheck ~count:30 "MOP induces the optimum on random networks" QCheck.small_nat (fun seed ->
+      let net = random_network (seed + 1) in
+      let r = Mop.run net in
+      Tol.approx ~eps:1e-4 r.induced.cost r.opt_cost
+      && Vec.linf_dist r.induced.combined_edge_flow r.opt_edge_flow
+         <= 1e-3 *. Float.max 1.0 (Net.total_demand net))
+
+let prop_leader_flow_within_optimum =
+  qcheck ~count:30 "leader never exceeds the optimal flow on any edge" QCheck.small_nat
+    (fun seed ->
+      let net = random_network (seed + 1) in
+      let r = Mop.run net in
+      Array.for_all2 (fun s o -> s <= o +. 1e-6) r.leader_edge_flow r.opt_edge_flow)
+
+let prop_minimality_random =
+  qcheck ~count:10 "MOP's strategy is minimal on random networks" QCheck.small_nat (fun seed ->
+      let net = random_network (seed + 1) in
+      let r = Mop.run net in
+      (* Instances where the Leader controls nothing are trivially minimal. *)
+      r.beta < 1e-6 || Mop.verify_minimality net r)
+
+let prop_multicommodity_grids =
+  qcheck ~count:10 "MOP induces the optimum on random multicommodity grids" QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let net =
+        W.random_multicommodity rng ~rows:3 ~cols:3 ~commodities:(1 + Prng.int rng 3) ()
+      in
+      let r = Mop.run net in
+      Tol.approx ~eps:1e-4 r.induced.cost r.opt_cost
+      && r.beta <= r.beta_weak +. 1e-9
+      && Vec.linf_dist r.induced.combined_edge_flow r.opt_edge_flow
+         <= 1e-3 *. Float.max 1.0 (Net.total_demand net))
+
+let prop_grid_networks =
+  qcheck ~count:10 "MOP on random BPR grids" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let net = W.grid_network rng ~rows:3 ~cols:3 ~demand:2.0 () in
+      let r = Mop.run net in
+      Tol.approx ~eps:1e-4 r.induced.cost r.opt_cost)
+
+let suite =
+  [
+    case "fig7: β = 1/2 + 2ε across ε" test_fig7_beta;
+    case "fig7: leader/follower path split" test_fig7_strategy_paths;
+    case "fig7: induces the optimum" test_fig7_induces_optimum;
+    case "fig7: shortest-path subgraph" test_fig7_shortest_subgraph;
+    case "classic braess: β = 1" test_braess_classic_beta_one;
+    case "pigou as a network" test_pigou_as_network;
+    case "two commodities (Thm 2.1)" test_two_commodity;
+    case "minimality (Sec. 5.1): fig7" test_minimality_fig7;
+    case "minimality (Sec. 5.1): two commodities" test_minimality_two_commodity;
+    prop_minimality_random;
+    case "induced: validation" test_induced_module_validation;
+    case "induced: empty leader = Nash" test_induced_no_leader_is_nash;
+    prop_beta_in_unit_interval;
+    prop_induces_optimum;
+    prop_leader_flow_within_optimum;
+    prop_multicommodity_grids;
+    prop_grid_networks;
+  ]

@@ -1,0 +1,196 @@
+(* Tests for network instances and both equilibrium solvers. Closed forms
+   come from Pigou-as-network, the classic Braess graph and the Fig. 7
+   instance; the two solvers are also cross-checked on random networks. *)
+
+open Helpers
+module Net = Sgr_network.Network
+module Eq = Sgr_network.Equilibrate
+module FW = Sgr_network.Frank_wolfe
+module Obj = Sgr_network.Objective
+module G = Sgr_graph
+module L = Sgr_latency.Latency
+module W = Sgr_workloads.Workloads
+module Prng = Sgr_numerics.Prng
+module Vec = Sgr_numerics.Vec
+
+(* Pigou as a two-edge network. *)
+let pigou_net () =
+  let g = G.Digraph.of_edges ~num_nodes:2 [ (0, 1); (0, 1) ] in
+  Net.single g ~latencies:[| L.linear 1.0; L.constant 1.0 |] ~src:0 ~dst:1 ~demand:1.0
+
+let test_make_validation () =
+  let g = G.Digraph.of_edges ~num_nodes:3 [ (0, 1) ] in
+  (match Net.single g ~latencies:[| L.linear 1.0 |] ~src:0 ~dst:2 ~demand:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unreachable pair rejected");
+  match Net.single g ~latencies:[||] ~src:0 ~dst:1 ~demand:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "latency count mismatch rejected"
+
+let test_functionals () =
+  let net = pigou_net () in
+  let f = [| 0.5; 0.5 |] in
+  approx "cost" 0.75 (Net.cost net f);
+  approx "beckmann" (0.125 +. 0.5) (Net.beckmann net f);
+  approx_array "latencies" [| 0.5; 1.0 |] (Net.edge_latencies net f);
+  approx_array "marginals" [| 1.0; 1.0 |] (Net.edge_marginals net f);
+  approx "total demand" 1.0 (Net.total_demand net)
+
+let test_shift () =
+  let net = pigou_net () in
+  let shifted = Net.shift net [| 0.25; 0.0 |] in
+  approx "shifted latency" 0.75 (Net.edge_latencies shifted [| 0.5; 0.5 |]).(0)
+
+let test_paths () =
+  let net = W.fig7 () in
+  let paths = Net.paths net in
+  Alcotest.(check int) "three s-t paths" 3 (Array.length paths.(0))
+
+let test_equilibrate_pigou () =
+  let net = pigou_net () in
+  let nash = Eq.solve Obj.Wardrop net in
+  approx_array "nash edge flow" [| 1.0; 0.0 |] nash.edge_flow;
+  let opt = Eq.solve Obj.System_optimum net in
+  approx_array "opt edge flow" [| 0.5; 0.5 |] opt.edge_flow;
+  check_true "wardrop verified" (Eq.verify Obj.Wardrop net nash);
+  check_true "optimum verified" (Eq.verify Obj.System_optimum net opt)
+
+let test_equilibrate_braess_nash () =
+  (* Classic Braess: the whole unit flow uses the shortcut; C(N) = 2. *)
+  let net = W.braess_classic () in
+  let nash = Eq.solve Obj.Wardrop net in
+  approx_array "all through s→v→w→t" [| 1.0; 0.0; 1.0; 0.0; 1.0 |] nash.edge_flow;
+  approx "C(N) = 2" 2.0 (Net.cost net nash.edge_flow)
+
+let test_equilibrate_braess_opt () =
+  (* Optimum ignores the shortcut and splits evenly; C(O) = 3/2. *)
+  let net = W.braess_classic () in
+  let opt = Eq.solve Obj.System_optimum net in
+  approx_array "split" [| 0.5; 0.5; 0.0; 0.5; 0.5 |] opt.edge_flow;
+  approx "C(O) = 3/2" 1.5 (Net.cost net opt.edge_flow)
+
+let test_equilibrate_fig7_opt () =
+  (* The reconstructed Example 6.5.1 optimum must match the caption. *)
+  let epsilon = 0.02 in
+  let net = W.fig7 ~epsilon () in
+  let opt = Eq.solve Obj.System_optimum net in
+  approx_array "caption flows"
+    [| 0.75 -. epsilon; 0.25 +. epsilon; 0.5 -. (2.0 *. epsilon); 0.25 +. epsilon; 0.75 -. epsilon |]
+    opt.edge_flow
+
+let test_equilibrate_fig7_nash () =
+  (* By symmetry the Nash equalizes the three paths; the middle path has
+     latency 2x_m + x_v where all used. Solved by the solver; verify the
+     Wardrop property and the symmetry instead of a closed form. *)
+  let net = W.fig7 () in
+  let nash = Eq.solve Obj.Wardrop net in
+  check_true "wardrop" (Eq.verify Obj.Wardrop net nash);
+  approx "symmetry sv=wt" nash.edge_flow.(0) nash.edge_flow.(4);
+  approx "symmetry sw=vt" nash.edge_flow.(1) nash.edge_flow.(3)
+
+let test_two_commodity_solver () =
+  let net = W.two_commodity () in
+  let nash = Eq.solve Obj.Wardrop net in
+  check_true "wardrop across both commodities" (Eq.verify Obj.Wardrop net nash);
+  (* Per-commodity demand conservation. *)
+  Array.iteri
+    (fun i flows ->
+      approx "commodity demand routed" net.Net.commodities.(i).Net.demand (Vec.sum flows))
+    nash.path_flows
+
+let test_fw_pigou () =
+  let net = pigou_net () in
+  let nash = FW.solve Obj.Wardrop net in
+  approx_array ~eps:1e-5 "nash" [| 1.0; 0.0 |] nash.edge_flow;
+  let opt = FW.solve Obj.System_optimum net in
+  approx_array ~eps:1e-5 "opt" [| 0.5; 0.5 |] opt.edge_flow
+
+let test_fw_matches_equilibrate_fig7 () =
+  let net = W.fig7 () in
+  let a = FW.solve ~tol:1e-10 Obj.System_optimum net in
+  let b = Eq.solve Obj.System_optimum net in
+  check_true "edge flows agree" (Vec.linf_dist a.edge_flow b.edge_flow <= 1e-4)
+
+let test_objective_values () =
+  let net = pigou_net () in
+  approx "beckmann value" (Obj.objective Obj.Wardrop net [| 0.5; 0.5 |])
+    (Net.beckmann net [| 0.5; 0.5 |]);
+  approx "cost value" (Obj.objective Obj.System_optimum net [| 0.5; 0.5 |])
+    (Net.cost net [| 0.5; 0.5 |])
+
+let test_zero_demand_commodity () =
+  let g = G.Digraph.of_edges ~num_nodes:2 [ (0, 1); (0, 1) ] in
+  let net =
+    Net.make g
+      ~latencies:[| L.linear 1.0; L.constant 1.0 |]
+      ~commodities:[| { Net.src = 0; dst = 1; demand = 0.0 } |]
+  in
+  let sol = Eq.solve Obj.Wardrop net in
+  approx_array "nothing flows" [| 0.0; 0.0 |] sol.edge_flow
+
+let test_aon () =
+  let net = W.braess_classic () in
+  let flow = FW.all_or_nothing net ~weights:[| 0.0; 1.0; 0.0; 1.0; 0.0 |] in
+  approx_array "all demand on the zero path" [| 1.0; 0.0; 1.0; 0.0; 1.0 |] flow
+
+let random_network seed =
+  let rng = Prng.create seed in
+  W.random_layered_network rng ~layers:(1 + Prng.int rng 3) ~width:(1 + Prng.int rng 3)
+    ~extra_edges:(Prng.int rng 3)
+    ~demand:(Prng.uniform rng ~lo:0.5 ~hi:3.0) ()
+
+let prop_solvers_agree =
+  (* Frank-Wolfe converges as O(1/k), so edge flows are only loosely
+     pinned down; the objective value is what its duality gap bounds. *)
+  qcheck ~count:25 "frank-wolfe and path equilibration agree" QCheck.small_nat (fun seed ->
+      let net = random_network (seed + 1) in
+      let a = FW.solve ~tol:1e-8 ~max_iter:100_000 Obj.System_optimum net in
+      let b = Eq.solve Obj.System_optimum net in
+      let fa = Obj.objective Obj.System_optimum net a.edge_flow in
+      let fb = Obj.objective Obj.System_optimum net b.edge_flow in
+      Float.abs (fa -. fb) <= 1e-4 *. Float.max 1.0 (Float.abs fb)
+      && Vec.linf_dist a.edge_flow b.edge_flow <= 1e-2)
+
+let prop_equilibrate_wardrop =
+  qcheck ~count:50 "path equilibration reaches a Wardrop point" QCheck.small_nat (fun seed ->
+      let net = random_network (seed + 50) in
+      let sol = Eq.solve Obj.Wardrop net in
+      Eq.verify Obj.Wardrop net sol)
+
+let prop_opt_cost_below_nash =
+  qcheck ~count:50 "C(O) <= C(N)" QCheck.small_nat (fun seed ->
+      let net = random_network (seed + 100) in
+      let n = Eq.solve Obj.Wardrop net and o = Eq.solve Obj.System_optimum net in
+      Net.cost net o.edge_flow <= Net.cost net n.edge_flow +. 1e-6)
+
+let prop_nash_minimizes_beckmann =
+  qcheck ~count:30 "the Wardrop flow minimizes the Beckmann potential" QCheck.small_nat
+    (fun seed ->
+      let net = random_network (seed + 150) in
+      let n = Eq.solve Obj.Wardrop net in
+      let o = Eq.solve Obj.System_optimum net in
+      (* Any other flow we can produce has no smaller potential. *)
+      Net.beckmann net n.edge_flow <= Net.beckmann net o.edge_flow +. 1e-6)
+
+let suite =
+  [
+    case "make: validation" test_make_validation;
+    case "functionals: cost/beckmann/latency" test_functionals;
+    case "shift" test_shift;
+    case "path sets" test_paths;
+    case "equilibrate: pigou" test_equilibrate_pigou;
+    case "equilibrate: braess nash" test_equilibrate_braess_nash;
+    case "equilibrate: braess optimum" test_equilibrate_braess_opt;
+    case "equilibrate: fig7 optimum = caption" test_equilibrate_fig7_opt;
+    case "equilibrate: fig7 nash symmetric" test_equilibrate_fig7_nash;
+    case "equilibrate: two commodities" test_two_commodity_solver;
+    case "frank-wolfe: pigou" test_fw_pigou;
+    case "frank-wolfe vs equilibrate: fig7" test_fw_matches_equilibrate_fig7;
+    case "objective dispatch" test_objective_values;
+    case "zero-demand commodity" test_zero_demand_commodity;
+    case "all-or-nothing" test_aon;
+    prop_solvers_agree;
+    prop_equilibrate_wardrop;
+    prop_opt_cost_below_nash;
+    prop_nash_minimizes_beckmann;
+  ]

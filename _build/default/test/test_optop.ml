@@ -1,0 +1,137 @@
+(* Tests for OpTop (Corollary 2.2): the paper's worked example, exactness
+   of the induced optimum, minimality of β, and behaviour on random
+   instances. *)
+
+open Helpers
+module Links = Sgr_links.Links
+module Optop = Stackelberg.Optop
+module W = Sgr_workloads.Workloads
+module Prng = Sgr_numerics.Prng
+module Vec = Sgr_numerics.Vec
+module Tol = Sgr_numerics.Tolerance
+
+let test_pigou () =
+  let r = Optop.run W.pigou in
+  approx "beta = 1/2" 0.5 r.beta;
+  approx_array "strategy ⟨0, 1/2⟩" [| 0.0; 0.5 |] r.strategy;
+  approx "induced = C(O)" r.optimum_cost r.induced_cost
+
+let test_fig456_beta () =
+  let r = Optop.run W.fig456 in
+  approx "beta = 29/120" (29.0 /. 120.0) r.beta;
+  approx_array "strategy freezes M4, M5 at optimum"
+    [| 0.0; 0.0; 0.0; 8.0 /. 75.0; 27.0 /. 200.0 |]
+    r.strategy
+
+let test_fig456_rounds () =
+  let r = Optop.run W.fig456 in
+  Alcotest.(check int) "two rounds (freeze, terminate)" 2 (List.length r.rounds);
+  match r.rounds with
+  | [ first; second ] ->
+      Alcotest.(check (array int)) "round 1 freezes M4,M5" [| 3; 4 |] first.frozen;
+      Alcotest.(check (array int)) "round 2 freezes nothing" [||] second.frozen;
+      Alcotest.(check (array int)) "round 2 active" [| 0; 1; 2 |] second.active;
+      approx "round 2 demand" (1.0 -. (8.0 /. 75.0) -. (27.0 /. 200.0)) second.demand
+  | _ -> Alcotest.fail "unexpected round structure"
+
+let test_fig456_induces_optimum () =
+  let r = Optop.run W.fig456 in
+  approx "C(S+T) = C(O)" r.optimum_cost r.induced_cost;
+  let induced = Links.induced W.fig456 ~strategy:r.strategy in
+  approx_array "S + T = O" r.optimum (Vec.add r.strategy induced.assignment)
+
+let test_nash_equals_opt_gives_zero_beta () =
+  (* Symmetric system: N = O, no control needed. *)
+  let t = W.mm1_links ~capacities:[| 0.6; 0.6; 0.6 |] ~demand:1.0 in
+  let r = Optop.run t in
+  approx "beta = 0" 0.0 r.beta;
+  Alcotest.(check int) "single round" 1 (List.length r.rounds)
+
+let test_beta_minimality_pigou () =
+  (* Just below β no strategy reaches C(O); at β OpTop's does. *)
+  let opt_cost = (Optop.run W.pigou).optimum_cost in
+  check_true "alpha = β reaches optimum"
+    (Stackelberg.Brute_force.can_reach_optimum ~resolution:50 W.pigou ~alpha:0.5);
+  let below = Stackelberg.Brute_force.optimal_strategy ~resolution:50 W.pigou ~alpha:0.45 in
+  check_true "alpha < β cannot reach optimum"
+    (below.induced_cost > opt_cost +. 1e-4)
+
+let random_instance seed =
+  let rng = Prng.create seed in
+  match Prng.int rng 3 with
+  | 0 -> W.random_affine_links rng ~m:(2 + Prng.int rng 8) ~demand:(Prng.uniform rng ~lo:0.5 ~hi:4.0) ()
+  | 1 ->
+      W.random_polynomial_links rng ~m:(2 + Prng.int rng 8)
+        ~demand:(Prng.uniform rng ~lo:0.5 ~hi:4.0) ()
+  | _ -> W.random_mm1_links rng ~m:(2 + Prng.int rng 8) ~demand:(Prng.uniform rng ~lo:0.5 ~hi:4.0) ()
+
+let prop_beta_in_unit_interval =
+  qcheck "β ∈ [0, 1]" QCheck.small_nat (fun seed ->
+      let b = Optop.beta (random_instance (seed + 1)) in
+      -1e-9 <= b && b <= 1.0 +. 1e-9)
+
+let prop_strategy_budget =
+  qcheck "strategy spends exactly β·r" QCheck.small_nat (fun seed ->
+      let t = random_instance (seed + 1) in
+      let r = Optop.run t in
+      Tol.approx (Vec.sum r.strategy) (r.beta *. t.Links.demand))
+
+let prop_induces_optimum =
+  qcheck "OpTop's strategy induces the optimum cost" QCheck.small_nat (fun seed ->
+      let t = random_instance (seed + 1) in
+      let r = Optop.run t in
+      Tol.approx ~eps:1e-5 r.induced_cost r.optimum_cost)
+
+let prop_induced_flow_is_optimum =
+  qcheck "S + T equals the optimum assignment" QCheck.small_nat (fun seed ->
+      let t = random_instance (seed + 1) in
+      let r = Optop.run t in
+      let induced = Links.induced t ~strategy:r.strategy in
+      Vec.linf_dist (Vec.add r.strategy induced.assignment) r.optimum
+      <= 1e-5 *. Float.max 1.0 t.Links.demand)
+
+let prop_strategy_loads_only_underloaded =
+  qcheck "leader only ever loads links at their optimal load" QCheck.small_nat (fun seed ->
+      let t = random_instance (seed + 1) in
+      let r = Optop.run t in
+      Array.for_all2
+        (fun s o -> s = 0.0 || Tol.approx s o)
+        r.strategy r.optimum)
+
+let prop_beta_zero_iff_nash_optimal =
+  qcheck "β = 0 exactly when N already costs C(O)" QCheck.small_nat (fun seed ->
+      let t = random_instance (seed + 1) in
+      let r = Optop.run t in
+      let poa_one = Tol.approx ~eps:1e-6 r.nash_cost r.optimum_cost in
+      if r.beta <= 1e-7 then poa_one else not (Tol.approx ~eps:1e-4 r.beta 0.0) || poa_one)
+
+let prop_brute_force_cannot_beat_below_beta =
+  qcheck ~count:20 "below β the grid search cannot reach C(O)" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let t = W.random_affine_links rng ~m:(2 + Prng.int rng 2) ~demand:1.0 () in
+      let r = Optop.run t in
+      (* Skip instances with a tiny β or a near-degenerate optimality gap
+         (N ≈ O): there is no meaningful separation to certify. *)
+      if r.beta < 0.05 || r.nash_cost -. r.optimum_cost < 1e-4 then true
+      else begin
+        let alpha = 0.8 *. r.beta in
+        let bf = Stackelberg.Brute_force.optimal_strategy ~resolution:24 t ~alpha in
+        bf.induced_cost > r.optimum_cost +. 1e-7
+      end)
+
+let suite =
+  [
+    case "pigou" test_pigou;
+    case "fig4-6: β = 29/120" test_fig456_beta;
+    case "fig4-6: round trace" test_fig456_rounds;
+    case "fig4-6: induces the optimum" test_fig456_induces_optimum;
+    case "symmetric system: β = 0" test_nash_equals_opt_gives_zero_beta;
+    case "pigou: β is minimal" test_beta_minimality_pigou;
+    prop_beta_in_unit_interval;
+    prop_strategy_budget;
+    prop_induces_optimum;
+    prop_induced_flow_is_optimum;
+    prop_strategy_loads_only_underloaded;
+    prop_beta_zero_iff_nash_optimal;
+    prop_brute_force_cannot_beat_below_beta;
+  ]

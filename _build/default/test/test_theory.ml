@@ -1,0 +1,193 @@
+(* Tests for the structural results of Sections 6-7: useless strategies
+   (Thm 7.2), frozen links (Thm 7.4 / Lemma 7.5), Nash monotonicity
+   (Prop 7.1), the swap construction (Lemma 6.1 / Figs 8-10), and the
+   Sharma-Williamson threshold (footnote 6). *)
+
+open Helpers
+module Links = Sgr_links.Links
+module Theory = Stackelberg.Theory
+module W = Sgr_workloads.Workloads
+module Prng = Sgr_numerics.Prng
+module Vec = Sgr_numerics.Vec
+
+let test_classify () =
+  let nash = [| 1.0; 0.0 |] and opt = [| 0.5; 0.5 |] in
+  check_true "over" (Theory.classify ~nash ~opt 0 = Theory.Over_loaded);
+  check_true "under" (Theory.classify ~nash ~opt 1 = Theory.Under_loaded);
+  check_true "optimum" (Theory.classify ~nash:opt ~opt 0 = Theory.Optimum_loaded)
+
+let test_frozen_links () =
+  let frozen = Theory.frozen_links ~nash:[| 0.4; 0.6 |] [| 0.5; 0.2 |] in
+  Alcotest.(check (array bool)) "first frozen only" [| true; false |] frozen
+
+let test_useless_pigou () =
+  (* s = (0.3, 0) <= N = (1, 0): Theorem 7.2 says the outcome is N. *)
+  check_true "useless detected"
+    (Theory.is_useless ~nash:[| 1.0; 0.0 |] [| 0.3; 0.0 |]);
+  check_true "fixed point" (Theory.useless_strategy_fixed_point W.pigou ~strategy:[| 0.3; 0.0 |])
+
+let test_useless_rejects_useful () =
+  match Theory.useless_strategy_fixed_point W.pigou ~strategy:[| 0.0; 0.5 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "useful strategy must be rejected by the 7.2 checker"
+
+let test_frozen_receive_nothing_pigou () =
+  (* Leader floods link 2 beyond its Nash load (0): frozen, receives no
+     induced flow. *)
+  check_true "frozen link empty" (Theory.frozen_receive_nothing W.pigou ~strategy:[| 0.0; 0.5 |])
+
+let test_swap_example () =
+  (* Two links ℓ1 = x + 1, ℓ2 = x + 2 (a = 1, b1 = 1 <= b2 = 2).
+     Leader flow s1 = 4 alone on M1 (latency 5); M2 carries s2+t2 = 2
+     (latency 4 <= 5). Swap + slide ε = 1. *)
+  let w = Theory.swap ~slope:1.0 ~b1:1.0 ~b2:2.0 ~s1:4.0 ~s2:1.0 ~t2:1.0 in
+  approx "epsilon = (b2-b1)/a" 1.0 w.epsilon;
+  approx "cost before" ((4.0 *. 5.0) +. (2.0 *. 4.0)) w.cost_before;
+  (* After: M1 carries 3 (latency 4), M2 carries 3 (latency 5)?? — no:
+     M1 carries u+ε = 3 at latency 4, M2 carries s1-ε = 3 at latency 5. *)
+  let l1, l2 = w.loads_after in
+  approx "M1 load" 3.0 l1;
+  approx "M2 load" 3.0 l2;
+  check_true "cost does not increase" (w.cost_after <= w.cost_before +. 1e-9)
+
+let test_swap_preconditions () =
+  (match Theory.swap ~slope:0.0 ~b1:0.0 ~b2:1.0 ~s1:1.0 ~s2:0.0 ~t2:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero slope rejected");
+  match Theory.swap ~slope:1.0 ~b1:2.0 ~b2:1.0 ~s1:1.0 ~s2:0.0 ~t2:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "b1 > b2 rejected"
+
+let test_sharma_williamson_pigou () =
+  (* Only link 2 is under-loaded, with Nash load 0: threshold 0. *)
+  approx "threshold 0" 0.0 (Theory.sharma_williamson_threshold W.pigou)
+
+let test_sharma_williamson_none () =
+  let t = W.mm1_links ~capacities:[| 0.6; 0.6 |] ~demand:1.0 in
+  check_true "no under-loaded link -> infinity"
+    (Theory.sharma_williamson_threshold t = Float.infinity)
+
+let random_instance seed =
+  let rng = Prng.create seed in
+  match Prng.int rng 3 with
+  | 0 -> W.random_affine_links rng ~m:(2 + Prng.int rng 6) ~demand:(Prng.uniform rng ~lo:0.5 ~hi:3.0) ()
+  | 1 ->
+      W.random_polynomial_links rng ~m:(2 + Prng.int rng 6)
+        ~demand:(Prng.uniform rng ~lo:0.5 ~hi:3.0) ()
+  | _ -> W.random_mm1_links rng ~m:(2 + Prng.int rng 6) ~demand:(Prng.uniform rng ~lo:0.5 ~hi:3.0) ()
+
+(* Theorem 7.2 on random instances with random sub-Nash strategies. *)
+let prop_theorem_7_2 =
+  qcheck "Thm 7.2: s <= N pointwise => S+T = N" QCheck.small_nat (fun seed ->
+      let t = random_instance (seed + 1) in
+      let rng = Prng.create (seed + 997) in
+      let nash = (Links.nash t).assignment in
+      let strategy = Array.map (fun n -> Prng.uniform rng ~lo:0.0 ~hi:1.0 *. n) nash in
+      Theory.useless_strategy_fixed_point t ~strategy)
+
+(* Theorem 7.4: strategies loading only frozen links. *)
+let prop_theorem_7_4 =
+  qcheck "Thm 7.4: all-frozen strategies leave frozen links alone" QCheck.small_nat
+    (fun seed ->
+      let t = random_instance (seed + 1) in
+      let rng = Prng.create (seed + 1009) in
+      let nash = (Links.nash t).assignment in
+      let opt = (Links.opt t).assignment in
+      (* Freeze a random subset at a load in [n_i, max(n_i, o_i)] while the
+         budget allows; other links get nothing. *)
+      let m = Links.num_links t in
+      let budget = ref t.Links.demand in
+      let strategy = Array.make m 0.0 in
+      Array.iteri
+        (fun i n ->
+          if Prng.bool rng then begin
+            let hi = Float.max n opt.(i) in
+            let want = Prng.uniform rng ~lo:n ~hi:(hi +. 0.1) in
+            let take = Float.min want !budget in
+            if take >= n then begin
+              strategy.(i) <- take;
+              budget := !budget -. take
+            end
+          end)
+        nash;
+      Theory.frozen_receive_nothing t ~strategy)
+
+(* Lemma 7.5: mixed strategies (some frozen, some not). *)
+let prop_lemma_7_5 =
+  qcheck "Lemma 7.5: frozen links get nothing under mixed strategies" QCheck.small_nat
+    (fun seed ->
+      let t = random_instance (seed + 1) in
+      let rng = Prng.create (seed + 2003) in
+      let nash = (Links.nash t).assignment in
+      let m = Links.num_links t in
+      let budget = ref t.Links.demand in
+      let strategy = Array.make m 0.0 in
+      Array.iteri
+        (fun i n ->
+          let roll = Prng.int rng 3 in
+          let want =
+            if roll = 0 then 0.0
+            else if roll = 1 then Prng.uniform rng ~lo:0.0 ~hi:n (* below Nash: unfrozen *)
+            else Prng.uniform rng ~lo:n ~hi:(n +. 0.3) (* frozen *)
+          in
+          let take = Float.min want !budget in
+          strategy.(i) <- take;
+          budget := !budget -. take)
+        nash;
+      Theory.frozen_receive_nothing t ~strategy)
+
+let prop_proposition_7_1 =
+  qcheck "Prop 7.1: Nash flows are monotone in the demand" QCheck.small_nat (fun seed ->
+      let t = random_instance (seed + 1) in
+      let rng = Prng.create (seed + 3001) in
+      let r' = Prng.uniform rng ~lo:0.0 ~hi:t.Links.demand in
+      Theory.nash_monotone t ~r')
+
+let prop_swap_never_increases_cost =
+  qcheck "Lemma 6.1 swap never increases the two-link cost" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let slope = Prng.uniform rng ~lo:0.2 ~hi:3.0 in
+      let b1 = Prng.uniform rng ~lo:0.0 ~hi:2.0 in
+      let b2 = b1 +. Prng.uniform rng ~lo:0.0 ~hi:2.0 in
+      let s2 = Prng.uniform rng ~lo:0.0 ~hi:2.0 in
+      let t2 = Prng.uniform rng ~lo:0.01 ~hi:2.0 in
+      (* Choose s1 large enough to satisfy ℓ1(s1) >= ℓ2(s2+t2). *)
+      let u = s2 +. t2 in
+      let s1_min = u +. ((b2 -. b1) /. slope) in
+      let s1 = s1_min +. Prng.uniform rng ~lo:0.0 ~hi:2.0 in
+      let w = Theory.swap ~slope ~b1 ~b2 ~s1 ~s2 ~t2 in
+      w.cost_after <= w.cost_before +. 1e-9)
+
+let prop_sharma_williamson_is_necessary =
+  qcheck ~count:25 "footnote 6: improving strategies control >= min under-loaded Nash load"
+    QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let t = W.random_affine_links rng ~m:(2 + Prng.int rng 2) ~demand:1.0 () in
+      let threshold = Theory.sharma_williamson_threshold t in
+      let nash_cost = Links.cost t (Links.nash t).assignment in
+      if threshold = Float.infinity || threshold <= 0.02 then true
+      else begin
+        (* A budget strictly below the threshold cannot beat C(N). *)
+        let alpha = 0.9 *. threshold /. t.Links.demand in
+        let bf = Stackelberg.Brute_force.optimal_strategy ~resolution:16 t ~alpha in
+        bf.induced_cost >= nash_cost -. 1e-6
+      end)
+
+let suite =
+  [
+    case "classify (Def 4.3)" test_classify;
+    case "frozen links (Def 4.4)" test_frozen_links;
+    case "thm 7.2 on pigou" test_useless_pigou;
+    case "thm 7.2 checker rejects useful strategies" test_useless_rejects_useful;
+    case "thm 7.4 on pigou" test_frozen_receive_nothing_pigou;
+    case "lemma 6.1 swap: worked example" test_swap_example;
+    case "lemma 6.1 swap: preconditions" test_swap_preconditions;
+    case "footnote 6 threshold: pigou" test_sharma_williamson_pigou;
+    case "footnote 6 threshold: optimal Nash" test_sharma_williamson_none;
+    prop_theorem_7_2;
+    prop_theorem_7_4;
+    prop_lemma_7_5;
+    prop_proposition_7_1;
+    prop_swap_never_increases_cost;
+    prop_sharma_williamson_is_necessary;
+  ]

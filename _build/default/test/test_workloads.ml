@@ -1,0 +1,132 @@
+(* Tests for the instance catalog and generators. *)
+
+open Helpers
+module Links = Sgr_links.Links
+module Net = Sgr_network.Network
+module W = Sgr_workloads.Workloads
+module G = Sgr_graph
+module L = Sgr_latency.Latency
+module Prng = Sgr_numerics.Prng
+
+let test_pigou_shape () =
+  Alcotest.(check int) "two links" 2 (Links.num_links W.pigou);
+  approx "demand" 1.0 W.pigou.Links.demand
+
+let test_fig456_shape () =
+  Alcotest.(check int) "five links" 5 (Links.num_links W.fig456);
+  check_true "link 5 constant" (L.is_constant W.fig456.Links.latencies.(4))
+
+let test_fig7_shape () =
+  let net = W.fig7 () in
+  Alcotest.(check int) "4 nodes" 4 (G.Digraph.num_nodes net.Net.graph);
+  Alcotest.(check int) "5 edges" 5 (G.Digraph.num_edges net.Net.graph);
+  Alcotest.(check int) "edge names align" 5 (Array.length W.fig7_edge_names)
+
+let test_fig7_epsilon_validation () =
+  match W.fig7 ~epsilon:0.2 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "epsilon >= 1/8 rejected"
+
+let test_braess_classic_shape () =
+  let net = W.braess_classic ~demand:2.0 () in
+  approx "demand" 2.0 (Net.total_demand net);
+  check_true "shortcut is free" (L.is_constant net.Net.latencies.(2))
+
+let test_mm1_validation () =
+  match W.mm1_links ~capacities:[| 0.4; 0.4 |] ~demand:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undercapacitated system rejected"
+
+let test_two_commodity_shape () =
+  let net = W.two_commodity () in
+  Alcotest.(check int) "2 commodities" 2 (Array.length net.Net.commodities);
+  let paths = Net.paths net in
+  Alcotest.(check int) "c1 has 2 paths" 2 (Array.length paths.(0));
+  Alcotest.(check int) "c2 has 2 paths" 2 (Array.length paths.(1))
+
+let test_generators_deterministic () =
+  let a = W.random_affine_links (Prng.create 9) ~m:5 () in
+  let b = W.random_affine_links (Prng.create 9) ~m:5 () in
+  Array.iteri
+    (fun i la ->
+      Alcotest.(check string) "same latencies" (L.to_string la)
+        (L.to_string b.Links.latencies.(i)))
+    a.Links.latencies
+
+let test_common_slope_generator () =
+  let t = W.random_common_slope_links (Prng.create 4) ~m:6 ~slope:1.5 () in
+  check_true "in Thm 2.4's class" (Stackelberg.Linear_exact.is_common_slope t);
+  (* Intercepts are sorted. *)
+  let intercepts =
+    Array.map
+      (fun lat ->
+        match L.kind lat with L.Affine { intercept; _ } -> intercept | _ -> Alcotest.fail "affine")
+      t.Links.latencies
+  in
+  Array.iteri (fun i b -> if i > 0 then check_true "sorted" (b >= intercepts.(i - 1))) intercepts
+
+let test_layered_network_shape () =
+  let net = W.random_layered_network (Prng.create 3) ~layers:3 ~width:2 ~extra_edges:2 () in
+  let g = net.Net.graph in
+  Alcotest.(check int) "nodes" (1 + 6 + 1) (G.Digraph.num_nodes g);
+  (* 2 source + 2 full bipartite layers (4 each) + 2 sink + 2 extra. *)
+  Alcotest.(check int) "edges" (2 + 8 + 2 + 2) (G.Digraph.num_edges g);
+  check_true "solvable" (Array.length (Net.paths net).(0) > 0)
+
+let test_grid_network_shape () =
+  let net = W.grid_network (Prng.create 8) ~rows:3 ~cols:4 () in
+  let g = net.Net.graph in
+  Alcotest.(check int) "nodes" 12 (G.Digraph.num_nodes g);
+  (* Right edges: 3 rows x 3; down edges: 2 x 4. *)
+  Alcotest.(check int) "edges" (9 + 8) (G.Digraph.num_edges g);
+  check_true "all BPR" (Array.for_all (fun l -> not (L.is_constant l)) net.Net.latencies)
+
+let test_generator_validation () =
+  (match W.grid_network (Prng.create 1) ~rows:1 ~cols:3 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "degenerate grid rejected");
+  match W.random_layered_network (Prng.create 1) ~layers:0 ~width:2 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero layers rejected"
+
+let prop_random_links_solvable =
+  qcheck ~count:40 "every generated links instance is solvable" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let t =
+        match Prng.int rng 4 with
+        | 0 -> W.random_affine_links rng ~m:(2 + Prng.int rng 8) ()
+        | 1 -> W.random_common_slope_links rng ~m:(2 + Prng.int rng 8) ()
+        | 2 -> W.random_polynomial_links rng ~m:(2 + Prng.int rng 8) ()
+        | _ -> W.random_mm1_links rng ~m:(2 + Prng.int rng 8) ()
+      in
+      let n = Links.nash t and o = Links.opt t in
+      Links.is_feasible t n.assignment && Links.is_feasible t o.assignment)
+
+let prop_random_networks_solvable =
+  qcheck ~count:25 "every generated network is solvable" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 1) in
+      let net =
+        if Prng.bool rng then
+          W.random_layered_network rng ~layers:(1 + Prng.int rng 3) ~width:(1 + Prng.int rng 3) ()
+        else W.grid_network rng ~rows:(2 + Prng.int rng 2) ~cols:(2 + Prng.int rng 2) ()
+      in
+      let sol = Sgr_network.Equilibrate.solve Sgr_network.Objective.Wardrop net in
+      sol.gap <= 1e-6)
+
+let suite =
+  [
+    case "pigou shape" test_pigou_shape;
+    case "fig4-6 shape" test_fig456_shape;
+    case "fig7 shape" test_fig7_shape;
+    case "fig7 epsilon validation" test_fig7_epsilon_validation;
+    case "braess classic shape" test_braess_classic_shape;
+    case "mm1 validation" test_mm1_validation;
+    case "two-commodity shape" test_two_commodity_shape;
+    case "generators are deterministic" test_generators_deterministic;
+    case "common-slope generator" test_common_slope_generator;
+    case "layered network shape" test_layered_network_shape;
+    case "grid network shape" test_grid_network_shape;
+    case "generator validation" test_generator_validation;
+    prop_random_links_solvable;
+    prop_random_networks_solvable;
+  ]
