@@ -118,14 +118,71 @@ let t7 =
              ignore (Stackelberg.Alpha_sweep.run ~samples:11 ~grid_resolution:16 W.pigou)));
     ]
 
+module Obs = Sgr_obs.Obs
+
+(* Per-group observability record for BENCH_obs.json: wall-clock
+   seconds, counter deltas, and span totals collected by a
+   constant-memory aggregating sink (recording every event of a
+   benchmark loop would not fit in memory). *)
+type obs_entry = {
+  group : string;
+  wall_s : float;
+  counters : (string * int) list;
+  spans : (string * (int * float)) list;
+}
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_obs_json path entries =
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc "{\"experiments\":[";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Printf.fprintf oc ",";
+          Printf.fprintf oc "\n{\"name\":\"%s\",\"wall_s\":%.6f,\"counters\":{"
+            (json_escape e.group) e.wall_s;
+          List.iteri
+            (fun j (name, v) ->
+              Printf.fprintf oc "%s\"%s\":%d" (if j > 0 then "," else "") (json_escape name) v)
+            e.counters;
+          Printf.fprintf oc "},\"spans\":{";
+          List.iteri
+            (fun j (name, (count, total)) ->
+              Printf.fprintf oc "%s\"%s\":{\"count\":%d,\"total_s\":%.6f}"
+                (if j > 0 then "," else "")
+                (json_escape name) count total)
+            e.spans;
+          Printf.fprintf oc "}}")
+        entries;
+      Printf.fprintf oc "\n]}\n")
+
+let counter_delta before after =
+  List.filter_map
+    (fun (name, v) ->
+      let v0 = match List.assoc_opt name before with Some v0 -> v0 | None -> 0 in
+      if v - v0 > 0 then Some (name, v - v0) else None)
+    after
+
 let run_all () =
   Format.printf "@.=== Timing suite (bechamel, monotonic clock, OLS ns/run) ===@.";
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let entries = ref [] in
   List.iter
-    (fun test ->
+    (fun (group, test) ->
+      let agg = Obs.Agg.create () in
+      let before = Obs.counters () in
+      let t0 = Obs.now () in
+      Obs.Agg.install agg;
       let raw = Benchmark.all cfg [ instance ] test in
+      Obs.set_sink None;
+      let wall_s = Obs.now () -. t0 in
       let results = Analyze.all ols instance raw in
       let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
       List.iter
@@ -138,5 +195,23 @@ let run_all () =
             else Printf.sprintf "%8.1f ns" ns
           in
           Format.printf "  %-28s %s@." name pretty)
-        (List.sort compare rows))
-    [ t1; t2; t3; t4; t5; t6; t7 ]
+        (List.sort compare rows);
+      entries :=
+        {
+          group;
+          wall_s;
+          counters = counter_delta before (Obs.counters ());
+          spans = Obs.Agg.span_totals agg;
+        }
+        :: !entries)
+    [
+      ("T1 water-filling", t1);
+      ("T2 optop", t2);
+      ("T3 linear-exact", t3);
+      ("T4 network solvers", t4);
+      ("T5 mop", t5);
+      ("T6 substrates", t6);
+      ("T7 extensions", t7);
+    ];
+  write_obs_json "BENCH_obs.json" (List.rev !entries);
+  Format.printf "@.wrote BENCH_obs.json (per-experiment span totals + counter snapshots)@."

@@ -13,6 +13,45 @@ module Obj = Sgr_network.Objective
 module W = Sgr_workloads.Workloads
 module IF = Sgr_io.Instance_file
 module Vec = Sgr_numerics.Vec
+module Obs = Sgr_obs.Obs
+module Export = Sgr_obs.Export
+
+(* When a machine-readable output is active (--csv, --trace) human
+   diagnostics move to stderr so stdout stays pipeable. *)
+let machine_mode = ref false
+
+let diag fmt = if !machine_mode then Format.eprintf fmt else Format.printf fmt
+
+(* Run [f] under the observability flags: reset counters, record events
+   while [f] runs, then export the trace file (Chrome trace format, or
+   JSONL when FILE ends in .jsonl) and/or print the stats summary to
+   stderr. With neither flag this is just [f ()]: no sink is installed
+   and solver results are bit-identical. *)
+let with_obs ?(machine = false) ~trace ~stats f =
+  machine_mode := machine || trace <> None || stats;
+  if trace = None && not stats then f ()
+  else begin
+    Obs.reset_counters ();
+    let r = Obs.Recorder.create () in
+    Obs.Recorder.install r;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.set_sink None;
+        let events = Obs.Recorder.events r in
+        (match trace with
+        | Some path -> (
+            try
+              Out_channel.with_open_text path (fun oc ->
+                  if Filename.check_suffix path ".jsonl" then Export.jsonl oc events
+                  else Export.chrome_trace oc ~counters:(Obs.counters ()) events);
+              Format.eprintf "trace: wrote %s@." path
+            with Sys_error m ->
+              Format.eprintf "error: cannot write trace: %s@." m;
+              exit 2)
+        | None -> ());
+        if stats then Export.stats Format.err_formatter ~counters:(Obs.counters ()) events)
+      f
+  end
 
 let load_instance path =
   match IF.load path with
@@ -46,11 +85,29 @@ let alpha_arg =
 
 let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record counters, spans and solver-convergence traces, and write them to $(docv) \
+           (Chrome chrome://tracing JSON, or JSONL when $(docv) ends in .jsonl).")
+
+let stats_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "stats" ]
+        ~doc:"Print the observability summary (counters, span totals) to stderr on exit.")
+
+let obs_term = Term.(const (fun trace stats -> (trace, stats)) $ trace_arg $ stats_arg)
+
 (* ---------------- solve ---------------- *)
 
 let solve_links t =
   let nash = Links.nash t and opt = Links.opt t in
-  Format.printf "instance: %d parallel links, r = %g@." (Links.num_links t) t.Links.demand;
+  diag "instance: %d parallel links, r = %g@." (Links.num_links t) t.Links.demand;
   Format.printf "nash     = %a  (common latency %.6g)@." Vec.pp nash.assignment nash.level;
   Format.printf "optimum  = %a  (marginal level %.6g)@." Vec.pp opt.assignment opt.level;
   Format.printf "C(N) = %.6g, C(O) = %.6g, price of anarchy = %.6g@."
@@ -60,53 +117,67 @@ let solve_network net =
   let nash = Eq.solve Obj.Wardrop net in
   let opt = Eq.solve Obj.System_optimum net in
   let cn = Net.cost net nash.edge_flow and co = Net.cost net opt.edge_flow in
-  Format.printf "instance: %d nodes, %d edges, %d commodities, r = %g@."
+  diag "instance: %d nodes, %d edges, %d commodities, r = %g@."
     (Sgr_graph.Digraph.num_nodes net.Net.graph)
     (Sgr_graph.Digraph.num_edges net.Net.graph)
     (Array.length net.Net.commodities) (Net.total_demand net);
+  (* Free-flow shortest distances: a cheap sanity baseline for the
+     equilibrium latencies below. *)
+  let m = Sgr_graph.Digraph.num_edges net.Net.graph in
+  let free_weights = Net.edge_latencies net (Array.make m 0.0) in
+  Array.iteri
+    (fun i (c : Net.commodity) ->
+      let d = Sgr_graph.Dijkstra.run net.Net.graph ~weights:free_weights ~source:c.Net.src in
+      diag "commodity %d: free-flow shortest distance %.6g@." i d.Sgr_graph.Dijkstra.dist.(c.Net.dst))
+    net.Net.commodities;
   Format.printf "nash edge flow    = %a@." Vec.pp nash.edge_flow;
   Format.printf "optimum edge flow = %a@." Vec.pp opt.edge_flow;
   Format.printf "C(N) = %.6g, C(O) = %.6g, price of anarchy = %.6g@." cn co (cn /. co)
 
 let solve_cmd =
-  let run path =
-    match load_instance path with IF.Links t -> solve_links t | IF.Network n -> solve_network n
+  let run path (trace, stats) =
+    with_obs ~trace ~stats (fun () ->
+        match load_instance path with
+        | IF.Links t -> solve_links t
+        | IF.Network n -> solve_network n)
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Compute the Nash equilibrium, the optimum and the price of anarchy.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ obs_term)
 
 (* ---------------- optop ---------------- *)
 
 let optop_cmd =
-  let run path trace =
-    let t = require_links (load_instance path) in
-    let r = Stackelberg.Optop.run t in
-    if trace then
-      List.iteri
-        (fun i (round : Stackelberg.Optop.round) ->
-          Format.printf "round %d: r = %.6g, frozen = {%s}@." (i + 1) round.demand
-            (String.concat ","
-               (Array.to_list (Array.map (fun j -> string_of_int (j + 1)) round.frozen))))
-        r.rounds;
-    Format.printf "beta      = %.9g@." r.beta;
-    Format.printf "strategy  = %a@." Vec.pp r.strategy;
-    Format.printf "C(N)      = %.9g@." r.nash_cost;
-    Format.printf "C(O)      = %.9g@." r.optimum_cost;
-    Format.printf "C(S+T)    = %.9g@." r.induced_cost
+  let run path rounds (trace, stats) =
+    with_obs ~trace ~stats (fun () ->
+        let t = require_links (load_instance path) in
+        let r = Stackelberg.Optop.run t in
+        if rounds then
+          List.iteri
+            (fun i (round : Stackelberg.Optop.round) ->
+              diag "round %d: r = %.6g, frozen = {%s}@." (i + 1) round.demand
+                (String.concat ","
+                   (Array.to_list (Array.map (fun j -> string_of_int (j + 1)) round.frozen))))
+            r.rounds;
+        Format.printf "beta      = %.9g@." r.beta;
+        Format.printf "strategy  = %a@." Vec.pp r.strategy;
+        Format.printf "C(N)      = %.9g@." r.nash_cost;
+        Format.printf "C(O)      = %.9g@." r.optimum_cost;
+        Format.printf "C(S+T)    = %.9g@." r.induced_cost)
   in
-  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print OpTop's per-round trace.") in
+  let rounds = Arg.(value & flag & info [ "rounds" ] ~doc:"Print OpTop's per-round trace.") in
   Cmd.v
     (Cmd.info "optop"
        ~doc:
          "Compute the price of optimum β and the Leader's optimal strategy on parallel links \
           (Corollary 2.2).")
-    Term.(const run $ file_arg $ trace)
+    Term.(const run $ file_arg $ rounds $ obs_term)
 
 (* ---------------- mop ---------------- *)
 
 let mop_cmd =
-  let run path dot_out =
+  let run path dot_out (trace, stats) =
+    with_obs ~trace ~stats @@ fun () ->
     let net = require_network (load_instance path) in
     let r = Stackelberg.Mop.run net in
     Format.printf "beta (strong) = %.9g@." r.beta;
@@ -132,7 +203,7 @@ let mop_cmd =
             net.Net.graph
         in
         Out_channel.with_open_text path (fun oc -> output_string oc dot);
-        Format.printf "wrote %s@." path
+        diag "wrote %s@." path
   in
   let dot =
     Arg.(
@@ -144,16 +215,17 @@ let mop_cmd =
   Cmd.v
     (Cmd.info "mop"
        ~doc:"Compute the price of optimum and the optimal strategy on a network (Theorem 2.1).")
-    Term.(const run $ file_arg $ dot)
+    Term.(const run $ file_arg $ dot $ obs_term)
 
 (* ---------------- heuristics ---------------- *)
 
 let heuristic_cmd name doc links_play net_play =
-  let run path alpha =
+  let run path alpha (trace, stats) =
     if not (0.0 <= alpha && alpha <= 1.0) then begin
       Format.eprintf "error: alpha must be in [0, 1]@.";
       exit 2
     end;
+    with_obs ~trace ~stats @@ fun () ->
     match load_instance path with
     | IF.Links t ->
         let o : Stackelberg.Strategies.outcome = links_play t ~alpha in
@@ -166,7 +238,7 @@ let heuristic_cmd name doc links_play net_play =
         Format.printf "C(S+T)    = %.9g@." o.induced.cost;
         Format.printf "ratio     = %.9g@." o.ratio_to_opt
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ file_arg $ alpha_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ file_arg $ alpha_arg $ obs_term)
 
 let llf_cmd =
   heuristic_cmd "llf"
@@ -182,7 +254,8 @@ let scale_cmd =
 (* ---------------- thm24 ---------------- *)
 
 let thm24_cmd =
-  let run path alpha =
+  let run path alpha (trace, stats) =
+    with_obs ~trace ~stats @@ fun () ->
     let t = require_links (load_instance path) in
     if not (Stackelberg.Linear_exact.is_common_slope t) then begin
       Format.eprintf "error: Theorem 2.4 needs common-slope linear latencies@.";
@@ -198,12 +271,13 @@ let thm24_cmd =
        ~doc:
          "Compute the exact optimal strategy on a hard instance (ALPHA < β) with common-slope \
           linear latencies (Theorem 2.4).")
-    Term.(const run $ file_arg $ alpha_arg)
+    Term.(const run $ file_arg $ alpha_arg $ obs_term)
 
 (* ---------------- sweep ---------------- *)
 
 let sweep_cmd =
-  let run path samples csv =
+  let run path samples csv (trace, stats) =
+    with_obs ~machine:csv ~trace ~stats @@ fun () ->
     let t = require_links (load_instance path) in
     let curve = Stackelberg.Alpha_sweep.run ~samples t in
     if csv then begin
@@ -234,12 +308,13 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Trace the a-posteriori anarchy cost (M,r,α) as a function of α (Expression (2)).")
-    Term.(const run $ file_arg $ samples $ csv_arg)
+    Term.(const run $ file_arg $ samples $ csv_arg $ obs_term)
 
 (* ---------------- profile ---------------- *)
 
 let profile_cmd =
-  let run path samples r_lo r_hi csv =
+  let run path samples r_lo r_hi csv (trace, stats) =
+    with_obs ~machine:csv ~trace ~stats @@ fun () ->
     let t = require_links (load_instance path) in
     let points = Stackelberg.Beta_profile.run ~samples t ~r_lo ~r_hi in
     if csv then begin
@@ -263,12 +338,13 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Trace the price of optimum β_M and the price of anarchy as the total demand varies.")
-    Term.(const run $ file_arg $ samples $ r_lo $ r_hi $ csv_arg)
+    Term.(const run $ file_arg $ samples $ r_lo $ r_hi $ csv_arg $ obs_term)
 
 (* ---------------- info ---------------- *)
 
 let info_cmd =
-  let run path =
+  let run path (trace, stats) =
+    with_obs ~trace ~stats @@ fun () ->
     match load_instance path with
     | IF.Links t ->
         Format.printf "kind: parallel links@.";
@@ -297,12 +373,13 @@ let info_cmd =
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Describe an instance file: sizes, latencies, structure.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ obs_term)
 
 (* ---------------- tolls ---------------- *)
 
 let tolls_cmd =
-  let run path =
+  let run path (trace, stats) =
+    with_obs ~trace ~stats @@ fun () ->
     match load_instance path with
     | IF.Links t ->
         let tolls = Stackelberg.Tolls.links_tolls t in
@@ -325,12 +402,13 @@ let tolls_cmd =
        ~doc:
          "Compute marginal-cost (Pigouvian) tolls and the tolled equilibrium — the first-best \
           pricing benchmark the paper's introduction contrasts with Stackelberg control.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ obs_term)
 
 (* ---------------- bound ---------------- *)
 
 let bound_cmd =
-  let run path =
+  let run path (trace, stats) =
+    with_obs ~trace ~stats @@ fun () ->
     let lats, poa =
       match load_instance path with
       | IF.Links t -> (t.Links.latencies, Links.price_of_anarchy t)
@@ -355,7 +433,7 @@ let bound_cmd =
        ~doc:
          "Compute each latency's Pigou bound (Roughgarden's anarchy value) and compare the \
           topology-independent PoA bound with the instance's measured price of anarchy.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ obs_term)
 
 (* ---------------- catalog ---------------- *)
 
@@ -370,7 +448,8 @@ let catalog =
   ]
 
 let catalog_cmd =
-  let run name =
+  let run name (trace, stats) =
+    with_obs ~trace ~stats @@ fun () ->
     match name with
     | None ->
         Format.printf "available instances:@.";
@@ -391,12 +470,13 @@ let catalog_cmd =
   Cmd.v
     (Cmd.info "catalog"
        ~doc:"List the paper's named instances, or print one in instance-file format.")
-    Term.(const run $ name_arg)
+    Term.(const run $ name_arg $ obs_term)
 
 (* ---------------- random ---------------- *)
 
 let random_cmd =
-  let run kind seed m =
+  let run kind seed m (trace, stats) =
+    with_obs ~trace ~stats @@ fun () ->
     let rng = Sgr_numerics.Prng.create seed in
     match kind with
     | "links" -> print_string (IF.print_links (W.random_affine_links rng ~m ()))
@@ -421,7 +501,7 @@ let random_cmd =
   let size = Arg.(value & opt int 5 & info [ "size"; "m" ] ~docv:"M" ~doc:"Instance size.") in
   Cmd.v
     (Cmd.info "random" ~doc:"Generate a random instance and print it in instance-file format.")
-    Term.(const run $ kind $ seed $ size)
+    Term.(const run $ kind $ seed $ size $ obs_term)
 
 (* ---------------- main ---------------- *)
 

@@ -7,6 +7,7 @@ type curve = { beta : float; points : point list }
 
 let run ?(samples = 21) ?(grid_resolution = 32) instance =
   if samples < 2 then invalid_arg "Alpha_sweep.run: need at least two samples";
+  Sgr_obs.Obs.span "alpha_sweep.run" @@ fun () ->
   let optop = Optop.run instance in
   let beta = optop.Optop.beta in
   let opt_cost = optop.Optop.optimum_cost in
@@ -14,6 +15,7 @@ let run ?(samples = 21) ?(grid_resolution = 32) instance =
   let common_slope = Linear_exact.is_common_slope instance in
   let ratio_of cost = if opt_cost = 0.0 then 1.0 else cost /. opt_cost in
   let point_at alpha =
+    Sgr_obs.Obs.span "alpha_sweep.point" @@ fun () ->
     if alpha >= beta -. 1e-12 then { alpha; ratio = 1.0; method_used = Exact_threshold }
     else if common_slope then
       let r = Linear_exact.solve instance ~alpha in

@@ -11,6 +11,7 @@ type outcome = {
 }
 
 let equilibrium ?tol net ~leader_edge_flow ~follower_demands =
+  Sgr_obs.Obs.span "induced.equilibrium" @@ fun () ->
   let g = net.Net.graph in
   if Array.length leader_edge_flow <> Sgr_graph.Digraph.num_edges g then
     invalid_arg "Induced.equilibrium: leader flow size mismatch";

@@ -4,6 +4,9 @@ module Objective = Sgr_network.Objective
 module G = Sgr_graph
 module Vec = Sgr_numerics.Vec
 module Tol = Sgr_numerics.Tolerance
+module Obs = Sgr_obs.Obs
+
+let c_runs = Obs.counter "mop.runs"
 
 type commodity_report = {
   index : int;
@@ -39,35 +42,46 @@ let per_commodity_edge_flows net (sol : Equilibrate.solution) =
     sol.path_flows
 
 let run ?(tol = 1e-9) ?(eps = 1e-6) net =
+  Obs.incr c_runs;
+  Obs.span "mop.solve" @@ fun () ->
   let g = net.Net.graph in
   let m = G.Digraph.num_edges g in
   let k = Array.length net.Net.commodities in
   (* Step 1: the optimum and the edge costs it induces. *)
-  let opt_sol = Equilibrate.solve ~tol Objective.System_optimum net in
+  let opt_sol = Obs.span "mop.optimum" (fun () -> Equilibrate.solve ~tol Objective.System_optimum net) in
   let opt_edge_flow = opt_sol.edge_flow in
   let weights = Net.edge_latencies net opt_edge_flow in
   let commodity_flows = per_commodity_edge_flows net opt_sol in
   (* Steps 2–5 per commodity. *)
   let per_commodity =
     Array.init k (fun i ->
+        Obs.span "mop.commodity" @@ fun () ->
         let c = net.Net.commodities.(i) in
         let on_shortest =
-          G.Dijkstra.shortest_edge_subgraph ~eps g ~weights ~src:c.Net.src ~dst:c.Net.dst
+          Obs.span "mop.subgraph" (fun () ->
+              G.Dijkstra.shortest_edge_subgraph ~eps g ~weights ~src:c.Net.src ~dst:c.Net.dst)
         in
         (* Free flow: max flow inside the shortest subgraph, capacitated by
            this commodity's optimal edge flow (footnote 5). *)
         let capacities =
           Array.init m (fun e -> if on_shortest.(e) then commodity_flows.(i).(e) else 0.0)
         in
-        let mf = G.Maxflow.solve g ~capacities ~src:c.Net.src ~dst:c.Net.dst in
+        let mf =
+          Obs.span "mop.maxflow" (fun () ->
+              G.Maxflow.solve g ~capacities ~src:c.Net.src ~dst:c.Net.dst)
+        in
         let free_flow = Float.min mf.value c.Net.demand in
         let leader_edge_flow =
           Array.init m (fun e -> Tol.clamp_nonneg (commodity_flows.(i).(e) -. mf.flow.(e)))
         in
         let leader_paths =
-          G.Flow.decompose g ~flow:leader_edge_flow ~src:c.Net.src ~dst:c.Net.dst
+          Obs.span "mop.decompose" (fun () ->
+              G.Flow.decompose g ~flow:leader_edge_flow ~src:c.Net.src ~dst:c.Net.dst)
         in
-        let follower_paths = G.Flow.decompose g ~flow:mf.flow ~src:c.Net.src ~dst:c.Net.dst in
+        let follower_paths =
+          Obs.span "mop.decompose" (fun () ->
+              G.Flow.decompose g ~flow:mf.flow ~src:c.Net.src ~dst:c.Net.dst)
+        in
         {
           index = i;
           on_shortest;
@@ -94,7 +108,7 @@ let run ?(tol = 1e-9) ?(eps = 1e-6) net =
       0.0 per_commodity
   in
   let opt_cost = Net.cost net opt_edge_flow in
-  let nash_sol = Equilibrate.solve ~tol Objective.Wardrop net in
+  let nash_sol = Obs.span "mop.nash" (fun () -> Equilibrate.solve ~tol Objective.Wardrop net) in
   let nash_cost = Net.cost net nash_sol.edge_flow in
   let induced = Induced.equilibrium ~tol net ~leader_edge_flow ~follower_demands in
   {

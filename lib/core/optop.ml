@@ -1,5 +1,8 @@
 module Links = Sgr_links.Links
 module Vec = Sgr_numerics.Vec
+module Obs = Sgr_obs.Obs
+
+let c_rounds = Obs.counter "optop.rounds"
 
 type round = {
   active : int array;
@@ -20,6 +23,7 @@ type result = {
 }
 
 let run ?(eps = 1e-8) instance =
+  Obs.span "optop.solve" @@ fun () ->
   let m = Links.num_links instance in
   let r0 = instance.Links.demand in
   let opt = (Links.opt instance).assignment in
@@ -31,6 +35,7 @@ let run ?(eps = 1e-8) instance =
   let rec loop active r =
     if Array.length active = 0 || r <= eps *. scale then ()
     else begin
+      Obs.incr c_rounds;
       let keep = Array.make m false in
       Array.iter (fun i -> keep.(i) <- true) active;
       let sub, index_map = Links.sub instance ~keep ~demand:r in

@@ -1,7 +1,13 @@
 type result = { dist : float array; pred : int option array }
 
+module Obs = Sgr_obs.Obs
+
+let c_runs = Obs.counter "dijkstra.runs"
+let c_relax = Obs.counter "dijkstra.relaxations"
+
 let run_generic next_edges ~n ~weights ~origin =
   assert (Array.for_all (fun w -> w >= 0.0) weights);
+  Obs.incr c_runs;
   let dist = Array.make n Float.infinity in
   let pred = Array.make n None in
   let settled = Array.make n false in
@@ -18,6 +24,7 @@ let run_generic next_edges ~n ~weights ~origin =
           ignore d;
           List.iter
             (fun (eid, v) ->
+              Obs.incr c_relax;
               let nd = dist.(u) +. weights.(eid) in
               if nd < dist.(v) then begin
                 dist.(v) <- nd;

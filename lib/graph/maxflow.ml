@@ -1,6 +1,12 @@
 type result = { value : float; flow : float array }
 
+module Obs = Sgr_obs.Obs
+
+let c_runs = Obs.counter "maxflow.runs"
+let c_aug = Obs.counter "maxflow.augmentations"
+
 let solve ?(eps = 1e-12) g ~capacities ~src ~dst =
+  Obs.incr c_runs;
   let m = Digraph.num_edges g in
   assert (Array.length capacities = m);
   assert (Array.for_all (fun c -> c >= 0.0) capacities);
@@ -73,6 +79,7 @@ let solve ?(eps = 1e-12) g ~capacities ~src ~dst =
     | Some path ->
         let delta = bottleneck path in
         if delta > eps then begin
+          Obs.incr c_aug;
           augment path delta;
           value := !value +. delta;
           loop ()

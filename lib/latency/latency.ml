@@ -14,11 +14,21 @@ type t = {
   primitive : float -> float;
 }
 
+let c_evals = Sgr_obs.Obs.counter "latency.evaluations"
+
 let kind t = t.kind
-let eval t x = t.eval x
+
+let eval t x =
+  Sgr_obs.Obs.incr c_evals;
+  t.eval x
+
 let deriv t x = t.deriv x
 let primitive t x = t.primitive x
-let marginal t x = t.eval x +. (x *. t.deriv x)
+
+let marginal t x =
+  Sgr_obs.Obs.incr c_evals;
+  t.eval x +. (x *. t.deriv x)
+
 let cost t x = x *. t.eval x
 
 let constant c =

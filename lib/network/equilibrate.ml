@@ -1,5 +1,8 @@
 module G = Sgr_graph
 module L = Sgr_latency.Latency
+module Obs = Sgr_obs.Obs
+
+let c_sweeps = Obs.counter "equilibrate.sweeps"
 
 type solution = {
   edge_flow : float array;
@@ -27,6 +30,7 @@ let commodity_gap obj net ~edge_flow ~paths ~flows =
   !worst -. min_cost
 
 let solve ?(tol = 1e-9) ?(max_sweeps = 200_000) obj net =
+  Obs.span "equilibrate.solve" @@ fun () ->
   let value = Objective.edge_value obj in
   let paths = Network.paths net in
   let k = Array.length net.Network.commodities in
@@ -99,14 +103,20 @@ let solve ?(tol = 1e-9) ?(max_sweeps = 200_000) obj net =
   in
   let sweeps = ref 0 in
   let gap = ref Float.infinity in
+  let tracing = Obs.enabled () in
   while !gap > tol && !sweeps < max_sweeps do
     incr sweeps;
+    Obs.incr c_sweeps;
     let worst = ref 0.0 in
     for i = 0 to k - 1 do
       let g = equalize_once i in
       worst := Float.max !worst g
     done;
-    gap := !worst
+    gap := !worst;
+    if tracing then
+      Obs.point ~solver:"equilibrate" ~k:!sweeps ~gap:!gap
+        ~objective:(Objective.objective obj net edge_flow)
+        ~step:0.0
   done;
   (* Report the true residual gap at the final flow. *)
   let final_gap =

@@ -1,14 +1,20 @@
 module G = Sgr_graph
 module Vec = Sgr_numerics.Vec
+module Obs = Sgr_obs.Obs
 
-type solution = {
+type solution = Solver_types.solution = {
   edge_flow : float array;
   iterations : int;
   relative_gap : float;
   objective : float;
+  trace : Solver_types.trace_point list;
 }
 
+let c_aon = Obs.counter "all_or_nothing.calls"
+let c_iters = Obs.counter "frank_wolfe.iterations"
+
 let all_or_nothing net ~weights =
+  Obs.incr c_aon;
   let g = net.Network.graph in
   let flow = Array.make (G.Digraph.num_edges g) 0.0 in
   Array.iter
@@ -24,41 +30,58 @@ let gradient obj net f =
   Array.mapi (fun e fe -> value net.Network.latencies.(e) fe) f
 
 let solve ?(tol = 1e-8) ?(max_iter = 100_000) obj net =
+  Obs.span "frank_wolfe.solve" @@ fun () ->
   let m = G.Digraph.num_edges net.Network.graph in
   let zero = Array.make m 0.0 in
   let f = ref (all_or_nothing net ~weights:(gradient obj net zero)) in
   let iterations = ref 0 in
   let relgap = ref Float.infinity in
   let continue = ref true in
+  let tracing = Obs.enabled () in
+  let trace = ref [] in
   while !continue && !iterations < max_iter do
     incr iterations;
+    Obs.incr c_iters;
     let grad = gradient obj net !f in
     let y = all_or_nothing net ~weights:grad in
     let d = Vec.sub y !f in
     let gap = -.Vec.dot grad d in
     let denom = Float.max 1e-12 (Float.abs (Vec.dot grad !f)) in
     relgap := gap /. denom;
-    if !relgap <= tol then continue := false
-    else begin
-      (* Exact line search: the directional derivative of the convex
-         objective along d is nondecreasing in gamma. *)
-      let value = Objective.edge_value obj in
-      let dphi gamma =
-        let acc = ref 0.0 in
+    (* Objective before the step, so each trace point pairs the gap with
+       the iterate it was measured at. Only computed when tracing. *)
+    let obj_now = if tracing then Objective.objective obj net !f else 0.0 in
+    let step =
+      if !relgap <= tol then begin
+        continue := false;
+        0.0
+      end
+      else begin
+        (* Exact line search: the directional derivative of the convex
+           objective along d is nondecreasing in gamma. *)
+        let value = Objective.edge_value obj in
+        let dphi gamma =
+          let acc = ref 0.0 in
+          for e = 0 to m - 1 do
+            if d.(e) <> 0.0 then
+              acc :=
+                !acc +. (d.(e) *. value net.Network.latencies.(e) (!f.(e) +. (gamma *. d.(e))))
+          done;
+          !acc
+        in
+        let gamma = Sgr_numerics.Minimize.line_search_convex ~df:dphi ~lo:0.0 ~hi:1.0 () in
+        let gamma = if gamma <= 0.0 then 1e-12 else gamma in
+        Vec.axpy gamma d !f;
+        (* Clip negative rounding noise. *)
         for e = 0 to m - 1 do
-          if d.(e) <> 0.0 then
-            acc :=
-              !acc +. (d.(e) *. value net.Network.latencies.(e) (!f.(e) +. (gamma *. d.(e))))
+          if !f.(e) < 0.0 then !f.(e) <- 0.0
         done;
-        !acc
-      in
-      let gamma = Sgr_numerics.Minimize.line_search_convex ~df:dphi ~lo:0.0 ~hi:1.0 () in
-      let gamma = if gamma <= 0.0 then 1e-12 else gamma in
-      Vec.axpy gamma d !f;
-      (* Clip negative rounding noise. *)
-      for e = 0 to m - 1 do
-        if !f.(e) < 0.0 then !f.(e) <- 0.0
-      done
+        gamma
+      end
+    in
+    if tracing then begin
+      Obs.point ~solver:"frank_wolfe" ~k:!iterations ~gap:!relgap ~objective:obj_now ~step;
+      trace := { Solver_types.k = !iterations; gap = !relgap; objective = obj_now; step } :: !trace
     end
   done;
   {
@@ -66,4 +89,5 @@ let solve ?(tol = 1e-8) ?(max_iter = 100_000) obj net =
     iterations = !iterations;
     relative_gap = !relgap;
     objective = Objective.objective obj net !f;
+    trace = List.rev !trace;
   }

@@ -10,13 +10,16 @@
     O(1/iterations), so use {!Equilibrate} when high precision on a small
     network is required. *)
 
-type solution = {
+type solution = Solver_types.solution = {
   edge_flow : float array;
   iterations : int;
   relative_gap : float;
       (** Frank–Wolfe duality gap [∇φ(f)·(f - y) / |∇φ(f)·f|] at
           termination. *)
   objective : float;  (** Objective value at [edge_flow]. *)
+  trace : Solver_types.trace_point list;
+      (** Per-iteration convergence trace; empty unless an
+          {!Sgr_obs.Obs} sink is installed during the solve. *)
 }
 
 val all_or_nothing : Network.t -> weights:float array -> float array

@@ -1,13 +1,18 @@
 module Vec = Sgr_numerics.Vec
+module Obs = Sgr_obs.Obs
 
-type solution = {
+type solution = Solver_types.solution = {
   edge_flow : float array;
   iterations : int;
   relative_gap : float;
   objective : float;
+  trace : Solver_types.trace_point list;
 }
 
+let c_iters = Obs.counter "msa.iterations"
+
 let solve ?(tol = 1e-6) ?(max_iter = 200_000) obj net =
+  Obs.span "msa.solve" @@ fun () ->
   let m = Sgr_graph.Digraph.num_edges net.Network.graph in
   let value = Objective.edge_value obj in
   let gradient f = Array.mapi (fun e fe -> value net.Network.latencies.(e) fe) f in
@@ -16,21 +21,35 @@ let solve ?(tol = 1e-6) ?(max_iter = 200_000) obj net =
   let iterations = ref 0 in
   let relgap = ref Float.infinity in
   let continue = ref true in
+  let tracing = Obs.enabled () in
+  let trace = ref [] in
   while !continue && !iterations < max_iter do
     incr iterations;
+    Obs.incr c_iters;
     let grad = gradient !f in
     let y = Frank_wolfe.all_or_nothing net ~weights:grad in
     let d = Vec.sub y !f in
     let gap = -.Vec.dot grad d in
     let denom = Float.max 1e-12 (Float.abs (Vec.dot grad !f)) in
     relgap := gap /. denom;
-    if !relgap <= tol then continue := false
-    else begin
-      let gamma = 1.0 /. float_of_int (!iterations + 1) in
-      Vec.axpy gamma d !f;
-      for e = 0 to m - 1 do
-        if !f.(e) < 0.0 then !f.(e) <- 0.0
-      done
+    let obj_now = if tracing then Objective.objective obj net !f else 0.0 in
+    let step =
+      if !relgap <= tol then begin
+        continue := false;
+        0.0
+      end
+      else begin
+        let gamma = 1.0 /. float_of_int (!iterations + 1) in
+        Vec.axpy gamma d !f;
+        for e = 0 to m - 1 do
+          if !f.(e) < 0.0 then !f.(e) <- 0.0
+        done;
+        gamma
+      end
+    in
+    if tracing then begin
+      Obs.point ~solver:"msa" ~k:!iterations ~gap:!relgap ~objective:obj_now ~step;
+      trace := { Solver_types.k = !iterations; gap = !relgap; objective = obj_now; step } :: !trace
     end
   done;
   {
@@ -38,4 +57,5 @@ let solve ?(tol = 1e-6) ?(max_iter = 200_000) obj net =
     iterations = !iterations;
     relative_gap = !relgap;
     objective = Objective.objective obj net !f;
+    trace = List.rev !trace;
   }

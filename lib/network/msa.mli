@@ -7,11 +7,14 @@
     objectives, typically slower than Frank–Wolfe per iteration count but
     with a cheaper iteration — the benchmark harness compares all three. *)
 
-type solution = {
+type solution = Solver_types.solution = {
   edge_flow : float array;
   iterations : int;
   relative_gap : float;  (** Frank–Wolfe gap at termination. *)
   objective : float;
+  trace : Solver_types.trace_point list;
+      (** Per-iteration convergence trace; empty unless an
+          {!Sgr_obs.Obs} sink is installed during the solve. *)
 }
 
 val solve :

@@ -1,0 +1,9 @@
+type trace_point = { k : int; gap : float; objective : float; step : float }
+
+type solution = {
+  edge_flow : float array;
+  iterations : int;
+  relative_gap : float;
+  objective : float;
+  trace : trace_point list;
+}

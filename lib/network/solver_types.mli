@@ -1,0 +1,21 @@
+(** Types shared by the link-flow descent solvers.
+
+    {!Frank_wolfe} and {!Msa} historically declared identical [solution]
+    records; both now re-export this one, so code consuming either
+    solver's result is interchangeable. *)
+
+type trace_point = { k : int; gap : float; objective : float; step : float }
+(** One solver iteration: the relative gap and objective {e before} the
+    step of size [step] ([0] on the terminating iteration). *)
+
+type solution = {
+  edge_flow : float array;  (** Per-edge flow at termination. *)
+  iterations : int;
+  relative_gap : float;
+      (** Frank–Wolfe duality gap [∇φ(f)·(f - y) / |∇φ(f)·f|] at
+          termination. *)
+  objective : float;  (** Objective value at [edge_flow]. *)
+  trace : trace_point list;
+      (** Per-iteration convergence trace, oldest first. Empty unless an
+          {!Sgr_obs.Obs} sink was installed during the solve. *)
+}

@@ -1,5 +1,12 @@
+module Obs = Sgr_obs.Obs
+
+let c_calls = Obs.counter "bisection.calls"
+let c_iters = Obs.counter "bisection.iterations"
+let c_expansions = Obs.counter "bisection.expansions"
+
 let root ?(tol = Tolerance.solver_eps) ?(max_iter = 200) ~f ~lo ~hi () =
   if not (lo <= hi) then invalid_arg "Bisection.root: lo > hi";
+  Obs.incr c_calls;
   if f lo > 0.0 then lo
   else if f hi < 0.0 then hi
   else begin
@@ -13,12 +20,14 @@ let root ?(tol = Tolerance.solver_eps) ?(max_iter = 200) ~f ~lo ~hi () =
       if f mid <= 0.0 then lo := mid else hi := mid;
       incr iter
     done;
+    Obs.add c_iters !iter;
     0.5 *. (!lo +. !hi)
   end
 
 let expand_upper ?(start = 1.0) ?(limit = 1e18) ~f ~target () =
   let hi = ref (Float.max start 1e-12) in
   while f !hi < target && !hi < limit do
+    Obs.incr c_expansions;
     hi := !hi *. 2.0
   done;
   if f !hi < target then

@@ -1,0 +1,121 @@
+(* JSON is written by hand: the library is zero-dependency and the
+   grammar needed here (flat objects of strings/numbers) is tiny. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no inf/nan literals; map them to null. *)
+let json_float x = if Float.is_finite x then Printf.sprintf "%.17g" x else "null"
+
+let jsonl oc events =
+  List.iter
+    (fun (e : Obs.event) ->
+      (match e with
+      | Obs.Span_begin { name; ts; depth } ->
+          Printf.fprintf oc {|{"type":"span_begin","name":"%s","ts":%s,"depth":%d}|}
+            (json_escape name) (json_float ts) depth
+      | Obs.Span_end { name; ts; dur; depth } ->
+          Printf.fprintf oc {|{"type":"span_end","name":"%s","ts":%s,"dur":%s,"depth":%d}|}
+            (json_escape name) (json_float ts) (json_float dur) depth
+      | Obs.Point { solver; k; gap; objective; step; ts } ->
+          Printf.fprintf oc
+            {|{"type":"point","solver":"%s","k":%d,"gap":%s,"objective":%s,"step":%s,"ts":%s}|}
+            (json_escape solver) k (json_float gap) (json_float objective) (json_float step)
+            (json_float ts));
+      output_char oc '\n')
+    events
+
+let event_ts : Obs.event -> float = function
+  | Obs.Span_begin { ts; _ } | Obs.Span_end { ts; _ } | Obs.Point { ts; _ } -> ts
+
+let chrome_trace oc ~counters events =
+  let t0 = match events with [] -> 0.0 | e :: _ -> event_ts e in
+  let us ts = json_float ((ts -. t0) *. 1e6) in
+  let last_ts = List.fold_left (fun acc e -> Float.max acc (event_ts e)) t0 events in
+  output_string oc "{\"traceEvents\":[";
+  let first = ref true in
+  let emit line =
+    if not !first then output_string oc ",";
+    first := false;
+    output_string oc "\n";
+    output_string oc line
+  in
+  List.iter
+    (fun (e : Obs.event) ->
+      match e with
+      | Obs.Span_begin { name; ts; _ } ->
+          emit
+            (Printf.sprintf {|{"name":"%s","cat":"sgr","ph":"B","pid":1,"tid":1,"ts":%s}|}
+               (json_escape name) (us ts))
+      | Obs.Span_end { name; ts; _ } ->
+          emit
+            (Printf.sprintf {|{"name":"%s","cat":"sgr","ph":"E","pid":1,"tid":1,"ts":%s}|}
+               (json_escape name) (us ts))
+      | Obs.Point { solver; k; gap; objective; step; ts } ->
+          emit
+            (Printf.sprintf
+               {|{"name":"%s","cat":"trace","ph":"C","pid":1,"tid":1,"ts":%s,"args":{"k":%d,"gap":%s,"objective":%s,"step":%s}}|}
+               (json_escape solver) (us ts) k (json_float gap) (json_float objective)
+               (json_float step)))
+    events;
+  List.iter
+    (fun (name, v) ->
+      emit
+        (Printf.sprintf
+           {|{"name":"counter/%s","cat":"counter","ph":"C","pid":1,"tid":1,"ts":%s,"args":{"value":%d}}|}
+           (json_escape name) (us last_ts) v))
+    counters;
+  output_string oc "\n]}\n"
+
+let span_totals events =
+  let agg = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Obs.event) ->
+      match e with
+      | Obs.Span_end { name; dur; _ } ->
+          let count, total =
+            match Hashtbl.find_opt agg name with Some ct -> ct | None -> (0, 0.0)
+          in
+          Hashtbl.replace agg name (count + 1, total +. dur)
+      | Obs.Span_begin _ | Obs.Point _ -> ())
+    events;
+  Hashtbl.fold (fun name ct acc -> (name, ct) :: acc) agg []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_seconds s =
+  if s >= 1.0 then Printf.sprintf "%.3f s" s
+  else if s >= 1e-3 then Printf.sprintf "%.3f ms" (s *. 1e3)
+  else Printf.sprintf "%.1f µs" (s *. 1e6)
+
+let stats ppf ~counters events =
+  let counters = List.filter (fun (_, v) -> v > 0) counters in
+  Format.fprintf ppf "@.counters@.";
+  if counters = [] then Format.fprintf ppf "  (all zero)@."
+  else
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-32s %12d@." name v) counters;
+  let spans = span_totals events in
+  if spans <> [] then begin
+    Format.fprintf ppf "spans                                  calls        total         mean@.";
+    List.iter
+      (fun (name, (count, total)) ->
+        Format.fprintf ppf "  %-32s %10d %12s %12s@." name count (pp_seconds total)
+          (pp_seconds (total /. float_of_int (max 1 count))))
+      spans
+  end;
+  let points =
+    List.fold_left
+      (fun acc (e : Obs.event) -> match e with Obs.Point _ -> acc + 1 | _ -> acc)
+      0 events
+  in
+  Format.fprintf ppf "trace points: %d@." points

@@ -1,0 +1,29 @@
+(** Serialize recorded {!Obs.event}s: JSONL event logs, Chrome
+    [chrome://tracing] traces, and a plain-text stats summary.
+
+    The CLI's [--trace FILE] flag dispatches on the file extension —
+    [.jsonl] gets {!jsonl}, anything else {!chrome_trace} — and
+    [--stats] prints {!stats} to stderr. *)
+
+val jsonl : out_channel -> Obs.event list -> unit
+(** One JSON object per line, in emission order:
+    [{"type":"span_begin",...}], [{"type":"span_end",...}],
+    [{"type":"point",...}]. Timestamps are absolute seconds. *)
+
+val chrome_trace :
+  out_channel -> counters:(string * int) list -> Obs.event list -> unit
+(** Chrome trace-event JSON ([{"traceEvents":[...]}], loadable in
+    [chrome://tracing] / Perfetto). Spans become [ph:"B"]/[ph:"E"]
+    duration events, trace points become [ph:"C"] counter series (gap,
+    objective, step as [args]), and the final counter snapshot is
+    appended as one [ph:"C"] event per counter. Timestamps are
+    microseconds relative to the first event. *)
+
+val span_totals : Obs.event list -> (string * (int * float)) list
+(** Aggregate [Span_end] events to [(name, (count, total_seconds))],
+    sorted by name. *)
+
+val stats :
+  Format.formatter -> counters:(string * int) list -> Obs.event list -> unit
+(** Human-readable summary: the counter table, then per-span
+    call-count/total/mean, then the trace-point tally. *)

@@ -1,0 +1,106 @@
+type event =
+  | Span_begin of { name : string; ts : float; depth : int }
+  | Span_end of { name : string; ts : float; dur : float; depth : int }
+  | Point of {
+      solver : string;
+      k : int;
+      gap : float;
+      objective : float;
+      step : float;
+      ts : float;
+    }
+
+(* ---------------- counters ---------------- *)
+
+type counter = { name : string; mutable count : int }
+
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+      let c = { name; count = 0 } in
+      Hashtbl.add registry name c;
+      c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let value c = c.count
+
+let counters () =
+  Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_counters () = Hashtbl.iter (fun _ c -> c.count <- 0) registry
+
+(* ---------------- clock ---------------- *)
+
+let default_clock = Unix.gettimeofday
+let clock = ref default_clock
+let set_clock f = clock := f
+let now () = !clock ()
+
+(* ---------------- sink, spans, points ---------------- *)
+
+let sink : (event -> unit) option ref = ref None
+let set_sink f = sink := f
+let enabled () = Option.is_some !sink
+let depth = ref 0
+
+let span name f =
+  match !sink with
+  | None -> f ()
+  | Some emit ->
+      let d = !depth in
+      depth := d + 1;
+      let t0 = now () in
+      emit (Span_begin { name; ts = t0; depth = d });
+      let close () =
+        depth := d;
+        let t1 = now () in
+        emit (Span_end { name; ts = t1; dur = t1 -. t0; depth = d })
+      in
+      let v = try f () with e -> close (); raise e in
+      close ();
+      v
+
+let point ~solver ~k ~gap ~objective ~step =
+  match !sink with
+  | None -> ()
+  | Some emit -> emit (Point { solver; k; gap; objective; step; ts = now () })
+
+(* ---------------- sinks ---------------- *)
+
+module Recorder = struct
+  type t = { mutable rev_events : event list }
+
+  let create () = { rev_events = [] }
+  let install r = set_sink (Some (fun e -> r.rev_events <- e :: r.rev_events))
+  let events r = List.rev r.rev_events
+  let clear r = r.rev_events <- []
+end
+
+module Agg = struct
+  type t = { spans : (string, (int * float) ref) Hashtbl.t; mutable points : int }
+
+  let create () = { spans = Hashtbl.create 16; points = 0 }
+
+  let feed t = function
+    | Span_begin _ -> ()
+    | Span_end { name; dur; _ } -> (
+        match Hashtbl.find_opt t.spans name with
+        | Some cell ->
+            let count, total = !cell in
+            cell := (count + 1, total +. dur)
+        | None -> Hashtbl.add t.spans name (ref (1, dur)))
+    | Point _ -> t.points <- t.points + 1
+
+  let install t = set_sink (Some (feed t))
+
+  let span_totals t =
+    Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) t.spans []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let points t = t.points
+end

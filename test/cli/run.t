@@ -39,7 +39,7 @@ OpTop computes the price of optimum (Corollary 2.2):
   C(O)      = 0.75
   C(S+T)    = 0.75
 
-  $ sgr optop fig456.sgr --trace
+  $ sgr optop fig456.sgr --rounds
   round 1: r = 1, frozen = {4,5}
   round 2: r = 0.758333, frozen = {}
   beta      = 0.241666667
@@ -154,11 +154,35 @@ Random instances are reproducible from their seed:
   $ sgr random common-slope --seed 3 --size 3 > r2.sgr
   $ diff r1.sgr r2.sgr
 
+Observability: --trace writes a Chrome-trace file and, being a
+machine-readable mode, moves the human diagnostics (the instance
+banner, free-flow distances, the stats summary) to stderr so stdout
+stays pipeable:
+
+  $ sgr solve fig7.sgr --trace t.json --stats 2>/dev/null
+  nash edge flow    = ⟨0.96, 0.04, 0.92, 0.04, 0.96⟩
+  optimum edge flow = ⟨0.73, 0.27, 0.46, 0.27, 0.73⟩
+  C(N) = 2.84, C(O) = 2.4168, price of anarchy = 1.17511
+
+  $ grep -c traceEvents t.json
+  1
+
+  $ sgr solve fig7.sgr --trace t.jsonl 2>/dev/null >/dev/null
+  $ grep -c '"type":"span_end","name":"equilibrate.solve"' t.jsonl
+  2
+
+An unwritable trace path is a normal CLI error, not a crash:
+
+  $ sgr solve fig7.sgr --trace /nonexistent-dir/t.json >/dev/null 2>err
+  [2]
+  $ tail -1 err
+  error: cannot write trace: /nonexistent-dir/t.json: No such file or directory
+
 Errors are reported with context:
 
   $ sgr solve /nonexistent.sgr
   sgr: FILE argument: no '/nonexistent.sgr' file or directory
-  Usage: sgr solve [OPTION]… FILE
+  Usage: sgr solve [--stats] [--trace=FILE] [OPTION]… FILE
   Try 'sgr solve --help' or 'sgr --help' for more information.
   [124]
 

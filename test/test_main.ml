@@ -4,6 +4,7 @@ let () =
   Alcotest.run "stackelberg-price-of-optimum"
     [
       ("numerics", Test_numerics.suite);
+      ("obs", Test_obs.suite);
       ("latency", Test_latency.suite);
       ("graph", Test_graph.suite);
       ("topology", Test_topology.suite);
