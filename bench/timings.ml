@@ -118,6 +118,42 @@ let t7 =
              ignore (Stackelberg.Alpha_sweep.run ~samples:11 ~grid_resolution:16 W.pigou)));
     ]
 
+(* T8: column generation vs exhaustive enumeration. The 5x5 grid (70
+   s-t paths) is the largest the oracle still handles comfortably; the
+   8x8 (3432 paths) and 10x10 (48620 paths, past the old 20,000-path
+   enumeration cap that used to be a hard failure) run column-gen only.
+   The induced-equilibrium entry exercises the [Network.with_demands]
+   fast path that skips revalidation. *)
+let t8 =
+  let grid n = W.grid_network (Prng.create (8000 + n)) ~rows:n ~cols:n () in
+  let g5 = grid 5 and g8 = grid 8 and g10 = grid 10 in
+  let fig7 = W.fig7 () in
+  let m7 = Sgr_graph.Digraph.num_edges fig7.Sgr_network.Network.graph in
+  let leader = Array.make m7 0.0 in
+  let follower_demands =
+    Array.map (fun c -> c.Sgr_network.Network.demand) fig7.Sgr_network.Network.commodities
+  in
+  Test.make_grouped ~name:"T8 column generation"
+    [
+      Test.make ~name:"column-gen/grid5x5"
+        (Staged.stage (fun () ->
+             ignore (Eq.solve ~engine:Eq.Column_generation Obj.Wardrop g5)));
+      Test.make ~name:"exhaustive/grid5x5"
+        (Staged.stage (fun () -> ignore (Eq.solve ~engine:Eq.Exhaustive Obj.Wardrop g5)));
+      Test.make ~name:"column-gen/grid8x8"
+        (Staged.stage (fun () ->
+             ignore (Eq.solve ~engine:Eq.Column_generation Obj.Wardrop g8)));
+      Test.make ~name:"column-gen/grid10x10"
+        (Staged.stage (fun () ->
+             ignore (Eq.solve ~engine:Eq.Column_generation Obj.Wardrop g10)));
+      Test.make ~name:"mop/grid10x10"
+        (Staged.stage (fun () -> ignore (Stackelberg.Mop.run g10)));
+      Test.make ~name:"induced/fig7-no-revalidation"
+        (Staged.stage (fun () ->
+             ignore
+               (Stackelberg.Induced.equilibrium fig7 ~leader_edge_flow:leader ~follower_demands)));
+    ]
+
 module Obs = Sgr_obs.Obs
 
 (* Per-group observability record for BENCH_obs.json: wall-clock
@@ -212,6 +248,7 @@ let run_all () =
       ("T5 mop", t5);
       ("T6 substrates", t6);
       ("T7 extensions", t7);
+      ("T8 column generation", t8);
     ];
   write_obs_json "BENCH_obs.json" (List.rev !entries);
   Format.printf "@.wrote BENCH_obs.json (per-experiment span totals + counter snapshots)@."

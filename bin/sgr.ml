@@ -101,7 +101,25 @@ let stats_arg =
     & info [ "stats" ]
         ~doc:"Print the observability summary (counters, span totals) to stderr on exit.")
 
-let obs_term = Term.(const (fun trace stats -> (trace, stats)) $ trace_arg $ stats_arg)
+let solver_arg =
+  let engine =
+    Arg.enum [ ("column-gen", Eq.Column_generation); ("exhaustive", Eq.Exhaustive) ]
+  in
+  Arg.(
+    value
+    & opt engine Eq.Column_generation
+    & info [ "solver" ] ~docv:"ENGINE"
+        ~doc:
+          "Path-equilibration engine: $(b,column-gen) (default) prices paths on demand and \
+           scales to networks with exponentially many paths; $(b,exhaustive) enumerates every \
+           simple path up front (oracle for small instances; capped at 20,000 paths).")
+
+let obs_term =
+  Term.(
+    const (fun trace stats engine ->
+        Eq.set_default_engine engine;
+        (trace, stats))
+    $ trace_arg $ stats_arg $ solver_arg)
 
 (* ---------------- solve ---------------- *)
 
@@ -366,9 +384,14 @@ let info_cmd =
         Format.printf "acyclic: %b@." (Sgr_graph.Topology.is_dag g);
         Array.iteri
           (fun i c ->
-            let paths = Sgr_graph.Paths.enumerate g ~src:c.Net.src ~dst:c.Net.dst in
-            Format.printf "commodity %d: %d -> %d, demand %g, %d simple paths@." i c.Net.src
-              c.Net.dst c.Net.demand (List.length paths))
+            match Sgr_graph.Paths.enumerate g ~src:c.Net.src ~dst:c.Net.dst with
+            | paths ->
+                Format.printf "commodity %d: %d -> %d, demand %g, %d simple paths@." i c.Net.src
+                  c.Net.dst c.Net.demand (List.length paths)
+            | exception Failure _ ->
+                Format.printf
+                  "commodity %d: %d -> %d, demand %g, > 20000 simple paths (enumeration capped)@."
+                  i c.Net.src c.Net.dst c.Net.demand)
           net.Net.commodities
   in
   Cmd.v

@@ -4,7 +4,9 @@
    Shows the library end to end on a non-toy network: both equilibrium
    solvers (path equilibration and Frank-Wolfe) agree on the Nash flow;
    MOP computes the price of optimum and an optimal Leader strategy whose
-   induced equilibrium is verified to cost C(O). *)
+   induced equilibrium is verified to cost C(O). A second, 10x10 grid
+   has C(18,9) = 48620 corner-to-corner paths — far past the 20,000-path
+   enumeration cap — and runs through the column-generation engine. *)
 
 module Net = Sgr_network.Network
 module FW = Sgr_network.Frank_wolfe
@@ -37,5 +39,18 @@ let () =
     (mop.induced.cost /. co);
   Format.printf "Residual follower Wardrop gap: %.2e@." mop.induced.wardrop_gap;
   let rep = mop.per_commodity.(0) in
-  Format.printf "Leader uses %d paths, followers keep %.6f free flow on shortest paths@."
-    (List.length rep.leader_paths) rep.free_flow
+  Format.printf "Leader uses %d paths, followers keep %.6f free flow on shortest paths@.@."
+    (List.length rep.leader_paths) rep.free_flow;
+
+  (* Past the enumeration limit: 48620 simple paths, a handful of
+     priced columns. *)
+  let big = Sgr_workloads.Workloads.grid_network rng ~rows:10 ~cols:10 ~demand:5.0 () in
+  let nash = Eq.solve Obj.Wardrop big in
+  let opt_big = Eq.solve Obj.System_optimum big in
+  let cn = Net.cost big nash.edge_flow and co = Net.cost big opt_big.edge_flow in
+  Format.printf "10x10 grid (48620 s-t paths): column generation used %d columns@."
+    (Array.length nash.paths.(0));
+  Format.printf "C(N) = %.6f, C(O) = %.6f, price of anarchy = %.6f@." cn co (cn /. co);
+  let mop_big = Stackelberg.Mop.run big in
+  Format.printf "MOP at scale: β_G = %.6f, C(S+T)/C(O) = %.8f@." mop_big.beta
+    (mop_big.induced.cost /. co)

@@ -5,6 +5,11 @@ type method_used = Exact_threshold | Linear_exact | Grid_search | Heuristic_uppe
 type point = { alpha : float; ratio : float; method_used : method_used }
 type curve = { beta : float; points : point list }
 
+let ratio_of ~opt_cost cost =
+  if opt_cost > 0.0 then cost /. opt_cost
+  else if Float.abs cost <= 1e-12 then 1.0
+  else Float.infinity
+
 let run ?(samples = 21) ?(grid_resolution = 32) instance =
   if samples < 2 then invalid_arg "Alpha_sweep.run: need at least two samples";
   Sgr_obs.Obs.span "alpha_sweep.run" @@ fun () ->
@@ -13,7 +18,7 @@ let run ?(samples = 21) ?(grid_resolution = 32) instance =
   let opt_cost = optop.Optop.optimum_cost in
   let m = Links.num_links instance in
   let common_slope = Linear_exact.is_common_slope instance in
-  let ratio_of cost = if opt_cost = 0.0 then 1.0 else cost /. opt_cost in
+  let ratio_of cost = ratio_of ~opt_cost cost in
   let point_at alpha =
     Sgr_obs.Obs.span "alpha_sweep.point" @@ fun () ->
     if alpha >= beta -. 1e-12 then { alpha; ratio = 1.0; method_used = Exact_threshold }

@@ -28,6 +28,12 @@ type curve = {
   points : point list;  (** Sampled in increasing [α]. *)
 }
 
+val ratio_of : opt_cost:float -> float -> float
+(** [ratio_of ~opt_cost cost] is [cost /. opt_cost], with the degenerate
+    zero-optimum case made explicit: [1.0] when both costs are (near)
+    zero, [infinity] when [opt_cost] is zero but [cost] is positive —
+    the Leader pays something where paying nothing was possible. *)
+
 val run : ?samples:int -> ?grid_resolution:int -> Sgr_links.Links.t -> curve
 (** [run t] samples [samples] (default 21) evenly spaced values of [α] in
     [[0, 1]]. Instances with more than 6 links fall back to the heuristic

@@ -22,13 +22,11 @@ let equilibrium ?tol net ~leader_edge_flow ~follower_demands =
   if not (Vec.all_nonneg ~eps:1e-9 follower_demands) then
     invalid_arg "Induced.equilibrium: negative follower demand";
   let shifted = Net.shift net leader_edge_flow in
-  let commodities =
-    Array.mapi
-      (fun i (c : Net.commodity) ->
-        { c with Net.demand = Sgr_numerics.Tolerance.clamp_nonneg follower_demands.(i) })
-      net.Net.commodities
+  (* [with_demands] skips [Network.make]'s per-commodity reachability
+     Dijkstra — this call sits inside MOP's minimality sweeps. *)
+  let shifted =
+    Net.with_demands shifted (Array.map Sgr_numerics.Tolerance.clamp_nonneg follower_demands)
   in
-  let shifted = Net.with_commodities shifted commodities in
   let sol = Equilibrate.solve ?tol Objective.Wardrop shifted in
   let combined = Vec.add leader_edge_flow sol.Equilibrate.edge_flow in
   {

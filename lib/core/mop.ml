@@ -134,15 +134,30 @@ let verify_minimality ?(tol = 1e-9) ?(delta = 0.05) net result =
           if amount > 1e-6 then begin
             let release = Float.max 1e-3 (delta *. amount) in
             let release = Float.min release amount in
-            (* Hand [release] units of this Leader path back to the
-               Followers of commodity i. *)
-            let leader = Array.copy result.leader_edge_flow in
-            List.iter (fun e -> leader.(e) <- Tol.clamp_nonneg (leader.(e) -. release)) path;
-            let follower_demands = Array.copy result.follower_demands in
-            follower_demands.(i) <- follower_demands.(i) +. release;
-            let outcome = Induced.equilibrium ~tol net ~leader_edge_flow:leader ~follower_demands in
-            if outcome.Induced.cost <= result.opt_cost +. (1e-7 *. Float.max 1.0 result.opt_cost)
-            then ok := false
+            (* Cap at the bottleneck leader flow along the path: releasing
+               more than some edge carries would be absorbed by the
+               nonnegativity clamp on that edge only, leaving a perturbed
+               leader flow that is not a reroute of this path. *)
+            let bottleneck =
+              List.fold_left
+                (fun acc e -> Float.min acc result.leader_edge_flow.(e))
+                Float.infinity path
+            in
+            let release = Float.min release bottleneck in
+            if release > 1e-9 then begin
+              (* Hand [release] units of this Leader path back to the
+                 Followers of commodity i. *)
+              let leader = Array.copy result.leader_edge_flow in
+              List.iter (fun e -> leader.(e) <- Tol.clamp_nonneg (leader.(e) -. release)) path;
+              let follower_demands = Array.copy result.follower_demands in
+              follower_demands.(i) <- follower_demands.(i) +. release;
+              let outcome =
+                Induced.equilibrium ~tol net ~leader_edge_flow:leader ~follower_demands
+              in
+              if
+                outcome.Induced.cost <= result.opt_cost +. (1e-7 *. Float.max 1.0 result.opt_cost)
+              then ok := false
+            end
           end)
         rep.leader_paths)
     result.per_commodity;

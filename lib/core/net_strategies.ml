@@ -17,7 +17,7 @@ let finish ?tol net ~leader_edge_flow ~follower_demands =
   let induced = Induced.equilibrium ?tol net ~leader_edge_flow ~follower_demands in
   let opt = Eq.solve ?tol Obj.System_optimum net in
   let opt_cost = Net.cost net opt.edge_flow in
-  let ratio_to_opt = if opt_cost = 0.0 then 1.0 else induced.Induced.cost /. opt_cost in
+  let ratio_to_opt = Alpha_sweep.ratio_of ~opt_cost induced.Induced.cost in
   { leader_edge_flow; induced; ratio_to_opt }
 
 let scale ?tol net ~alpha =

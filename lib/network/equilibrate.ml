@@ -1,133 +1,27 @@
-module G = Sgr_graph
-module L = Sgr_latency.Latency
 module Obs = Sgr_obs.Obs
 
-let c_sweeps = Obs.counter "equilibrate.sweeps"
-
-type solution = {
+type solution = Solver_types.path_solution = {
   edge_flow : float array;
   path_flows : float array array;
-  paths : G.Paths.t array array;
+  paths : Sgr_graph.Paths.t array array;
   sweeps : int;
   gap : float;
 }
 
-(* Edges appearing in [a] but not in [b] (as id lists; paths are simple so
-   each id appears at most once). *)
-let diff_edges a b =
-  let in_b = List.sort_uniq compare b in
-  List.filter (fun e -> not (List.mem e in_b)) a
+type engine = Column_generation | Exhaustive
 
-let path_value value net edge_flow path =
-  List.fold_left (fun acc e -> acc +. value net.Network.latencies.(e) edge_flow.(e)) 0.0 path
+let engine_ref = ref Column_generation
+let set_default_engine e = engine_ref := e
+let default_engine () = !engine_ref
 
-let commodity_gap obj net ~edge_flow ~paths ~flows =
-  let value = Objective.edge_value obj in
-  let costs = Array.map (path_value value net edge_flow) paths in
-  let min_cost = Sgr_numerics.Vec.min_elt costs in
-  let worst = ref min_cost in
-  Array.iteri (fun j f -> if f > 1e-12 then worst := Float.max !worst costs.(j)) flows;
-  !worst -. min_cost
-
-let solve ?(tol = 1e-9) ?(max_sweeps = 200_000) obj net =
+let solve ?tol ?max_sweeps ?engine obj net =
   Obs.span "equilibrate.solve" @@ fun () ->
-  let value = Objective.edge_value obj in
-  let paths = Network.paths net in
-  let k = Array.length net.Network.commodities in
-  let m = G.Digraph.num_edges net.Network.graph in
-  let edge_flow = Array.make m 0.0 in
-  let add_to_path path amount =
-    List.iter (fun e -> edge_flow.(e) <- edge_flow.(e) +. amount) path
-  in
-  (* Initialize: each commodity's demand on its cheapest free-flow path. *)
-  let path_flows =
-    Array.mapi
-      (fun i c ->
-        let ps = paths.(i) in
-        if Array.length ps = 0 then invalid_arg "Equilibrate.solve: commodity without paths";
-        let costs = Array.map (path_value value net edge_flow) ps in
-        let j = Sgr_numerics.Vec.argmin costs in
-        let flows = Array.make (Array.length ps) 0.0 in
-        flows.(j) <- c.Network.demand;
-        add_to_path ps.(j) c.Network.demand;
-        flows)
-      net.Network.commodities
-  in
-  let used_eps = 1e-12 in
-  (* One pairwise equalization for commodity [i]; returns the commodity's
-     gap before the shift. *)
-  let equalize_once i =
-    let ps = paths.(i) and flows = path_flows.(i) in
-    let costs = Array.map (path_value value net edge_flow) ps in
-    let lo = Sgr_numerics.Vec.argmin costs in
-    let hi = ref (-1) in
-    Array.iteri
-      (fun j f ->
-        if f > used_eps && (!hi < 0 || costs.(j) > costs.(!hi)) then hi := j)
-      flows;
-    if !hi < 0 then 0.0
-    else begin
-      let gap = costs.(!hi) -. costs.(lo) in
-      if gap > 0.0 && !hi <> lo then begin
-        let hi_only = diff_edges ps.(!hi) ps.(lo) in
-        let lo_only = diff_edges ps.(lo) ps.(!hi) in
-        (* Cost difference (hi minus lo, restricted to the symmetric
-           difference) after moving delta; decreasing in delta. *)
-        let d delta =
-          let a =
-            List.fold_left
-              (fun acc e -> acc +. value net.Network.latencies.(e) (edge_flow.(e) -. delta))
-              0.0 hi_only
-          in
-          let b =
-            List.fold_left
-              (fun acc e -> acc +. value net.Network.latencies.(e) (edge_flow.(e) +. delta))
-              0.0 lo_only
-          in
-          a -. b
-        in
-        let cap = flows.(!hi) in
-        let delta =
-          if d cap >= 0.0 then cap
-          else Sgr_numerics.Bisection.root ~f:(fun x -> -.d x) ~lo:0.0 ~hi:cap ()
-        in
-        if delta > 0.0 then begin
-          flows.(!hi) <- flows.(!hi) -. delta;
-          flows.(lo) <- flows.(lo) +. delta;
-          List.iter (fun e -> edge_flow.(e) <- edge_flow.(e) -. delta) hi_only;
-          List.iter (fun e -> edge_flow.(e) <- edge_flow.(e) +. delta) lo_only
-        end
-      end;
-      gap
-    end
-  in
-  let sweeps = ref 0 in
-  let gap = ref Float.infinity in
-  let tracing = Obs.enabled () in
-  while !gap > tol && !sweeps < max_sweeps do
-    incr sweeps;
-    Obs.incr c_sweeps;
-    let worst = ref 0.0 in
-    for i = 0 to k - 1 do
-      let g = equalize_once i in
-      worst := Float.max !worst g
-    done;
-    gap := !worst;
-    if tracing then
-      Obs.point ~solver:"equilibrate" ~k:!sweeps ~gap:!gap
-        ~objective:(Objective.objective obj net edge_flow)
-        ~step:0.0
-  done;
-  (* Report the true residual gap at the final flow. *)
-  let final_gap =
-    let worst = ref 0.0 in
-    for i = 0 to k - 1 do
-      worst :=
-        Float.max !worst (commodity_gap obj net ~edge_flow ~paths:paths.(i) ~flows:path_flows.(i))
-    done;
-    !worst
-  in
-  { edge_flow; path_flows; paths; sweeps = !sweeps; gap = final_gap }
+  match Option.value engine ~default:!engine_ref with
+  | Column_generation -> Column_gen.solve ?tol ?max_sweeps obj net
+  | Exhaustive -> Column_gen.solve_on_paths ?tol ?max_sweeps obj net ~paths:(Network.paths net)
+
+let path_value = Column_gen.path_value
+let commodity_gap = Column_gen.commodity_gap
 
 let verify ?(eps = Sgr_numerics.Tolerance.check_eps) obj net sol =
   let value = Objective.edge_value obj in

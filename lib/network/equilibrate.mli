@@ -1,35 +1,57 @@
-(** Path-equilibration solver (Gauss–Seidel pairwise shifts).
+(** Path-equilibration front end.
 
-    Enumerates each commodity's simple paths and repeatedly moves flow from
-    the costliest *used* path to the cheapest path, equalizing the pair by
-    bisection on the shifted amount (only the symmetric difference of the
-    two paths matters). Each shift strictly decreases the convex objective,
-    so the sweep converges; the stopping rule is the Wardrop gap itself.
+    Repeatedly moves flow from the costliest {e used} path to the
+    cheapest path of each commodity, equalizing the pair by bisection on
+    the shifted amount (only the symmetric difference of the two paths
+    matters). Each shift strictly decreases the convex objective, so the
+    sweep converges; the stopping rule is the Wardrop gap itself.
 
-    Slower asymptotically than Frank–Wolfe but far more accurate on small
-    and medium networks — which is what the paper's examples and the MOP
-    verification need. *)
+    Two engines provide the path sets the sweeps work over:
 
-type solution = {
+    - {!Column_generation} (the default) prices paths on demand with
+      Dijkstra and keeps only a small active column set per commodity,
+      so it scales to networks whose simple-path count is exponential
+      (e.g. large grids).
+    - {!Exhaustive} enumerates every simple path up front via
+      {!Network.paths} — the historical behaviour, kept as an oracle
+      for cross-checking on small instances. It inherits
+      {!Sgr_graph.Paths.enumerate}'s 20,000-path cap. *)
+
+type solution = Solver_types.path_solution = {
   edge_flow : float array;  (** Per-edge flow at termination. *)
   path_flows : float array array;
       (** Per-commodity path flows, aligned with [paths]. *)
-  paths : Sgr_graph.Paths.t array array;  (** The enumerated path sets. *)
+  paths : Sgr_graph.Paths.t array array;
+      (** The path sets the solver worked over: the priced active
+          columns under column generation, every simple path under the
+          exhaustive engine. *)
   sweeps : int;  (** Number of full commodity sweeps performed. *)
   gap : float;
       (** Max over commodities of (costliest used path − cheapest path)
           under the objective's edge values at termination. *)
 }
 
+type engine =
+  | Column_generation  (** Price columns on demand ({!Column_gen}). *)
+  | Exhaustive  (** Enumerate all simple paths up front. *)
+
+val set_default_engine : engine -> unit
+(** Set the ambient engine used when {!solve} is called without
+    [?engine]. Initially {!Column_generation}. *)
+
+val default_engine : unit -> engine
+
 val solve :
-  ?tol:float -> ?max_sweeps:int -> Objective.t -> Network.t -> solution
+  ?tol:float -> ?max_sweeps:int -> ?engine:engine -> Objective.t -> Network.t -> solution
 (** [solve obj net] runs until [gap <= tol] (default [1e-9]) or
-    [max_sweeps] (default [200_000]) sweeps. *)
+    [max_sweeps] (default [200_000]) sweeps, using [engine] (default:
+    the ambient {!default_engine}). *)
 
 val verify :
   ?eps:float -> Objective.t -> Network.t -> solution -> bool
 (** Post-hoc Wardrop/optimality check: every used path's cost is within
-    [eps] of its commodity's minimum path cost. *)
+    [eps] of its commodity's minimum path cost {e over the solution's
+    path set}. *)
 
 val commodity_gap :
   Objective.t -> Network.t -> edge_flow:float array ->

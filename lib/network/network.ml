@@ -53,6 +53,23 @@ let shift t s =
 
 let with_commodities t commodities = make t.graph ~latencies:t.latencies ~commodities
 
+(* Demand replacement cannot break the [make] invariants (the topology,
+   endpoints, and reachability are untouched), so no revalidation — in
+   particular no per-commodity reachability Dijkstra. This sits in the
+   innermost loop of [Induced.equilibrium]. *)
+let with_demands t demands =
+  if Array.length demands <> Array.length t.commodities then
+    invalid_arg "Network.with_demands: one demand per commodity required";
+  let commodities =
+    Array.mapi
+      (fun i c ->
+        let d = demands.(i) in
+        if d < 0.0 then invalid_arg "Network.with_demands: negative demand";
+        { c with demand = d })
+      t.commodities
+  in
+  { t with commodities }
+
 let paths t =
   Array.map (fun c -> Array.of_list (G.Paths.enumerate t.graph ~src:c.src ~dst:c.dst)) t.commodities
 

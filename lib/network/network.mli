@@ -46,6 +46,15 @@ val shift : t -> float array -> t
     unchanged; adjust them separately. *)
 
 val with_commodities : t -> commodity array -> t
+(** Revalidates through {!make} (including a reachability Dijkstra per
+    commodity); use {!with_demands} when only the demands change. *)
+
+val with_demands : t -> float array -> t
+(** [with_demands t d] replaces commodity [i]'s demand by [d.(i)].
+    Topology and endpoints are untouched, so no revalidation runs — this
+    is the cheap constructor for inner loops that resize demands, e.g.
+    {!Induced.equilibrium}.
+    @raise Invalid_argument on size mismatch or a negative demand. *)
 
 (** {1 Path sets} *)
 

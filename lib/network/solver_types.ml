@@ -7,3 +7,11 @@ type solution = {
   objective : float;
   trace : trace_point list;
 }
+
+type path_solution = {
+  edge_flow : float array;
+  path_flows : float array array;
+  paths : Sgr_graph.Paths.t array array;
+  sweeps : int;
+  gap : float;
+}

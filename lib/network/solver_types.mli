@@ -19,3 +19,17 @@ type solution = {
       (** Per-iteration convergence trace, oldest first. Empty unless an
           {!Sgr_obs.Obs} sink was installed during the solve. *)
 }
+
+type path_solution = {
+  edge_flow : float array;  (** Per-edge flow at termination. *)
+  path_flows : float array array;
+      (** Per-commodity path flows, aligned with [paths]. *)
+  paths : Sgr_graph.Paths.t array array;
+      (** The path sets the solver worked over: every simple path under
+          the exhaustive engine, the priced active columns under column
+          generation. *)
+  sweeps : int;  (** Number of full commodity equalization sweeps. *)
+  gap : float;
+      (** Max over commodities of (costliest used path − cheapest path)
+          under the objective's edge values at termination. *)
+}

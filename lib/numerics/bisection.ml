@@ -4,25 +4,42 @@ let c_calls = Obs.counter "bisection.calls"
 let c_iters = Obs.counter "bisection.iterations"
 let c_expansions = Obs.counter "bisection.expansions"
 
+let bisect ~tol ~max_iter ~f ~lo ~hi =
+  let lo = ref lo and hi = ref hi in
+  let iter = ref 0 in
+  let width_ok () =
+    !hi -. !lo <= tol *. Float.max 1.0 (Float.max (Float.abs !lo) (Float.abs !hi))
+  in
+  while (not (width_ok ())) && !iter < max_iter do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if f mid <= 0.0 then lo := mid else hi := mid;
+    incr iter
+  done;
+  Obs.add c_iters !iter;
+  if not (width_ok ()) then
+    (* Each iteration halves the interval, so with the default budget the
+       width shrinks by 2^200: exhausting [max_iter] means the caller asked
+       for a tolerance the bracket cannot reach, not slow convergence. *)
+    failwith
+      (Printf.sprintf "Bisection.root: no convergence after %d iterations (width %g > tol %g)"
+         max_iter (!hi -. !lo) tol);
+  0.5 *. (!lo +. !hi)
+
 let root ?(tol = Tolerance.solver_eps) ?(max_iter = 200) ~f ~lo ~hi () =
   if not (lo <= hi) then invalid_arg "Bisection.root: lo > hi";
   Obs.incr c_calls;
   if f lo > 0.0 then lo
   else if f hi < 0.0 then hi
-  else begin
-    let lo = ref lo and hi = ref hi in
-    let iter = ref 0 in
-    let width_ok () =
-      !hi -. !lo <= tol *. Float.max 1.0 (Float.max (Float.abs !lo) (Float.abs !hi))
-    in
-    while (not (width_ok ())) && !iter < max_iter do
-      let mid = 0.5 *. (!lo +. !hi) in
-      if f mid <= 0.0 then lo := mid else hi := mid;
-      incr iter
-    done;
-    Obs.add c_iters !iter;
-    0.5 *. (!lo +. !hi)
-  end
+  else bisect ~tol ~max_iter ~f ~lo ~hi
+
+let root_bracketed ?(tol = Tolerance.solver_eps) ?(max_iter = 200) ~f ~lo ~hi () =
+  if not (lo <= hi) then invalid_arg "Bisection.root_bracketed: lo > hi";
+  Obs.incr c_calls;
+  if f lo > 0.0 || f hi < 0.0 then
+    invalid_arg
+      (Printf.sprintf "Bisection.root_bracketed: root not bracketed (f(%g) = %g, f(%g) = %g)" lo
+         (f lo) hi (f hi));
+  bisect ~tol ~max_iter ~f ~lo ~hi
 
 let expand_upper ?(start = 1.0) ?(limit = 1e18) ~f ~target () =
   let hi = ref (Float.max start 1e-12) in

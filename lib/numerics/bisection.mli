@@ -15,10 +15,35 @@ val root :
 (** [root ~f ~lo ~hi ()] finds [x] in [[lo, hi]] with [f x ≈ 0] for a
     nondecreasing [f] with [f lo <= 0 <= f hi].
 
-    If [f lo > 0] returns [lo]; if [f hi < 0] returns [hi] (saturated
-    boundary solutions, which is what the flow solvers need for links that
-    are unloaded or capacity-bound). [tol] bounds the final interval width
-    relative to the interval scale; default [Tolerance.solver_eps]. *)
+    {b Clamp semantics}: when the root is not bracketed the endpoint
+    nearest the (out-of-interval) root is returned — [f lo > 0] returns
+    [lo], [f hi < 0] returns [hi]. These are the saturated boundary
+    solutions the flow solvers need for links that are unloaded or
+    capacity-bound; note this silently assumes [f] is nondecreasing. Use
+    {!root_bracketed} when a missing sign change indicates a caller bug
+    rather than saturation.
+
+    [tol] bounds the final interval width relative to the interval scale;
+    default [Tolerance.solver_eps].
+
+    @raise Failure if the interval is still wider than [tol] after
+    [max_iter] (default [200]) halvings — i.e. the requested tolerance is
+    unreachable from the given bracket, not merely slow convergence.
+    @raise Invalid_argument if [lo > hi]. *)
+
+val root_bracketed :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float
+(** Like {!root} but {e strict}: the root must be bracketed.
+
+    @raise Invalid_argument if [f lo > 0] or [f hi < 0] (no sign change
+    over the interval) or [lo > hi].
+    @raise Failure on non-convergence, as {!root}. *)
 
 val expand_upper :
   ?start:float -> ?limit:float -> f:(float -> float) -> target:float -> unit -> float

@@ -134,6 +134,31 @@ Instance inspection:
   acyclic: true
   commodity 0: 0 -> 3, demand 1, 3 simple paths
 
+--solver selects the path-equilibration engine; the column-generation
+default and the exhaustive oracle agree on the pinned instances:
+
+  $ sgr solve fig7.sgr --solver exhaustive > ex.out
+  $ sgr solve fig7.sgr --solver column-gen > cg.out
+  $ diff ex.out cg.out
+
+Column generation scales past the exhaustive engine's 20,000-path
+enumeration cap — a 10x10 grid has C(18,9) = 48620 s-t paths, which
+`info` reports as capped and `solve`/`mop` now handle:
+
+  $ sgr random grid --seed 1 --size 10 > grid10.sgr
+  $ sgr info grid10.sgr
+  kind: network
+  nodes: 100, edges: 180, commodities: 1, total demand: 1
+  acyclic: true
+  commodity 0: 0 -> 99, demand 1, > 20000 simple paths (enumeration capped)
+
+  $ sgr solve grid10.sgr | tail -1
+  C(N) = 17.4615, C(O) = 16.9546, price of anarchy = 1.0299
+
+  $ sgr mop grid10.sgr | head -2
+  beta (strong) = 0.728219163
+  beta (weak)   = 0.728219163
+
 Marginal-cost tolls restore the optimum:
 
   $ sgr tolls pigou.sgr
@@ -182,7 +207,7 @@ Errors are reported with context:
 
   $ sgr solve /nonexistent.sgr
   sgr: FILE argument: no '/nonexistent.sgr' file or directory
-  Usage: sgr solve [--stats] [--trace=FILE] [OPTION]… FILE
+  Usage: sgr solve [--solver=ENGINE] [--stats] [--trace=FILE] [OPTION]… FILE
   Try 'sgr solve --help' or 'sgr --help' for more information.
   [124]
 

@@ -124,6 +124,14 @@ let test_sweep_methods () =
   check_true "uses threshold above β"
     (List.exists (fun (p : Sweep.point) -> p.method_used = Sweep.Exact_threshold) curve.points)
 
+let test_sweep_ratio_degenerate () =
+  (* Zero optimum with positive induced cost is an infinite ratio, not a
+     silent 1.0; zero against zero is a clean 1.0. *)
+  check_true "positive over zero is infinite"
+    (Sweep.ratio_of ~opt_cost:0.0 0.5 = Float.infinity);
+  approx "zero over zero" 1.0 (Sweep.ratio_of ~opt_cost:0.0 0.0);
+  approx "ordinary ratio" 1.5 (Sweep.ratio_of ~opt_cost:2.0 3.0)
+
 (* ---- MSA ---- *)
 
 let test_msa_pigou () =
@@ -236,6 +244,7 @@ let suite =
     case "sweep: monotone" test_sweep_monotone;
     case "sweep: hits 1 at β" test_sweep_hits_one_at_beta;
     case "sweep: methods" test_sweep_methods;
+    case "sweep: degenerate zero-optimum ratio" test_sweep_ratio_degenerate;
     case "msa: pigou" test_msa_pigou;
     prop_msa_agrees_with_equilibrate;
     case "msa vs frank-wolfe iterations" test_fw_faster_than_msa_in_iterations;

@@ -163,6 +163,55 @@ let prop_opt_cost_below_nash =
       let n = Eq.solve Obj.Wardrop net and o = Eq.solve Obj.System_optimum net in
       Net.cost net o.edge_flow <= Net.cost net n.edge_flow +. 1e-6)
 
+let test_with_demands () =
+  let net = W.two_commodity () in
+  let resized = Net.with_demands net [| 2.0; 3.0 |] in
+  approx "resized total" 5.0 (Net.total_demand resized);
+  Alcotest.(check int) "same endpoints" net.Net.commodities.(0).Net.src
+    resized.Net.commodities.(0).Net.src;
+  (match Net.with_demands net [| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "size mismatch rejected");
+  match Net.with_demands net [| 1.0; -1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative demand rejected"
+
+let test_engine_selection () =
+  let saved = Eq.default_engine () in
+  Fun.protect
+    ~finally:(fun () -> Eq.set_default_engine saved)
+    (fun () ->
+      Eq.set_default_engine Eq.Exhaustive;
+      let net = W.fig7 () in
+      let ex = Eq.solve Obj.Wardrop net in
+      Alcotest.(check int) "exhaustive works over all simple paths" 3
+        (Array.length ex.paths.(0));
+      let cg = Eq.solve ~engine:Eq.Column_generation Obj.Wardrop net in
+      check_true "explicit engine overrides the ambient default"
+        (Array.length cg.paths.(0) <= 3);
+      check_true "engines agree" (Vec.linf_dist ex.edge_flow cg.edge_flow <= 1e-6))
+
+let test_column_gen_past_enumeration_limit () =
+  (* A 10x10 grid has C(18,9) = 48620 s-t paths — the exhaustive engine's
+     enumeration hard-fails, column generation prices a handful. *)
+  let rng = Prng.create 1 in
+  let net = W.grid_network rng ~rows:10 ~cols:10 () in
+  let sol = Eq.solve ~engine:Eq.Column_generation Obj.Wardrop net in
+  check_true "wardrop gap closed" (sol.gap <= 1e-6);
+  check_true "few columns priced" (Array.length sol.paths.(0) < 100);
+  approx "demand routed" net.Net.commodities.(0).Net.demand (Vec.sum sol.path_flows.(0))
+
+let prop_column_gen_matches_oracle =
+  qcheck ~count:50 "column generation agrees with the exhaustive oracle" QCheck.small_nat
+    (fun seed ->
+      let net = random_network (seed + 200) in
+      let obj = if seed mod 2 = 0 then Obj.Wardrop else Obj.System_optimum in
+      let cg = Eq.solve ~engine:Eq.Column_generation obj net in
+      let ex = Eq.solve ~engine:Eq.Exhaustive obj net in
+      cg.gap <= 1e-6
+      && Eq.verify obj net cg
+      && Vec.linf_dist cg.edge_flow ex.edge_flow <= 1e-5)
+
 let prop_nash_minimizes_beckmann =
   qcheck ~count:30 "the Wardrop flow minimizes the Beckmann potential" QCheck.small_nat
     (fun seed ->
@@ -189,7 +238,11 @@ let suite =
     case "objective dispatch" test_objective_values;
     case "zero-demand commodity" test_zero_demand_commodity;
     case "all-or-nothing" test_aon;
+    case "with_demands: cheap resize" test_with_demands;
+    case "engine selection: default and override" test_engine_selection;
+    case "column generation: past the enumeration limit" test_column_gen_past_enumeration_limit;
     prop_solvers_agree;
+    prop_column_gen_matches_oracle;
     prop_equilibrate_wardrop;
     prop_opt_cost_below_nash;
     prop_nash_minimizes_beckmann;

@@ -27,6 +27,34 @@ let test_bisection_flat_plateau () =
   let x = Bisection.root ~f ~lo:0.0 ~hi:3.0 () in
   check_true "plateau member" (0.999 <= x && x <= 2.001)
 
+let test_bisection_max_iter_raises () =
+  (* A bracket of width 4 cannot reach tol = 0 in 10 halvings; the old
+     code silently returned the midpoint as if it had converged. *)
+  match Bisection.root ~tol:0.0 ~max_iter:10 ~f:(fun x -> x -. Float.sqrt 2.0) ~lo:0.0 ~hi:4.0 ()
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on max_iter exhaustion"
+
+let test_bisection_default_budget_converges () =
+  (* 200 halvings shrink any realistic bracket below solver_eps, so the
+     non-convergence failure never fires with default parameters. *)
+  let x = Bisection.root ~f:(fun x -> x -. 1e-7) ~lo:0.0 ~hi:1e9 () in
+  approx ~eps:1e-6 "root of huge bracket" 1e-7 x
+
+let test_bisection_bracketed_root () =
+  let x = Bisection.root_bracketed ~f:(fun x -> (x *. x) -. 2.0) ~lo:0.0 ~hi:2.0 () in
+  approx ~eps:1e-9 "sqrt 2" (Float.sqrt 2.0) x
+
+let test_bisection_bracketed_rejects () =
+  (* Unlike [root], the strict variant treats a missing sign change as a
+     caller bug instead of silently clamping to an endpoint. *)
+  (match Bisection.root_bracketed ~f:(fun x -> x +. 1.0) ~lo:0.0 ~hi:5.0 () with
+  | exception Invalid_argument _ -> ()
+  | x -> Alcotest.failf "expected Invalid_argument for f > 0 everywhere, got %g" x);
+  match Bisection.root_bracketed ~f:(fun x -> x -. 10.0) ~lo:0.0 ~hi:5.0 () with
+  | exception Invalid_argument _ -> ()
+  | x -> Alcotest.failf "expected Invalid_argument for f < 0 everywhere, got %g" x
+
 let test_expand_upper () =
   let hi = Bisection.expand_upper ~f:(fun x -> x *. x) ~target:1e6 () in
   check_true "reaches target" (hi *. hi >= 1e6)
@@ -137,6 +165,10 @@ let suite =
     case "bisection: saturates at lo" test_bisection_saturates_low;
     case "bisection: saturates at hi" test_bisection_saturates_high;
     case "bisection: flat plateau" test_bisection_flat_plateau;
+    case "bisection: max_iter exhaustion raises" test_bisection_max_iter_raises;
+    case "bisection: default budget converges" test_bisection_default_budget_converges;
+    case "bisection: root_bracketed converges" test_bisection_bracketed_root;
+    case "bisection: root_bracketed rejects unbracketed" test_bisection_bracketed_rejects;
     case "bisection: bracket expansion" test_expand_upper;
     case "bisection: expansion failure on bounded f" test_expand_upper_fails;
     case "bisection: solve_increasing" test_solve_increasing;
