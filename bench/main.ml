@@ -6,13 +6,20 @@
    2. the bechamel timing suite T1-T6.
 
    `dune exec bench/main.exe -- --experiments` or `-- --timings` runs only
-   one half. Exit status is nonzero if any reproduction check fails. *)
+   one half; `-- --quick` runs only the T9 determinism smoke (seconds,
+   suitable for CI). Exit status is nonzero if any reproduction or
+   determinism check fails. *)
 
 let () =
   let args = Array.to_list Sys.argv in
-  let experiments = List.mem "--experiments" args || not (List.mem "--timings" args) in
-  let timings = List.mem "--timings" args || not (List.mem "--experiments" args) in
-  if experiments then Experiments.run_all ();
-  let ok = if experiments then Report.summary () else true in
-  if timings then Timings.run_all ();
-  if not ok then exit 1
+  if List.mem "--quick" args then begin
+    if not (Timings.run_quick ()) then exit 1
+  end
+  else begin
+    let experiments = List.mem "--experiments" args || not (List.mem "--timings" args) in
+    let timings = List.mem "--timings" args || not (List.mem "--experiments" args) in
+    if experiments then Experiments.run_all ();
+    let ok = if experiments then Report.summary () else true in
+    if timings then Timings.run_all ();
+    if not ok then exit 1
+  end

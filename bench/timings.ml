@@ -204,6 +204,143 @@ let counter_delta before after =
       if v - v0 > 0 then Some (name, v - v0) else None)
     after
 
+(* ---------------- T9: CSR kernels and the multicore sweep ----------------
+
+   Unlike T1-T8 this group is custom-measured: the interesting outputs
+   are *deltas* — list kernel vs CSR vs CSR + reused workspace on the
+   10x10-grid pricing workload, and the wall clock of the same alpha
+   sweep at jobs=1 vs jobs=N together with a byte-identity check — and
+   those land as counters in BENCH_obs.json. *)
+
+(* The retired list-based Dijkstra, kept as the baseline under
+   measurement (the library kernel now iterates CSR). *)
+let list_dijkstra g ~weights ~source =
+  let n = Sgr_graph.Digraph.num_nodes g in
+  let dist = Array.make n Float.infinity in
+  let settled = Array.make n false in
+  let heap = Sgr_graph.Heap.create () in
+  dist.(source) <- 0.0;
+  Sgr_graph.Heap.insert heap 0.0 source;
+  let continue = ref true in
+  while !continue do
+    match Sgr_graph.Heap.pop_min heap with
+    | None -> continue := false
+    | Some (d, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          List.iter
+            (fun (e : Sgr_graph.Digraph.edge) ->
+              let nd = d +. weights.(e.id) in
+              if nd < dist.(e.dst) then begin
+                dist.(e.dst) <- nd;
+                Sgr_graph.Heap.insert heap nd e.dst
+              end)
+            (Sgr_graph.Digraph.out_edges g u)
+        end
+  done;
+  dist
+
+(* Median ns per call for each kernel, with the kernels' timed samples
+   interleaved round-robin so clock drift and GC state hit all of them
+   equally (Obs.now is gettimeofday — µs resolution — so each sample
+   runs [batch] calls). *)
+let median_ns_interleaved ~repeats ~batch kernels =
+  let sample f =
+    let t0 = Obs.now () in
+    for _ = 1 to batch do
+      f ()
+    done;
+    (Obs.now () -. t0) *. 1e9 /. float_of_int batch
+  in
+  let k = Array.length kernels in
+  Array.iter (fun f -> ignore (sample f)) kernels;
+  (* warm-up *)
+  let samples = Array.make_matrix k repeats 0.0 in
+  for r = 0 to repeats - 1 do
+    Array.iteri (fun i f -> samples.(i).(r) <- sample f) kernels
+  done;
+  Array.map
+    (fun s ->
+      Array.sort compare s;
+      int_of_float s.(repeats / 2))
+    samples
+
+let curve_identical (a : Stackelberg.Alpha_sweep.curve) (b : Stackelberg.Alpha_sweep.curve) =
+  a.beta = b.beta
+  && List.length a.points = List.length b.points
+  && List.for_all2
+       (fun (p : Stackelberg.Alpha_sweep.point) (q : Stackelberg.Alpha_sweep.point) ->
+         p.alpha = q.alpha && p.ratio = q.ratio && p.method_used = q.method_used)
+       a.points b.points
+
+type t9_result = { entry : obs_entry; sweep_identical : bool }
+
+let run_t9 ~grid_n ~repeats ~sweep_samples ~jobs () =
+  let t0 = Obs.now () in
+  (* Pricing workload: free-flow edge latencies on an n x n grid — what
+     column generation's pricing Dijkstras see on their first round. *)
+  let net = W.grid_network (Prng.create 9001) ~rows:grid_n ~cols:grid_n () in
+  let g = net.Sgr_network.Network.graph in
+  let m = Sgr_graph.Digraph.num_edges g in
+  let weights = Sgr_network.Network.edge_latencies net (Array.make m 0.0) in
+  let ws = Sgr_graph.Dijkstra.workspace () in
+  let medians =
+    median_ns_interleaved ~repeats ~batch:50
+      [|
+        (fun () -> ignore (list_dijkstra g ~weights ~source:0));
+        (fun () -> ignore (Sgr_graph.Dijkstra.run g ~weights ~source:0));
+        (fun () -> ignore (Sgr_graph.Dijkstra.run ~workspace:ws g ~weights ~source:0));
+      |]
+  in
+  let list_ns = medians.(0) and csr_ns = medians.(1) and csr_ws_ns = medians.(2) in
+  (* The same alpha sweep sequentially and on the pool; identity of the
+     two curves is part of the result. *)
+  let sweep = W.random_affine_links (Prng.create 9002) ~m:4 ~demand:1.0 () in
+  let time_sweep jobs =
+    let t0 = Obs.now () in
+    let curve = Stackelberg.Alpha_sweep.run ~jobs ~samples:sweep_samples ~grid_resolution:12 sweep in
+    (curve, Obs.now () -. t0)
+  in
+  let seq_curve, seq_s = time_sweep 1 in
+  let par_curve, par_s = time_sweep jobs in
+  let identical = curve_identical seq_curve par_curve in
+  let ratio i j = if j > 0 then Printf.sprintf "%.2fx" (float_of_int i /. float_of_int j) else "-" in
+  Format.printf "  %-28s %8.3f µs@." (Printf.sprintf "dijkstra-list/grid%dx%d" grid_n grid_n)
+    (float_of_int list_ns /. 1e3);
+  Format.printf "  %-28s %8.3f µs  (%s vs list)@."
+    (Printf.sprintf "dijkstra-csr/grid%dx%d" grid_n grid_n)
+    (float_of_int csr_ns /. 1e3) (ratio list_ns csr_ns);
+  Format.printf "  %-28s %8.3f µs  (%s vs list)@."
+    (Printf.sprintf "dijkstra-csr-ws/grid%dx%d" grid_n grid_n)
+    (float_of_int csr_ws_ns /. 1e3) (ratio list_ns csr_ws_ns);
+  Format.printf "  %-28s %8.3f ms@."
+    (Printf.sprintf "alpha-sweep-%d/jobs=1" sweep_samples)
+    (seq_s *. 1e3);
+  Format.printf "  %-28s %8.3f ms  (%s, identical=%b)@."
+    (Printf.sprintf "alpha-sweep-%d/jobs=%d" sweep_samples jobs)
+    (par_s *. 1e3)
+    (Printf.sprintf "%.2fx" (seq_s /. Float.max 1e-9 par_s))
+    identical;
+  let entry =
+    {
+      group = "T9 csr + multicore";
+      wall_s = Obs.now () -. t0;
+      counters =
+        [
+          ("t9.dijkstra_list_ns", list_ns);
+          ("t9.dijkstra_csr_ns", csr_ns);
+          ("t9.dijkstra_csr_workspace_ns", csr_ws_ns);
+          ("t9.sweep_samples", sweep_samples);
+          ("t9.sweep_jobs", jobs);
+          ("t9.sweep_seq_us", int_of_float (seq_s *. 1e6));
+          ("t9.sweep_par_us", int_of_float (par_s *. 1e6));
+          ("t9.sweep_identical", if identical then 1 else 0);
+        ];
+      spans = [];
+    }
+  in
+  { entry; sweep_identical = identical }
+
 let run_all () =
   Format.printf "@.=== Timing suite (bechamel, monotonic clock, OLS ns/run) ===@.";
   let instance = Toolkit.Instance.monotonic_clock in
@@ -250,5 +387,19 @@ let run_all () =
       ("T7 extensions", t7);
       ("T8 column generation", t8);
     ];
+  Format.printf "@.=== T9 csr + multicore (median custom timings, deltas as counters) ===@.";
+  let t9 = run_t9 ~grid_n:10 ~repeats:21 ~sweep_samples:41 ~jobs:4 () in
+  entries := t9.entry :: !entries;
   write_obs_json "BENCH_obs.json" (List.rev !entries);
   Format.printf "@.wrote BENCH_obs.json (per-experiment span totals + counter snapshots)@."
+
+(* CI smoke: a scaled-down T9 at jobs=1 (trivially identical) and
+   jobs=2. Returns false — a nonzero exit for the workflow — when the
+   pooled sweep is not byte-identical to the sequential one. *)
+let run_quick () =
+  Format.printf "@.=== T9 quick smoke (jobs=1 and jobs=2) ===@.";
+  let r1 = run_t9 ~grid_n:6 ~repeats:5 ~sweep_samples:9 ~jobs:1 () in
+  let r2 = run_t9 ~grid_n:6 ~repeats:5 ~sweep_samples:9 ~jobs:2 () in
+  let ok = r1.sweep_identical && r2.sweep_identical in
+  if not ok then Format.printf "FAIL: pooled alpha sweep diverged from the sequential curve@.";
+  ok

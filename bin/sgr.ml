@@ -114,12 +114,23 @@ let solver_arg =
            scales to networks with exponentially many paths; $(b,exhaustive) enumerates every \
            simple path up front (oracle for small instances; capped at 20,000 paths).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~env:(Cmd.Env.info "SGR_JOBS")
+        ~doc:
+          "Number of worker domains for parallel stages (alpha-sweep points, per-commodity \
+           pricing). Defaults to 1 (sequential). Results are byte-identical at any job count.")
+
 let obs_term =
   Term.(
-    const (fun trace stats engine ->
+    const (fun trace stats engine jobs ->
         Eq.set_default_engine engine;
+        Option.iter Sgr_par.Pool.set_default_jobs jobs;
         (trace, stats))
-    $ trace_arg $ stats_arg $ solver_arg)
+    $ trace_arg $ stats_arg $ solver_arg $ jobs_arg)
 
 (* ---------------- solve ---------------- *)
 

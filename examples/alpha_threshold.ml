@@ -23,6 +23,10 @@ let trace name instance =
   Format.printf "@."
 
 let () =
+  (* Sweeps honor the ambient job count (SGR_JOBS); the curves are
+     byte-identical whatever it is, only wall clock changes. *)
+  Format.printf "alpha sweeps with %d job(s) (set SGR_JOBS to parallelize)@.@."
+    (Sgr_par.Pool.default_jobs ());
   trace "Pigou (Figs. 1-3)" W.pigou;
   trace "Five links (Figs. 4-6)" W.fig456;
   trace "Pigou degree 4 (worst-case family)" (W.pigou_degree 4);

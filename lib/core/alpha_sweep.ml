@@ -10,7 +10,7 @@ let ratio_of ~opt_cost cost =
   else if Float.abs cost <= 1e-12 then 1.0
   else Float.infinity
 
-let run ?(samples = 21) ?(grid_resolution = 32) instance =
+let run ?jobs ?(samples = 21) ?(grid_resolution = 32) instance =
   if samples < 2 then invalid_arg "Alpha_sweep.run: need at least two samples";
   Sgr_obs.Obs.span "alpha_sweep.run" @@ fun () ->
   let optop = Optop.run instance in
@@ -35,9 +35,10 @@ let run ?(samples = 21) ?(grid_resolution = 32) instance =
       { alpha; ratio = ratio_of best; method_used = Heuristic_upper_bound }
     end
   in
-  let points =
-    List.init samples (fun k -> point_at (float_of_int k /. float_of_int (samples - 1)))
-  in
+  (* Each α point is independent; results are collected by index, so the
+     curve is identical at any job count. *)
+  let alphas = Array.init samples (fun k -> float_of_int k /. float_of_int (samples - 1)) in
+  let points = Array.to_list (Sgr_par.Pool.map ?jobs point_at alphas) in
   { beta; points }
 
 let pigou_closed_form alpha =

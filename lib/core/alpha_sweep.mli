@@ -34,10 +34,13 @@ val ratio_of : opt_cost:float -> float -> float
     zero, [infinity] when [opt_cost] is zero but [cost] is positive —
     the Leader pays something where paying nothing was possible. *)
 
-val run : ?samples:int -> ?grid_resolution:int -> Sgr_links.Links.t -> curve
+val run : ?jobs:int -> ?samples:int -> ?grid_resolution:int -> Sgr_links.Links.t -> curve
 (** [run t] samples [samples] (default 21) evenly spaced values of [α] in
     [[0, 1]]. Instances with more than 6 links fall back to the heuristic
-    upper bound below [β_M]. *)
+    upper bound below [β_M]. [jobs] (default {!Sgr_par.Pool.default_jobs},
+    itself [1] unless [SGR_JOBS] or [--jobs] says otherwise) distributes
+    the α points over a domain pool; the curve is byte-identical at any
+    job count. *)
 
 val pigou_closed_form : float -> float
 (** The analytically optimal ratio for Pigou's example:

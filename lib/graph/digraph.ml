@@ -5,6 +5,17 @@ type t = {
   edges : edge array;
   out_adj : edge list array;
   in_adj : edge list array;
+  (* CSR adjacency: [out_ids.(out_off.(v)) .. out_ids.(out_off.(v+1)-1)]
+     are the ids of v's outgoing edges in insertion order (same for the
+     in-side), and [edge_src]/[edge_dst] are the flat endpoint arrays,
+     indexed by edge id. The hot kernels (Dijkstra, max-flow, path
+     enumeration) iterate these instead of the adjacency lists. *)
+  edge_src : int array;
+  edge_dst : int array;
+  out_off : int array;
+  out_ids : int array;
+  in_off : int array;
+  in_ids : int array;
 }
 
 type builder = { n : int; mutable rev_edges : edge list; mutable count : int }
@@ -22,16 +33,40 @@ let add_edge b ~src ~dst =
   b.count <- b.count + 1;
   e.id
 
+(* Counting sort of edge ids by [key]: offsets, then a fill pass in
+   insertion order so each node's slice preserves edge-id order. *)
+let csr_of ~n ~m ~key =
+  let off = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    off.(key e + 1) <- off.(key e + 1) + 1
+  done;
+  for v = 1 to n do
+    off.(v) <- off.(v) + off.(v - 1)
+  done;
+  let ids = Array.make m 0 in
+  let cursor = Array.copy off in
+  for e = 0 to m - 1 do
+    let v = key e in
+    ids.(cursor.(v)) <- e;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  (off, ids)
+
 let freeze b =
   let edges = Array.of_list (List.rev b.rev_edges) in
+  let m = Array.length edges in
   let out_adj = Array.make b.n [] and in_adj = Array.make b.n [] in
   (* Build adjacency in reverse so the lists end up in insertion order. *)
-  for i = Array.length edges - 1 downto 0 do
+  for i = m - 1 downto 0 do
     let e = edges.(i) in
     out_adj.(e.src) <- e :: out_adj.(e.src);
     in_adj.(e.dst) <- e :: in_adj.(e.dst)
   done;
-  { num_nodes = b.n; edges; out_adj; in_adj }
+  let edge_src = Array.map (fun e -> e.src) edges in
+  let edge_dst = Array.map (fun e -> e.dst) edges in
+  let out_off, out_ids = csr_of ~n:b.n ~m ~key:(fun e -> edge_src.(e)) in
+  let in_off, in_ids = csr_of ~n:b.n ~m ~key:(fun e -> edge_dst.(e)) in
+  { num_nodes = b.n; edges; out_adj; in_adj; edge_src; edge_dst; out_off; out_ids; in_off; in_ids }
 
 let of_edges ~num_nodes pairs =
   let b = builder ~num_nodes in
@@ -49,6 +84,24 @@ let edges t = t.edges
 let out_edges t v = t.out_adj.(v)
 let in_edges t v = t.in_adj.(v)
 let fold_edges f t init = Array.fold_left (fun acc e -> f e acc) init t.edges
+let edge_sources t = t.edge_src
+let edge_targets t = t.edge_dst
+let out_offsets t = t.out_off
+let out_edge_ids t = t.out_ids
+let in_offsets t = t.in_off
+let in_edge_ids t = t.in_ids
+
+let iter_out t v f =
+  for k = t.out_off.(v) to t.out_off.(v + 1) - 1 do
+    let e = t.out_ids.(k) in
+    f e t.edge_dst.(e)
+  done
+
+let iter_in t v f =
+  for k = t.in_off.(v) to t.in_off.(v + 1) - 1 do
+    let e = t.in_ids.(k) in
+    f e t.edge_src.(e)
+  done
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>digraph: %d nodes, %d edges" t.num_nodes (Array.length t.edges);

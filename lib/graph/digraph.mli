@@ -46,4 +46,40 @@ val in_edges : t -> int -> edge list
 
 val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
 
+(** {1 CSR adjacency}
+
+    [freeze] also lays the adjacency out in compressed-sparse-row form:
+    flat [int array]s of edge ids with per-node offset indexes, plus
+    flat endpoint arrays indexed by edge id. The solver hot paths
+    (Dijkstra, max-flow, path enumeration) iterate these directly —
+    no list cells, no closure per settled node. All returned arrays are
+    owned by the graph: do not mutate. *)
+
+val edge_sources : t -> int array
+(** [edge_sources t].(e) is the source node of edge [e]. *)
+
+val edge_targets : t -> int array
+(** [edge_targets t].(e) is the target node of edge [e]. *)
+
+val out_offsets : t -> int array
+(** [num_nodes + 1] offsets into {!out_edge_ids}: node [v]'s outgoing
+    edge ids occupy the slice [\[off.(v), off.(v+1))]. *)
+
+val out_edge_ids : t -> int array
+(** All edge ids grouped by source node, each group in insertion order. *)
+
+val in_offsets : t -> int array
+(** Like {!out_offsets}, for incoming edges. *)
+
+val in_edge_ids : t -> int array
+(** All edge ids grouped by target node, each group in insertion order. *)
+
+val iter_out : t -> int -> (int -> int -> unit) -> unit
+(** [iter_out t v f] calls [f edge_id dst] for each outgoing edge of
+    [v], in insertion order, without allocating. *)
+
+val iter_in : t -> int -> (int -> int -> unit) -> unit
+(** [iter_in t v f] calls [f edge_id src] for each incoming edge of
+    [v], in insertion order, without allocating. *)
+
 val pp : Format.formatter -> t -> unit

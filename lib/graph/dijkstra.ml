@@ -1,78 +1,133 @@
-type result = { dist : float array; pred : int option array }
+type result = { dist : float array; pred : int array }
 
 module Obs = Sgr_obs.Obs
 
 let c_runs = Obs.counter "dijkstra.runs"
 let c_relax = Obs.counter "dijkstra.relaxations"
 
-let run_generic next_edges ~n ~weights ~origin =
-  assert (Array.for_all (fun w -> w >= 0.0) weights);
+type workspace = {
+  mutable size : int;  (* node count the arrays are sized for; 0 = empty *)
+  mutable dist : float array;
+  mutable pred : int array;
+  mutable settled : bool array;
+  heap : Heap.t;
+}
+
+let workspace ?(hint = 0) () =
+  {
+    size = 0;
+    dist = [||];
+    pred = [||];
+    settled = [||];
+    heap = Heap.create ~hint ();
+  }
+
+(* Size the scratch arrays for an [n]-node graph and reset them. On the
+   repeated-run path (same graph) this is three [Array.fill]s and a
+   [Heap.clear] — no allocation. *)
+let prepare ws n =
+  if ws.size <> n then begin
+    ws.dist <- Array.make n Float.infinity;
+    ws.pred <- Array.make n (-1);
+    ws.settled <- Array.make n false;
+    ws.size <- n
+  end
+  else begin
+    Array.fill ws.dist 0 n Float.infinity;
+    Array.fill ws.pred 0 n (-1);
+    Array.fill ws.settled 0 n false
+  end;
+  Heap.clear ws.heap
+
+let validate_weights weights =
+  Array.iter
+    (fun w ->
+      if not (w >= 0.0) then
+        invalid_arg "Dijkstra: edge weights must be nonnegative (and not NaN)")
+    weights
+
+(* The kernel, shared by the forward and reverse runs: [off]/[ids] is a
+   CSR adjacency (out- or in-) and [other].(e) the endpoint the search
+   moves to along edge [e] (dst forward, src reverse). Iterates the flat
+   arrays directly — no list cells or closures per settled node. *)
+let run_dir ws ~off ~ids ~other ~weights ~n ~origin =
   Obs.incr c_runs;
-  let dist = Array.make n Float.infinity in
-  let pred = Array.make n None in
-  let settled = Array.make n false in
-  let heap = Heap.create () in
+  prepare ws n;
+  let dist = ws.dist and pred = ws.pred and settled = ws.settled and heap = ws.heap in
+  let relaxations = ref 0 in
   dist.(origin) <- 0.0;
   Heap.insert heap 0.0 origin;
-  let rec drain () =
-    match Heap.pop_min heap with
-    | None -> ()
-    | Some (d, u) ->
-        (* Lazy deletion: skip stale entries. *)
-        if not settled.(u) then begin
-          settled.(u) <- true;
-          ignore d;
-          List.iter
-            (fun (eid, v) ->
-              Obs.incr c_relax;
-              let nd = dist.(u) +. weights.(eid) in
-              if nd < dist.(v) then begin
-                dist.(v) <- nd;
-                pred.(v) <- Some eid;
-                Heap.insert heap nd v
-              end)
-            (next_edges u)
-        end;
-        drain ()
-  in
-  drain ();
+  let u = ref (Heap.pop heap) in
+  while !u >= 0 do
+    let u' = !u in
+    (* Lazy deletion: skip stale entries. *)
+    if not settled.(u') then begin
+      settled.(u') <- true;
+      let du = dist.(u') in
+      for k = off.(u') to off.(u' + 1) - 1 do
+        let e = ids.(k) in
+        let v = other.(e) in
+        incr relaxations;
+        let nd = du +. weights.(e) in
+        if nd < dist.(v) then begin
+          dist.(v) <- nd;
+          pred.(v) <- e;
+          Heap.insert heap nd v
+        end
+      done
+    end;
+    u := Heap.pop heap
+  done;
+  (* One batched counter update per run keeps the inner loop free of
+     atomic traffic while the count stays exact. *)
+  Obs.add c_relax !relaxations;
   { dist; pred }
 
-let run g ~weights ~source =
-  let next u = List.map (fun (e : Digraph.edge) -> (e.id, e.dst)) (Digraph.out_edges g u) in
-  run_generic next ~n:(Digraph.num_nodes g) ~weights ~origin:source
+let run ?(validate = false) ?workspace:ws g ~weights ~source =
+  if validate then validate_weights weights;
+  let ws = match ws with Some ws -> ws | None -> workspace () in
+  run_dir ws
+    ~off:(Digraph.out_offsets g) ~ids:(Digraph.out_edge_ids g)
+    ~other:(Digraph.edge_targets g) ~weights ~n:(Digraph.num_nodes g) ~origin:source
 
-let run_reverse g ~weights ~sink =
-  let next u = List.map (fun (e : Digraph.edge) -> (e.id, e.src)) (Digraph.in_edges g u) in
-  run_generic next ~n:(Digraph.num_nodes g) ~weights ~origin:sink
+let run_reverse ?(validate = false) ?workspace:ws g ~weights ~sink =
+  if validate then validate_weights weights;
+  let ws = match ws with Some ws -> ws | None -> workspace () in
+  run_dir ws
+    ~off:(Digraph.in_offsets g) ~ids:(Digraph.in_edge_ids g)
+    ~other:(Digraph.edge_sources g) ~weights ~n:(Digraph.num_nodes g) ~origin:sink
 
-let shortest_path g ~weights ~src ~dst =
-  let { dist; pred } = run g ~weights ~source:src in
+let shortest_path ?validate ?workspace g ~weights ~src ~dst =
+  let ({ dist; pred } : result) = run ?validate ?workspace g ~weights ~source:src in
   if dist.(dst) = Float.infinity then None
   else begin
+    let sources = Digraph.edge_sources g in
     let rec walk v acc =
       if v = src then acc
       else
-        match pred.(v) with
-        | None -> acc (* unreachable; cannot happen when dist is finite *)
-        | Some eid ->
-            let e = Digraph.edge g eid in
-            walk e.src (eid :: acc)
+        let e = pred.(v) in
+        if e < 0 then acc (* unreachable; cannot happen when dist is finite *)
+        else walk sources.(e) (e :: acc)
     in
     Some (walk dst [])
   end
 
-let shortest_edge_subgraph ?(eps = Sgr_numerics.Tolerance.check_eps) g ~weights ~src ~dst =
-  let fwd = run g ~weights ~source:src in
-  let bwd = run_reverse g ~weights ~sink:dst in
+let shortest_edge_subgraph ?(eps = Sgr_numerics.Tolerance.check_eps) ?validate ?workspaces g
+    ~weights ~src ~dst =
+  let fwd_ws, bwd_ws =
+    match workspaces with Some pair -> pair | None -> (workspace (), workspace ())
+  in
+  let fwd = run ?validate ~workspace:fwd_ws g ~weights ~source:src in
+  let bwd = run_reverse ~workspace:bwd_ws g ~weights ~sink:dst in
   let total = fwd.dist.(dst) in
   let m = Digraph.num_edges g in
   let on_sp = Array.make m false in
-  if total < Float.infinity then
-    Array.iter
-      (fun (e : Digraph.edge) ->
-        let through = fwd.dist.(e.src) +. weights.(e.id) +. bwd.dist.(e.dst) in
-        if through < Float.infinity && through <= total +. (eps *. Float.max 1.0 total) then
-          on_sp.(e.id) <- true)
-      (Digraph.edges g);
+  if total < Float.infinity then begin
+    let sources = Digraph.edge_sources g and targets = Digraph.edge_targets g in
+    for e = 0 to m - 1 do
+      let through = fwd.dist.(sources.(e)) +. weights.(e) +. bwd.dist.(targets.(e)) in
+      if through < Float.infinity && through <= total +. (eps *. Float.max 1.0 total) then
+        on_sp.(e) <- true
+    done
+  end;
   on_sp

@@ -4,28 +4,65 @@
     both the distance labels under optimum-induced edge costs and the
     subgraph of edges lying on *some* shortest s–t path (footnote 5).
     The latter is characterized by
-    [dist_from_s(src e) + w e + dist_to_t(dst e) = dist_from_s(t)]. *)
+    [dist_from_s(src e) + w e + dist_to_t(dst e) = dist_from_s(t)].
+
+    The kernel iterates the graph's CSR adjacency (see
+    {!Digraph.out_offsets}) and can run inside a caller-owned
+    {!workspace}, in which case repeated runs on the same graph perform
+    no allocation — column-generation pricing does one run per
+    commodity per round, and {!shortest_edge_subgraph} does two. *)
 
 type result = {
   dist : float array;  (** [dist.(v)] — distance from the source; [infinity] if unreachable. *)
-  pred : int option array;
-      (** [pred.(v)] — id of the edge entering [v] on one shortest path. *)
+  pred : int array;
+      (** [pred.(v)] — id of the edge entering [v] on one shortest path,
+          or [-1] for the source and unreachable nodes. *)
 }
 
-val run : Digraph.t -> weights:float array -> source:int -> result
-(** Dijkstra from [source]. [weights] is indexed by edge id; all weights
-    must be [>= 0] (asserted). *)
+(** {1 Workspaces} *)
 
-val run_reverse : Digraph.t -> weights:float array -> sink:int -> result
+type workspace
+(** Reusable scratch state: dist/pred/settled arrays plus the heap.
+    A workspace adapts to whatever graph it is run on (it reallocates
+    when the node count changes); reusing one across runs on the same
+    graph allocates nothing. Not domain-safe: use one workspace per
+    domain (e.g. via [Domain.DLS]) in parallel code. *)
+
+val workspace : ?hint:int -> unit -> workspace
+(** Fresh empty workspace; [hint] presizes the heap. *)
+
+(** {1 Runs}
+
+    [validate] (default [false]) checks every weight is nonnegative
+    before running and raises [Invalid_argument] otherwise — an O(m)
+    scan that solver inner loops skip; tests and entry points handling
+    untrusted data should pass [~validate:true].
+
+    When [?workspace] is supplied, the returned {!result} {e aliases}
+    the workspace arrays: it is valid until the workspace's next run.
+    Without it a fresh workspace is allocated per call. *)
+
+val run :
+  ?validate:bool -> ?workspace:workspace -> Digraph.t -> weights:float array -> source:int ->
+  result
+(** Dijkstra from [source]. [weights] is indexed by edge id. *)
+
+val run_reverse :
+  ?validate:bool -> ?workspace:workspace -> Digraph.t -> weights:float array -> sink:int ->
+  result
 (** Distances *to* [sink] (Dijkstra on the reversed graph);
     [pred.(v)] is the edge leaving [v] on a shortest path to the sink. *)
 
-val shortest_path : Digraph.t -> weights:float array -> src:int -> dst:int -> int list option
+val shortest_path :
+  ?validate:bool -> ?workspace:workspace -> Digraph.t -> weights:float array -> src:int ->
+  dst:int -> int list option
 (** Edge ids of one shortest [src]–[dst] path (in path order), or [None]
     if unreachable. *)
 
 val shortest_edge_subgraph :
-  ?eps:float -> Digraph.t -> weights:float array -> src:int -> dst:int -> bool array
+  ?eps:float -> ?validate:bool -> ?workspaces:workspace * workspace -> Digraph.t ->
+  weights:float array -> src:int -> dst:int -> bool array
 (** [b.(e)] is true iff edge [e] lies on some shortest [src]–[dst] path,
     up to additive slack [eps] (default {!Sgr_numerics.Tolerance.check_eps})
-    to absorb solver noise in the weights. *)
+    to absorb solver noise in the weights. [workspaces] is the
+    (forward, reverse) scratch pair for the two underlying runs. *)

@@ -1,7 +1,8 @@
 let excess g ~flow v =
-  let out = List.fold_left (fun a (e : Digraph.edge) -> a +. flow.(e.id)) 0.0 (Digraph.out_edges g v) in
-  let inn = List.fold_left (fun a (e : Digraph.edge) -> a +. flow.(e.id)) 0.0 (Digraph.in_edges g v) in
-  out -. inn
+  let acc = ref 0.0 in
+  Digraph.iter_out g v (fun e _ -> acc := !acc +. flow.(e));
+  Digraph.iter_in g v (fun e _ -> acc := !acc -. flow.(e));
+  !acc
 
 let is_feasible ?(eps = Sgr_numerics.Tolerance.check_eps) g ~flow ~src ~dst ~demand =
   Array.for_all (fun f -> f >= -.eps) flow
@@ -25,10 +26,15 @@ let decompose ?(eps = 1e-9) g ~flow ~src ~dst =
       else begin
         if visited.(v) then failwith "Flow.decompose: cycle in positive-flow subgraph";
         visited.(v) <- true;
-        let next =
-          List.find_opt (fun (e : Digraph.edge) -> residual.(e.id) > eps) (Digraph.out_edges g v)
-        in
-        match next with None -> None | Some e -> go e.dst (e.id :: acc)
+        (* First outgoing edge (in insertion order) still carrying flow. *)
+        let off = Digraph.out_offsets g and ids = Digraph.out_edge_ids g in
+        let next = ref (-1) in
+        let k = ref off.(v) in
+        while !next < 0 && !k < off.(v + 1) do
+          if residual.(ids.(!k)) > eps then next := ids.(!k);
+          incr k
+        done;
+        if !next < 0 then None else go (Digraph.edge_targets g).(!next) (!next :: acc)
       end
     in
     go src []

@@ -1,61 +1,87 @@
-type 'a entry = { prio : float; payload : 'a }
-type 'a t = { mutable data : 'a entry array; mutable len : int }
+(* Parallel-array layout: priorities live in an unboxed float array and
+   payloads in an int array, so [insert] writes two slots and allocates
+   nothing once capacity is reached. Payloads are ints (node or edge
+   ids) on purpose: a polymorphic payload array would route every store
+   through the write barrier, which is measurably slower once a
+   long-lived heap's arrays are promoted to the major heap — exactly
+   the reusable-workspace case. *)
 
-let create () = { data = [||]; len = 0 }
+type t = {
+  mutable prios : float array;
+  mutable payloads : int array;
+  mutable len : int;
+  hint : int;
+}
+
+let create ?(hint = 0) () = { prios = [||]; payloads = [||]; len = 0; hint = max 0 hint }
 let is_empty h = h.len = 0
 let size h = h.len
+let clear h = h.len <- 0
 
-let grow h e =
-  let cap = Array.length h.data in
+let grow h =
+  let cap = Array.length h.prios in
   if h.len = cap then begin
-    let ncap = max 16 (2 * cap) in
-    let nd = Array.make ncap e in
-    Array.blit h.data 0 nd 0 h.len;
-    h.data <- nd
+    let ncap = if cap = 0 then max 16 h.hint else 2 * cap in
+    let np = Array.make ncap 0.0 and nd = Array.make ncap 0 in
+    Array.blit h.prios 0 np 0 h.len;
+    Array.blit h.payloads 0 nd 0 h.len;
+    h.prios <- np;
+    h.payloads <- nd
   end
 
+let swap h i j =
+  let p = h.prios.(i) and d = h.payloads.(i) in
+  h.prios.(i) <- h.prios.(j);
+  h.payloads.(i) <- h.payloads.(j);
+  h.prios.(j) <- p;
+  h.payloads.(j) <- d
+
 let insert h prio payload =
-  let e = { prio; payload } in
-  grow h e;
+  grow h;
   let i = ref h.len in
   h.len <- h.len + 1;
-  h.data.(!i) <- e;
+  h.prios.(!i) <- prio;
+  h.payloads.(!i) <- payload;
   (* Sift up. *)
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if h.data.(parent).prio > h.data.(!i).prio then begin
-      let tmp = h.data.(parent) in
-      h.data.(parent) <- h.data.(!i);
-      h.data.(!i) <- tmp;
+    if h.prios.(parent) > h.prios.(!i) then begin
+      swap h parent !i;
       i := parent
     end
     else continue := false
   done
 
-let pop_min h =
-  if h.len = 0 then None
+let pop h =
+  if h.len = 0 then -1
   else begin
-    let top = h.data.(0) in
+    let top_payload = h.payloads.(0) in
     h.len <- h.len - 1;
     if h.len > 0 then begin
-      h.data.(0) <- h.data.(h.len);
+      h.prios.(0) <- h.prios.(h.len);
+      h.payloads.(0) <- h.payloads.(h.len);
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < h.len && h.data.(l).prio < h.data.(!smallest).prio then smallest := l;
-        if r < h.len && h.data.(r).prio < h.data.(!smallest).prio then smallest := r;
+        if l < h.len && h.prios.(l) < h.prios.(!smallest) then smallest := l;
+        if r < h.len && h.prios.(r) < h.prios.(!smallest) then smallest := r;
         if !smallest <> !i then begin
-          let tmp = h.data.(!smallest) in
-          h.data.(!smallest) <- h.data.(!i);
-          h.data.(!i) <- tmp;
+          swap h !smallest !i;
           i := !smallest
         end
         else continue := false
       done
     end;
-    Some (top.prio, top.payload)
+    top_payload
+  end
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let prio = h.prios.(0) in
+    Some (prio, pop h)
   end

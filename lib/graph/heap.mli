@@ -1,14 +1,35 @@
-(** Minimal binary min-heap of [(priority, payload)] pairs for Dijkstra.
+(** Minimal binary min-heap of [(priority, int payload)] pairs for
+    Dijkstra.
 
     Stale entries are handled by the caller (lazy deletion), so only
-    [insert] and [pop_min] are needed. *)
+    [insert], [pop]/[pop_min] and [clear] are needed. Priorities and
+    payloads are stored in parallel unboxed arrays ([float array] /
+    [int array]): inserting allocates only when the heap grows, a
+    cleared heap refills allocation-free, and no store goes through the
+    GC write barrier (payloads are deliberately monomorphic ints — node
+    or edge ids — for that reason). *)
 
-type 'a t
+type t
 
-val create : unit -> 'a t
-val is_empty : 'a t -> bool
-val size : 'a t -> int
-val insert : 'a t -> float -> 'a -> unit
+val create : ?hint:int -> unit -> t
+(** Fresh empty heap. [hint] sizes the first capacity allocation (the
+    heap still grows past it on demand). *)
 
-val pop_min : 'a t -> (float * 'a) option
-(** Removes and returns the pair with the smallest priority. *)
+val is_empty : t -> bool
+val size : t -> int
+val insert : t -> float -> int -> unit
+
+val pop : t -> int
+(** Removes the payload with the smallest priority and returns it, or
+    [-1] when the heap is empty. Allocation-free — the hot-path variant
+    of {!pop_min}. Payloads inserted by well-behaved callers are ids,
+    hence nonnegative, so [-1] is unambiguous. *)
+
+val pop_min : t -> (float * int) option
+(** Like {!pop}, also reporting the priority. Allocates the returned
+    option. *)
+
+val clear : t -> unit
+(** Empty the heap, keeping its capacity, so the next fill does not
+    reallocate. Old payload slots are not erased (they are overwritten
+    by later inserts), so clearing does not release payload memory. *)

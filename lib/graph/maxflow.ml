@@ -12,47 +12,45 @@ let solve ?(eps = 1e-12) g ~capacities ~src ~dst =
   assert (Array.for_all (fun c -> c >= 0.0) capacities);
   let flow = Array.make m 0.0 in
   let n = Digraph.num_nodes g in
+  (* BFS scratch, reused across augmentations: the parent arc of each
+     visited node as (edge id, direction), -1 = unvisited. *)
+  let parent_edge = Array.make n (-1) in
+  let parent_fwd = Array.make n false in
+  let queue = Array.make n 0 in
+  let sources = Digraph.edge_sources g and targets = Digraph.edge_targets g in
   (* BFS over the residual network: forward arcs with remaining capacity,
-     backward arcs with positive flow. The parent tag records direction. *)
+     backward arcs with positive flow. *)
   let find_augmenting () =
-    let parent = Array.make n None in
-    let visited = Array.make n false in
-    let q = Queue.create () in
-    visited.(src) <- true;
-    Queue.push src q;
-    let rec bfs () =
-      if Queue.is_empty q || visited.(dst) then ()
-      else begin
-        let u = Queue.pop q in
-        List.iter
-          (fun (e : Digraph.edge) ->
-            if (not visited.(e.dst)) && capacities.(e.id) -. flow.(e.id) > eps then begin
-              visited.(e.dst) <- true;
-              parent.(e.dst) <- Some (`Forward e.id, u);
-              Queue.push e.dst q
-            end)
-          (Digraph.out_edges g u);
-        List.iter
-          (fun (e : Digraph.edge) ->
-            if (not visited.(e.src)) && flow.(e.id) > eps then begin
-              visited.(e.src) <- true;
-              parent.(e.src) <- Some (`Backward e.id, u);
-              Queue.push e.src q
-            end)
-          (Digraph.in_edges g u);
-        bfs ()
-      end
-    in
-    bfs ();
-    if not visited.(dst) then None
+    Array.fill parent_edge 0 n (-1);
+    let head = ref 0 and tail = ref 0 in
+    let push v = queue.(!tail) <- v; incr tail in
+    let visited v = v = src || parent_edge.(v) >= 0 in
+    push src;
+    while !head < !tail && not (visited dst) do
+      let u = queue.(!head) in
+      incr head;
+      Digraph.iter_out g u (fun e v ->
+          if (not (visited v)) && capacities.(e) -. flow.(e) > eps then begin
+            parent_edge.(v) <- e;
+            parent_fwd.(v) <- true;
+            push v
+          end);
+      Digraph.iter_in g u (fun e v ->
+          if (not (visited v)) && flow.(e) > eps then begin
+            parent_edge.(v) <- e;
+            parent_fwd.(v) <- false;
+            push v
+          end)
+    done;
+    if not (visited dst) then None
     else begin
       (* Walk back from dst collecting the residual path. *)
       let rec walk v acc =
         if v = src then acc
         else
-          match parent.(v) with
-          | None -> assert false
-          | Some (arc, u) -> walk u (arc :: acc)
+          let e = parent_edge.(v) in
+          if parent_fwd.(v) then walk sources.(e) (`Forward e :: acc)
+          else walk targets.(e) (`Backward e :: acc)
       in
       Some (walk dst [])
     end

@@ -44,9 +44,7 @@ let enumerate ?(limit = 20_000) g ~src ~dst =
     end
     else begin
       visited.(v) <- true;
-      List.iter
-        (fun (e : Digraph.edge) -> if not visited.(e.dst) then dfs e.dst (e.id :: acc))
-        (Digraph.out_edges g v);
+      Digraph.iter_out g v (fun e w -> if not visited.(w) then dfs w (e :: acc));
       visited.(v) <- false
     end
   in

@@ -15,11 +15,9 @@ let topological_order g =
     frontier := IntSet.remove v !frontier;
     order.(!placed) <- v;
     incr placed;
-    List.iter
-      (fun (e : Digraph.edge) ->
-        indeg.(e.dst) <- indeg.(e.dst) - 1;
-        if indeg.(e.dst) = 0 then frontier := IntSet.add e.dst !frontier)
-      (Digraph.out_edges g v)
+    Digraph.iter_out g v (fun _ w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then frontier := IntSet.add w !frontier)
   done;
   if !placed = n then Some order else None
 
@@ -50,25 +48,20 @@ let has_cycle_in_support g ~support =
   done;
   !found
 
-let bfs next g origin =
+let bfs iter g origin =
   let seen = Array.make (Digraph.num_nodes g) false in
   let q = Queue.create () in
   seen.(origin) <- true;
   Queue.push origin q;
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
-    List.iter
-      (fun u ->
+    iter g v (fun _ u ->
         if not seen.(u) then begin
           seen.(u) <- true;
           Queue.push u q
         end)
-      (next v)
   done;
   seen
 
-let reachable_from g v =
-  bfs (fun u -> List.map (fun (e : Digraph.edge) -> e.dst) (Digraph.out_edges g u)) g v
-
-let co_reachable_to g v =
-  bfs (fun u -> List.map (fun (e : Digraph.edge) -> e.src) (Digraph.in_edges g u)) g v
+let reachable_from g v = bfs Digraph.iter_out g v
+let co_reachable_to g v = bfs Digraph.iter_in g v

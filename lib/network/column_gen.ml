@@ -14,6 +14,11 @@ let c_sweeps = Obs.counter "equilibrate.sweeps"
 let c_rounds = Obs.counter "column_gen.pricing_rounds"
 let c_columns = Obs.counter "column_gen.columns"
 
+(* One Dijkstra workspace per domain: the pricing step may fan its
+   per-commodity shortest-path calls over a pool, and each domain reuses
+   its own scratch arrays across rounds. *)
+let ws_key = Domain.DLS.new_key (fun () -> G.Dijkstra.workspace ())
+
 type solution = Solver_types.path_solution = {
   edge_flow : float array;
   path_flows : float array array;
@@ -185,7 +190,10 @@ let solve ?(tol = 1e-9) ?(max_sweeps = 200_000) ?(max_rounds = 1_000) obj net =
   let flows = Array.make k [||] in
   Array.iteri
     (fun i (c : Network.commodity) ->
-      match G.Dijkstra.shortest_path g ~weights:(weights ()) ~src:c.Network.src ~dst:c.Network.dst with
+      match
+        G.Dijkstra.shortest_path ~workspace:(Domain.DLS.get ws_key) g ~weights:(weights ())
+          ~src:c.Network.src ~dst:c.Network.dst
+      with
       | None -> invalid_arg "Column_gen.solve: unreachable commodity"
       | Some p ->
           active.(i) <- [| p |];
@@ -210,11 +218,22 @@ let solve ?(tol = 1e-9) ?(max_sweeps = 200_000) ?(max_rounds = 1_000) obj net =
       + equalize ~k0:!sweeps obj net ~edge_flow ~paths:active ~path_flows:flows ~tol
           ~max_sweeps:(max_sweeps - !sweeps);
     let w = weights () in
+    (* Pricing Dijkstras are independent across commodities, so they may
+       run on the ambient pool; each returns a fresh path (no workspace
+       aliasing). Admission below stays sequential in commodity order,
+       so the solve is byte-identical at any job count. *)
+    let priced =
+      Sgr_par.Pool.map
+        (fun (c : Network.commodity) ->
+          G.Dijkstra.shortest_path ~workspace:(Domain.DLS.get ws_key) g ~weights:w
+            ~src:c.Network.src ~dst:c.Network.dst)
+        net.Network.commodities
+    in
     let admitted = ref 0 in
     let round_gap = ref 0.0 in
     Array.iteri
-      (fun i (c : Network.commodity) ->
-        match G.Dijkstra.shortest_path g ~weights:w ~src:c.Network.src ~dst:c.Network.dst with
+      (fun i (_ : Network.commodity) ->
+        match priced.(i) with
         | None -> ()
         | Some p ->
             let new_cost = G.Paths.cost p w in

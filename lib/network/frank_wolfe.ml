@@ -13,13 +13,13 @@ type solution = Solver_types.solution = {
 let c_aon = Obs.counter "all_or_nothing.calls"
 let c_iters = Obs.counter "frank_wolfe.iterations"
 
-let all_or_nothing net ~weights =
+let all_or_nothing ?workspace net ~weights =
   Obs.incr c_aon;
   let g = net.Network.graph in
   let flow = Array.make (G.Digraph.num_edges g) 0.0 in
   Array.iter
     (fun c ->
-      match G.Dijkstra.shortest_path g ~weights ~src:c.Network.src ~dst:c.Network.dst with
+      match G.Dijkstra.shortest_path ?workspace g ~weights ~src:c.Network.src ~dst:c.Network.dst with
       | None -> invalid_arg "Frank_wolfe.all_or_nothing: unreachable commodity"
       | Some path -> List.iter (fun e -> flow.(e) <- flow.(e) +. c.Network.demand) path)
     net.Network.commodities;
@@ -33,7 +33,10 @@ let solve ?(tol = 1e-8) ?(max_iter = 100_000) obj net =
   Obs.span "frank_wolfe.solve" @@ fun () ->
   let m = G.Digraph.num_edges net.Network.graph in
   let zero = Array.make m 0.0 in
-  let f = ref (all_or_nothing net ~weights:(gradient obj net zero)) in
+  (* One Dijkstra workspace for the whole solve: each iteration's
+     all-or-nothing step reruns on the same graph allocation-free. *)
+  let workspace = G.Dijkstra.workspace () in
+  let f = ref (all_or_nothing ~workspace net ~weights:(gradient obj net zero)) in
   let iterations = ref 0 in
   let relgap = ref Float.infinity in
   let continue = ref true in
@@ -43,7 +46,7 @@ let solve ?(tol = 1e-8) ?(max_iter = 100_000) obj net =
     incr iterations;
     Obs.incr c_iters;
     let grad = gradient obj net !f in
-    let y = all_or_nothing net ~weights:grad in
+    let y = all_or_nothing ~workspace net ~weights:grad in
     let d = Vec.sub y !f in
     let gap = -.Vec.dot grad d in
     let denom = Float.max 1e-12 (Float.abs (Vec.dot grad !f)) in

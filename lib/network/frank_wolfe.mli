@@ -22,9 +22,11 @@ type solution = Solver_types.solution = {
           {!Sgr_obs.Obs} sink is installed during the solve. *)
 }
 
-val all_or_nothing : Network.t -> weights:float array -> float array
+val all_or_nothing :
+  ?workspace:Sgr_graph.Dijkstra.workspace -> Network.t -> weights:float array -> float array
 (** Route each commodity's entire demand on one shortest path under the
-    given edge weights. *)
+    given edge weights. [workspace] lets repeated calls on the same
+    graph reuse the Dijkstra scratch state. *)
 
 val solve :
   ?tol:float -> ?max_iter:int -> Objective.t -> Network.t -> solution

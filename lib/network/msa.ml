@@ -17,7 +17,8 @@ let solve ?(tol = 1e-6) ?(max_iter = 200_000) obj net =
   let value = Objective.edge_value obj in
   let gradient f = Array.mapi (fun e fe -> value net.Network.latencies.(e) fe) f in
   let zero = Array.make m 0.0 in
-  let f = ref (Frank_wolfe.all_or_nothing net ~weights:(gradient zero)) in
+  let workspace = Sgr_graph.Dijkstra.workspace () in
+  let f = ref (Frank_wolfe.all_or_nothing ~workspace net ~weights:(gradient zero)) in
   let iterations = ref 0 in
   let relgap = ref Float.infinity in
   let continue = ref true in
@@ -27,7 +28,7 @@ let solve ?(tol = 1e-6) ?(max_iter = 200_000) obj net =
     incr iterations;
     Obs.incr c_iters;
     let grad = gradient !f in
-    let y = Frank_wolfe.all_or_nothing net ~weights:grad in
+    let y = Frank_wolfe.all_or_nothing ~workspace net ~weights:grad in
     let d = Vec.sub y !f in
     let gap = -.Vec.dot grad d in
     let denom = Float.max 1e-12 (Float.abs (Vec.dot grad !f)) in

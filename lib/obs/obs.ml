@@ -12,27 +12,44 @@ type event =
 
 (* ---------------- counters ---------------- *)
 
-type counter = { name : string; mutable count : int }
+(* Counters are atomic so hot paths on worker domains (parallel alpha
+   sweeps, per-commodity pricing) keep exact counts; kernels batch
+   their updates (one [add] per run) so the atomic traffic stays off
+   the innermost loops. The registry itself is touched rarely
+   ([counter] calls are module-initialization time in practice) but is
+   mutex-guarded for safety. *)
+type counter = { name : string; count : int Atomic.t }
 
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+let registry_mutex = Mutex.create ()
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some c -> c
-  | None ->
-      let c = { name; count = 0 } in
-      Hashtbl.add registry name c;
-      c
+  Mutex.lock registry_mutex;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { name; count = Atomic.make 0 } in
+        Hashtbl.add registry name c;
+        c
+  in
+  Mutex.unlock registry_mutex;
+  c
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let value c = c.count
+let incr c = Atomic.incr c.count
+let add c n = ignore (Atomic.fetch_and_add c.count n)
+let value c = Atomic.get c.count
 
 let counters () =
-  Hashtbl.fold (fun name c acc -> (name, c.count) :: acc) registry []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Mutex.lock registry_mutex;
+  let snapshot = Hashtbl.fold (fun name c acc -> (name, Atomic.get c.count) :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) snapshot
 
-let reset_counters () = Hashtbl.iter (fun _ c -> c.count <- 0) registry
+let reset_counters () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter (fun _ c -> Atomic.set c.count 0) registry;
+  Mutex.unlock registry_mutex
 
 (* ---------------- clock ---------------- *)
 
@@ -43,14 +60,26 @@ let now () = !clock ()
 
 (* ---------------- sink, spans, points ---------------- *)
 
+(* The sink, its nesting depth and the recorder/aggregator callbacks
+   behind it are single-domain state: events are only emitted from the
+   domain that installed the sink (the main domain in every current
+   use). Worker domains run spans as plain calls and skip trace points;
+   counters (atomic, above) remain exact everywhere. *)
 let sink : (event -> unit) option ref = ref None
-let set_sink f = sink := f
-let enabled () = Option.is_some !sink
+let sink_domain = ref (-1)
+let on_sink_domain () = (Domain.self () :> int) = !sink_domain
+
+let set_sink f =
+  sink := f;
+  sink_domain := (match f with None -> -1 | Some _ -> (Domain.self () :> int))
+
+let enabled () = Option.is_some !sink && on_sink_domain ()
 let depth = ref 0
 
 let span name f =
   match !sink with
   | None -> f ()
+  | Some _ when not (on_sink_domain ()) -> f ()
   | Some emit ->
       let d = !depth in
       depth := d + 1;
@@ -67,8 +96,9 @@ let span name f =
 
 let point ~solver ~k ~gap ~objective ~step =
   match !sink with
-  | None -> ()
-  | Some emit -> emit (Point { solver; k; gap; objective; step; ts = now () })
+  | Some emit when on_sink_domain () ->
+      emit (Point { solver; k; gap; objective; step; ts = now () })
+  | _ -> ()
 
 (* ---------------- sinks ---------------- *)
 

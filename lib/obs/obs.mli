@@ -4,9 +4,11 @@
     library can be instrumented without cycles. Three primitives:
 
     - {b counters} — named monotonic [int]s ("bisection.calls",
-      "dijkstra.relaxations", …) that always accumulate; incrementing
-      one is a single mutable write, so the hot paths carry them
-      unconditionally;
+      "dijkstra.relaxations", …) that always accumulate; each is an
+      [Atomic.t], so increments from worker domains (parallel sweeps,
+      per-commodity pricing) stay exact. Kernels batch their updates
+      (one [add] per run) to keep atomic traffic off the innermost
+      loops;
     - {b spans} — named, nested wall-clock intervals
       ([span "mop.maxflow" f]); when no sink is installed a span is a
       single branch around [f ()];
@@ -18,6 +20,12 @@
     [event -> unit] callback that defaults to [None] (no-op): with the
     default sink the solvers skip all trace bookkeeping and their
     results are bit-identical to the uninstrumented library.
+
+    {b Domains.} The sink is single-domain state: only the domain that
+    called {!set_sink} emits events. On any other domain {!span} is a
+    plain call, {!point} is a no-op and {!enabled} returns [false], so
+    parallel runs never race on the sink — worker work simply does not
+    appear in traces. Counters are domain-safe and exact everywhere.
 
     Naming scheme: ["component.operation"], e.g. ["bisection.calls"],
     ["frank_wolfe.solve"], ["mop.maxflow"]. See docs/observability.md. *)

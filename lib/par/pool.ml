@@ -1,0 +1,170 @@
+module Obs = Sgr_obs.Obs
+
+let c_batches = Obs.counter "pool.batches"
+let c_tasks = Obs.counter "pool.tasks"
+
+(* A fixed pool of [jobs - 1] worker domains plus the submitting
+   (main) domain. A batch is a single [unit -> unit] body that every
+   participant runs once; the body pulls task indices from a shared
+   atomic cursor, so there is exactly one batch in flight at a time and
+   the pool needs no task queue. Workers park on [ready] between
+   batches; the submitter parks on [finished] until the last worker
+   checks out. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  ready : Condition.t;
+  finished : Condition.t;
+  mutable batch : (unit -> unit) option;
+  mutable seq : int;  (* batch sequence number; workers track the last one they ran *)
+  mutable pending : int;  (* workers still inside the current batch *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* True while the current domain is executing inside a pool batch
+   (worker or submitting caller). Nested [map_array]/[map] calls from
+   task bodies fall back to sequential execution instead of
+   deadlocking on the busy pool. *)
+let in_batch : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker pool =
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.stop) && (pool.batch = None || pool.seq = !last) do
+      Condition.wait pool.ready pool.mutex
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      let body = Option.get pool.batch in
+      last := pool.seq;
+      Mutex.unlock pool.mutex;
+      body ();
+      Mutex.lock pool.mutex;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.signal pool.finished;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      ready = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      seq = 0;
+      pending = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  pool.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let jobs pool = pool.jobs
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.ready;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+(* Run [body] on every worker and on the caller, returning when all
+   have finished. [body] must be safe to run concurrently with itself. *)
+let run_batch pool body =
+  Mutex.lock pool.mutex;
+  pool.batch <- Some body;
+  pool.seq <- pool.seq + 1;
+  pool.pending <- pool.jobs - 1;
+  Condition.broadcast pool.ready;
+  Mutex.unlock pool.mutex;
+  body ();
+  Mutex.lock pool.mutex;
+  while pool.pending > 0 do
+    Condition.wait pool.finished pool.mutex
+  done;
+  pool.batch <- None;
+  Mutex.unlock pool.mutex
+
+let map_array pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if pool.jobs = 1 || n = 1 || Domain.DLS.get in_batch then Array.map f arr
+  else begin
+    Obs.incr c_batches;
+    Obs.add c_tasks n;
+    (* Results land in their input's slot, so the reduce is by index
+       and the output is independent of which domain ran which task. *)
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let body () =
+      Domain.DLS.set in_batch true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_batch false)
+        (fun () ->
+          let continue = ref true in
+          while !continue do
+            let i = Atomic.fetch_and_add next 1 in
+            if i >= n then continue := false
+            else
+              match f arr.(i) with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  (* Keep the first failure; the batch still drains so
+                     the barrier below stays simple. *)
+                  ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+          done)
+    in
+    run_batch pool body;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+(* ---------------- ambient default ---------------- *)
+
+let clamp_jobs jobs = max 1 (min 512 jobs)
+
+let env_jobs () =
+  match Sys.getenv_opt "SGR_JOBS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some j -> Some (clamp_jobs j) | None -> None)
+  | None -> None
+
+let ambient = ref (match env_jobs () with Some j -> j | None -> 1)
+let set_default_jobs jobs = ambient := clamp_jobs jobs
+let default_jobs () = !ambient
+
+(* The shared pool behind [map]: created on first parallel use and
+   resized (shutdown + respawn) when the requested job count changes.
+   Only the main domain manages it; calls from inside a batch never
+   reach it (they take the sequential fallback in [map_array]). *)
+let shared : t option ref = ref None
+
+let shared_pool jobs =
+  match !shared with
+  | Some pool when pool.jobs = jobs -> pool
+  | existing ->
+      Option.iter shutdown existing;
+      let pool = create ~jobs in
+      shared := Some pool;
+      pool
+
+let map ?jobs f arr =
+  let jobs = clamp_jobs (match jobs with Some j -> j | None -> !ambient) in
+  if jobs = 1 || Array.length arr <= 1 || Domain.DLS.get in_batch then Array.map f arr
+  else map_array (shared_pool jobs) f arr

@@ -1,0 +1,60 @@
+(** A small fixed pool of worker domains for embarrassingly parallel
+    solves (alpha-sweep points, per-commodity pricing, bench batches).
+
+    Zero dependencies beyond the OCaml 5 stdlib ([Domain], [Mutex],
+    [Condition], [Atomic]). A pool sized [jobs] uses [jobs - 1] spawned
+    domains plus the calling domain; [jobs = 1] is a strict sequential
+    fallback (no domains, no synchronization, plain [Array.map]).
+
+    {b Determinism.} {!map_array} writes each result into its input's
+    slot, so the output array — and therefore any solver built on it —
+    is byte-identical whatever the job count or scheduling order. Only
+    wall-clock time and observability {e traces} differ (spans/points
+    from worker domains are skipped; see {!Sgr_obs.Obs}). Counters
+    remain exact.
+
+    {b Nesting.} A task body that calls back into the pool (e.g. a
+    parallel alpha sweep whose points run a solver with parallel
+    pricing) executes the inner map sequentially instead of
+    deadlocking: the outer batch already owns the workers. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [jobs - 1] worker domains.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f arr] is [Array.map f arr], with the applications
+    distributed over the pool's domains. If any application raises, the
+    remaining tasks still run and the first exception (in completion
+    order) is re-raised in the caller. Must be called from the domain
+    that created the pool; recursive calls from task bodies run
+    sequentially. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. The pool must be idle. *)
+
+(** {1 Ambient job count}
+
+    Library entry points ({!Stackelberg.Alpha_sweep.run}, the
+    column-generation pricing step) read an ambient job count instead
+    of threading a pool through every call chain. It defaults to [1]
+    (fully sequential — the library stays deterministic and
+    domain-free unless explicitly opted in), is seeded from the
+    [SGR_JOBS] environment variable when set, and is overridden by the
+    [sgr --jobs] flag. *)
+
+val default_jobs : unit -> int
+val set_default_jobs : int -> unit
+(** Clamped to [\[1, 512\]]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Like {!map_array} on a shared, lazily created pool sized [jobs]
+    (default: {!default_jobs}). The shared pool persists across calls
+    and is resized when a different job count is requested. With
+    [jobs = 1], inputs of length [<= 1], or when called from inside a
+    pool task, this is exactly [Array.map f arr] on the calling
+    domain. *)

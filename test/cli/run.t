@@ -207,7 +207,7 @@ Errors are reported with context:
 
   $ sgr solve /nonexistent.sgr
   sgr: FILE argument: no '/nonexistent.sgr' file or directory
-  Usage: sgr solve [--solver=ENGINE] [--stats] [--trace=FILE] [OPTION]… FILE
+  Usage: sgr solve [OPTION]… FILE
   Try 'sgr solve --help' or 'sgr --help' for more information.
   [124]
 

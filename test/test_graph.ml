@@ -36,7 +36,7 @@ let test_heap_sorts () =
   let h = G.Heap.create () in
   let rng = Prng.create 5 in
   let input = Array.init 500 (fun _ -> Prng.float rng) in
-  Array.iter (fun x -> G.Heap.insert h x x) input;
+  Array.iteri (fun i x -> G.Heap.insert h x i) input;
   Alcotest.(check int) "size" 500 (G.Heap.size h);
   let prev = ref Float.neg_infinity in
   let rec drain n =
@@ -48,6 +48,58 @@ let test_heap_sorts () =
         drain (n + 1)
   in
   drain 0
+
+let test_heap_clear_reuse () =
+  let h = G.Heap.create ~hint:8 () in
+  let rng = Prng.create 7 in
+  let fill_and_drain () =
+    let input = Array.init 100 (fun _ -> Prng.float rng) in
+    Array.iteri (fun i x -> G.Heap.insert h x i) input;
+    Alcotest.(check int) "size after fill" 100 (G.Heap.size h);
+    let prev = ref Float.neg_infinity in
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match G.Heap.pop_min h with
+      | None -> continue := false
+      | Some (p, _) ->
+          check_true "nondecreasing" (p >= !prev);
+          prev := p;
+          incr n
+    done;
+    Alcotest.(check int) "drained all" 100 !n
+  in
+  fill_and_drain ();
+  (* Refill after clear must behave like a fresh heap. *)
+  G.Heap.insert h 1.0 1;
+  G.Heap.insert h 2.0 2;
+  G.Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (G.Heap.size h);
+  check_true "empty after clear" (G.Heap.is_empty h);
+  Alcotest.(check bool) "pop on cleared" true (G.Heap.pop_min h = None);
+  Alcotest.(check int) "pop sentinel on cleared" (-1) (G.Heap.pop h);
+  fill_and_drain ()
+
+let test_csr_matches_adjacency_lists () =
+  let g = diamond () in
+  let off = G.Digraph.out_offsets g and ids = G.Digraph.out_edge_ids g in
+  Alcotest.(check int) "offset array length" (G.Digraph.num_nodes g + 1) (Array.length off);
+  Alcotest.(check int) "flat ids cover all edges" (G.Digraph.num_edges g) (Array.length ids);
+  for v = 0 to G.Digraph.num_nodes g - 1 do
+    let from_list = List.map (fun (e : G.Digraph.edge) -> e.id) (G.Digraph.out_edges g v) in
+    let from_csr = ref [] in
+    G.Digraph.iter_out g v (fun e _ -> from_csr := e :: !from_csr);
+    Alcotest.(check (list int)) "out edges agree" from_list (List.rev !from_csr);
+    let from_list = List.map (fun (e : G.Digraph.edge) -> e.id) (G.Digraph.in_edges g v) in
+    let from_csr = ref [] in
+    G.Digraph.iter_in g v (fun e _ -> from_csr := e :: !from_csr);
+    Alcotest.(check (list int)) "in edges agree" from_list (List.rev !from_csr)
+  done;
+  Array.iter
+    (fun (e : G.Digraph.edge) ->
+      Alcotest.(check int) "edge_sources" e.src (G.Digraph.edge_sources g).(e.id);
+      Alcotest.(check int) "edge_targets" e.dst (G.Digraph.edge_targets g).(e.id))
+    (G.Digraph.edges g)
 
 let test_dijkstra_diamond () =
   let g = diamond () in
@@ -75,6 +127,42 @@ let test_dijkstra_reverse () =
   approx "dist from s to t" 2.5 r.dist.(0);
   approx "dist from v" 1.5 r.dist.(1);
   approx "dist from w" 1.0 r.dist.(2)
+
+let test_dijkstra_validate_negative () =
+  let g = diamond () in
+  let bad = [| 1.0; 4.0; -0.5; 4.0; 1.0 |] in
+  (match G.Dijkstra.run ~validate:true g ~weights:bad ~source:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative weight must be rejected when validating");
+  (match G.Dijkstra.run ~validate:true g ~weights:[| 1.0; Float.nan; 0.5; 4.0; 1.0 |] ~source:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "NaN weight must be rejected when validating");
+  (* The check is opt-in: well-formed weights pass with it on. *)
+  let r = G.Dijkstra.run ~validate:true g ~weights:[| 1.0; 4.0; 0.5; 4.0; 1.0 |] ~source:0 in
+  approx "validated run still correct" 2.5 r.dist.(3)
+
+let test_dijkstra_workspace_reuse () =
+  let ws = G.Dijkstra.workspace () in
+  let g = diamond () in
+  let weights = [| 1.0; 4.0; 0.5; 4.0; 1.0 |] in
+  (* Repeated runs in one workspace: the second must not see state from
+     the first (different source, then different weights). *)
+  let r1 = G.Dijkstra.run ~workspace:ws g ~weights ~source:0 in
+  approx "first run" 2.5 r1.dist.(3);
+  let r2 = G.Dijkstra.run ~workspace:ws g ~weights ~source:1 in
+  approx "second run, new source" 1.5 r2.dist.(3);
+  check_true "source unreachable from v" (r2.dist.(0) = Float.infinity);
+  let r3 = G.Dijkstra.run ~workspace:ws g ~weights:[| 1.0; 1.0; 1.0; 1.0; 1.0 |] ~source:0 in
+  approx "third run, new weights" 2.0 r3.dist.(3);
+  (* The same workspace adapts to a graph of a different size. *)
+  let g2 = G.Digraph.of_edges ~num_nodes:2 [ (0, 1) ] in
+  let r4 = G.Dijkstra.run ~workspace:ws g2 ~weights:[| 7.0 |] ~source:0 in
+  approx "smaller graph" 7.0 r4.dist.(1);
+  let r5 = G.Dijkstra.run ~workspace:ws g ~weights ~source:0 in
+  approx "back to the diamond" 2.5 r5.dist.(3);
+  match G.Dijkstra.shortest_path ~workspace:ws g ~weights ~src:0 ~dst:3 with
+  | Some [ 0; 2; 4 ] -> ()
+  | _ -> Alcotest.fail "workspace shortest_path must match the fresh run"
 
 let test_shortest_subgraph () =
   let g = diamond () in
@@ -180,6 +268,48 @@ let bellman_ford g ~weights ~source =
   done;
   dist
 
+(* The pre-CSR list-based Dijkstra, kept here verbatim as a test-only
+   oracle: iterate [out_edges] lists with lazy heap deletion. *)
+let list_dijkstra g ~weights ~source =
+  let n = G.Digraph.num_nodes g in
+  let dist = Array.make n Float.infinity in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = G.Heap.create () in
+  dist.(source) <- 0.0;
+  G.Heap.insert heap 0.0 source;
+  let continue = ref true in
+  while !continue do
+    match G.Heap.pop_min heap with
+    | None -> continue := false
+    | Some (d, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          List.iter
+            (fun (e : G.Digraph.edge) ->
+              let nd = d +. weights.(e.id) in
+              if nd < dist.(e.dst) then begin
+                dist.(e.dst) <- nd;
+                pred.(e.dst) <- e.id;
+                G.Heap.insert heap nd e.dst
+              end)
+            (G.Digraph.out_edges g u)
+        end
+  done;
+  (dist, pred)
+
+let prop_dijkstra_csr_vs_list_oracle =
+  qcheck ~count:100 "CSR dijkstra matches the list-based kernel edge-for-edge" QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create (seed + 500) in
+      let g, _ = random_layered_graph rng in
+      let weights = Array.init (G.Digraph.num_edges g) (fun _ -> Prng.uniform rng ~lo:0.0 ~hi:5.0) in
+      let csr = G.Dijkstra.run g ~weights ~source:0 in
+      let dist, pred = list_dijkstra g ~weights ~source:0 in
+      (* Same relaxation order (CSR groups preserve insertion order), so
+         the runs agree bitwise — distances and chosen predecessor edges. *)
+      csr.dist = dist && csr.pred = pred)
+
 let prop_dijkstra_vs_bellman_ford =
   qcheck ~count:50 "dijkstra agrees with bellman-ford" QCheck.small_nat (fun seed ->
       let rng = Prng.create (seed + 300) in
@@ -284,7 +414,11 @@ let suite =
     case "digraph: rejects bad endpoints" test_build_rejects_out_of_range;
     case "digraph: parallel edges" test_parallel_edges_allowed;
     case "heap: sorts random input" test_heap_sorts;
+    case "heap: clear keeps capacity, reuse is clean" test_heap_clear_reuse;
+    case "digraph: CSR mirrors adjacency lists" test_csr_matches_adjacency_lists;
     case "dijkstra: diamond" test_dijkstra_diamond;
+    case "dijkstra: ~validate rejects negative weights" test_dijkstra_validate_negative;
+    case "dijkstra: workspace reuse" test_dijkstra_workspace_reuse;
     case "dijkstra: unreachable" test_dijkstra_unreachable;
     case "dijkstra: reverse distances" test_dijkstra_reverse;
     case "dijkstra: shortest-edge subgraph" test_shortest_subgraph;
@@ -298,6 +432,7 @@ let suite =
     case "flow: decompose round trip" test_flow_decompose_roundtrip;
     case "flow: feasibility checks" test_flow_feasibility;
     prop_dijkstra_vs_enumeration;
+    prop_dijkstra_csr_vs_list_oracle;
     prop_dijkstra_vs_bellman_ford;
     prop_maxflow_min_cut_saturation;
     prop_maxflow_has_min_cut_certificate;

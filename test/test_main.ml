@@ -5,6 +5,7 @@ let () =
     [
       ("numerics", Test_numerics.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
       ("latency", Test_latency.suite);
       ("graph", Test_graph.suite);
       ("topology", Test_topology.suite);
