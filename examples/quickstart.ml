@@ -7,7 +7,6 @@
    the strategy achieving it. *)
 
 module Links = Sgr_links.Links
-module L = Sgr_latency.Latency
 module Vec = Sgr_numerics.Vec
 
 let () =

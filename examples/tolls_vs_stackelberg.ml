@@ -7,8 +7,6 @@
    when prices cannot be charged; this example puts the two side by side
    on every named instance. *)
 
-module Links = Sgr_links.Links
-module Net = Sgr_network.Network
 module W = Sgr_workloads.Workloads
 module Tolls = Stackelberg.Tolls
 module Vec = Sgr_numerics.Vec

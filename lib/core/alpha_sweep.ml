@@ -20,7 +20,11 @@ let run ?jobs ?(samples = 21) ?(grid_resolution = 32) instance =
   let common_slope = Linear_exact.is_common_slope instance in
   let ratio_of cost = ratio_of ~opt_cost cost in
   let point_at alpha =
-    Sgr_obs.Obs.span "alpha_sweep.point" @@ fun () ->
+    (* No per-point Obs.span here: [point_at] runs on pool workers,
+       where spans are dropped, so a span in this closure would make the
+       recorded trace depend on the job count and break PR 3's
+       jobs-invariant observability guarantee. The enclosing
+       [alpha_sweep.run] span covers the whole sweep. *)
     if alpha >= beta -. 1e-12 then { alpha; ratio = 1.0; method_used = Exact_threshold }
     else if common_slope then
       let r = Linear_exact.solve instance ~alpha in

@@ -110,7 +110,11 @@ let solve ?(grid = 64) instance ~alpha =
             Some { i0; epsilon; cost })
       (List.init m (fun k -> k + 1))
   in
-  if candidates = [] then failwith "Linear_exact.solve: no feasible partition (internal error)";
+  (* Theorem 2.4 guarantees a feasible partition exists; reaching this
+     is a solver bug, and the message says so. *)
+  if candidates = [] then
+    (failwith "Linear_exact.solve: no feasible partition (internal error)")
+    [@lint.allow "no-untyped-failure"];
   let best =
     List.fold_left (fun acc c -> if c.cost < acc.cost then c else acc) (List.hd candidates)
       (List.tl candidates)
@@ -119,7 +123,9 @@ let solve ?(grid = 64) instance ~alpha =
   let strategy = Array.make m 0.0 in
   let predicted_cost =
     match evaluate best.i0 best.epsilon with
-    | None -> assert false
+    (* [best] came from [feasible_interval], so re-evaluating it at its
+       own epsilon cannot fail. *)
+    | None -> (assert false) [@lint.allow "no-untyped-failure"]
     | Some (cost, pn, so) ->
         let prefix_total = ((1.0 -. alpha) *. r) +. best.epsilon in
         Array.iteri

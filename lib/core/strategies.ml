@@ -6,7 +6,14 @@ type outcome = { strategy : float array; induced_cost : float; ratio_to_opt : fl
 let evaluate instance ~strategy =
   let induced_cost = Links.stackelberg_cost instance ~strategy in
   let opt_cost = Links.cost instance (Links.opt instance).assignment in
-  let ratio_to_opt = if opt_cost = 0.0 then 1.0 else induced_cost /. opt_cost in
+  (* Same semantics as [Alpha_sweep.ratio_of]: a vanishing optimum with
+     a genuinely positive induced cost is an unbounded ratio, not 1; the
+     old exact [opt_cost = 0.0] test also exploded on denormal optima. *)
+  let ratio_to_opt =
+    if opt_cost > 0.0 then induced_cost /. opt_cost
+    else if Float.abs induced_cost <= 1e-12 then 1.0
+    else Float.infinity
+  in
   { strategy; induced_cost; ratio_to_opt }
 
 let check_alpha alpha =

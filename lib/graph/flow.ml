@@ -24,7 +24,11 @@ let decompose ?(eps = 1e-9) g ~flow ~src ~dst =
     let rec go v acc =
       if v = dst then Some (List.rev acc)
       else begin
-        if visited.(v) then failwith "Flow.decompose: cycle in positive-flow subgraph";
+        if visited.(v) then
+          (* Bad-input contract, not an internal invariant: callers feed
+             user-supplied flows and expect [Failure]. *)
+          (failwith "Flow.decompose: cycle in positive-flow subgraph")
+          [@lint.allow "no-untyped-failure"];
         visited.(v) <- true;
         (* First outgoing edge (in insertion order) still carrying flow. *)
         let off = Digraph.out_offsets g and ids = Digraph.out_edge_ids g in

@@ -39,7 +39,10 @@ let enumerate ?(limit = 20_000) g ~src ~dst =
   let rec dfs v acc =
     if v = dst then begin
       incr count;
-      if !count > limit then failwith "Paths.enumerate: path count exceeds limit";
+      (* [Failure] is the documented cap contract: the CLI catches it to
+         degrade gracefully on path-explosive networks. *)
+      if !count > limit then
+        (failwith "Paths.enumerate: path count exceeds limit") [@lint.allow "no-untyped-failure"];
       found := List.rev acc :: !found
     end
     else begin

@@ -120,7 +120,9 @@ let load path =
   | text -> ( match parse text with Ok t -> Ok t | Error m -> Error (path ^ ": " ^ m))
   | exception Sys_error m -> Error m
 
-let load_exn path = match load path with Ok t -> t | Error m -> failwith m
+(* The [_exn] variant's whole contract is turning [Error] into [Failure]. *)
+let load_exn path =
+  match load path with Ok t -> t | Error m -> (failwith m) [@lint.allow "no-untyped-failure"]
 
 let print_links (t : Links.t) =
   let buf = Buffer.create 256 in

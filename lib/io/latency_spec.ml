@@ -80,7 +80,8 @@ let print lat =
   match L.kind lat with
   | L.Constant c -> num c
   | L.Affine { slope; intercept } ->
-      if intercept = 0.0 then Printf.sprintf "%sx" (num slope)
+      (* Serializer cosmetics: exact zero decides whether the term shows. *)
+      if (intercept = 0.0) [@lint.allow "float-equality"] then Printf.sprintf "%sx" (num slope)
       else Printf.sprintf "%sx + %s" (num slope) (num intercept)
   | L.Polynomial coeffs ->
       "poly " ^ String.concat " " (List.map num (Array.to_list coeffs))

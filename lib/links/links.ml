@@ -132,7 +132,12 @@ let opt t = water_fill ~value:L.marginal ~inverse:L.inverse_marginal t
 let price_of_anarchy t =
   let n = nash t and o = opt t in
   let co = cost t o.assignment in
-  if co = 0.0 then 1.0 else cost t n.assignment /. co
+  let cn = cost t n.assignment in
+  (* Same semantics as [Alpha_sweep.ratio_of]: a zero-cost optimum under
+     a positive Nash cost is an unbounded PoA, and the guard is a sign
+     test rather than an exact float [=] so denormal optima don't slip
+     through into the division. *)
+  if co > 0.0 then cn /. co else if Float.abs cn <= 1e-12 then 1.0 else Float.infinity
 
 let verify_level ?(eps = Tol.check_eps) ~value t x =
   let n = num_links t in

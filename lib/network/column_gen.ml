@@ -7,7 +7,6 @@
    exponential path set of a grid-like network. *)
 
 module G = Sgr_graph
-module L = Sgr_latency.Latency
 module Obs = Sgr_obs.Obs
 
 let c_sweeps = Obs.counter "equilibrate.sweeps"
@@ -35,7 +34,7 @@ let diff_edges a b =
   match b with
   | [] -> a
   | _ ->
-      let in_b = Array.of_list (List.sort_uniq compare b) in
+      let in_b = Array.of_list (List.sort_uniq Int.compare b) in
       let mem e =
         let lo = ref 0 and hi = ref (Array.length in_b - 1) in
         let found = ref false in

@@ -10,13 +10,15 @@ type solution = Solver_types.path_solution = {
 
 type engine = Column_generation | Exhaustive
 
-let engine_ref = ref Column_generation
-let set_default_engine e = engine_ref := e
-let default_engine () = !engine_ref
+(* Atomic so a default-engine change is visible to (and well-defined
+   under) concurrent solves from pool workers. *)
+let engine_ref = Atomic.make Column_generation
+let set_default_engine e = Atomic.set engine_ref e
+let default_engine () = Atomic.get engine_ref
 
 let solve ?tol ?max_sweeps ?engine obj net =
   Obs.span "equilibrate.solve" @@ fun () ->
-  match Option.value engine ~default:!engine_ref with
+  match Option.value engine ~default:(Atomic.get engine_ref) with
   | Column_generation -> Column_gen.solve ?tol ?max_sweeps obj net
   | Exhaustive -> Column_gen.solve_on_paths ?tol ?max_sweeps obj net ~paths:(Network.paths net)
 

@@ -66,7 +66,11 @@ let solve ?(tol = 1e-8) ?(max_iter = 100_000) obj net =
         let dphi gamma =
           let acc = ref 0.0 in
           for e = 0 to m - 1 do
-            if d.(e) <> 0.0 then
+            (* Exact test by design: d is y - f, so exact zeros mark
+               edges outside the direction's support; a tolerance here
+               would silently drop genuinely tiny components from the
+               line-search derivative. *)
+            if (d.(e) <> 0.0) [@lint.allow "float-equality"] then
               acc :=
                 !acc +. (d.(e) *. value net.Network.latencies.(e) (!f.(e) +. (gamma *. d.(e))))
           done;

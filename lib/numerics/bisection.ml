@@ -20,9 +20,12 @@ let bisect ~tol ~max_iter ~f ~lo ~hi =
     (* Each iteration halves the interval, so with the default budget the
        width shrinks by 2^200: exhausting [max_iter] means the caller asked
        for a tolerance the bracket cannot reach, not slow convergence. *)
-    failwith
-      (Printf.sprintf "Bisection.root: no convergence after %d iterations (width %g > tol %g)"
-         max_iter (!hi -. !lo) tol);
+    (* [Failure] is this module's documented non-convergence contract
+       (PR 2); callers such as Partition_heuristic pattern-match on it. *)
+    (failwith
+       (Printf.sprintf "Bisection.root: no convergence after %d iterations (width %g > tol %g)"
+          max_iter (!hi -. !lo) tol))
+    [@lint.allow "no-untyped-failure"];
   0.5 *. (!lo +. !hi)
 
 let root ?(tol = Tolerance.solver_eps) ?(max_iter = 200) ~f ~lo ~hi () =
@@ -48,7 +51,9 @@ let expand_upper ?(start = 1.0) ?(limit = 1e18) ~f ~target () =
     hi := !hi *. 2.0
   done;
   if f !hi < target then
-    failwith "Bisection.expand_upper: function never reaches target";
+    (* Same [Failure] contract as [root] above. *)
+    (failwith "Bisection.expand_upper: function never reaches target")
+    [@lint.allow "no-untyped-failure"];
   !hi
 
 let solve_increasing ?tol ~f ~y ~lo ~hi () = root ?tol ~f:(fun x -> f x -. y) ~lo ~hi ()

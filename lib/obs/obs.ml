@@ -20,7 +20,8 @@ type event =
    mutex-guarded for safety. *)
 type counter = { name : string; count : int Atomic.t }
 
-let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+(* Guarded by [registry_mutex] below on every access. *)
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 32 [@@lint.allow "mutable-global"]
 let registry_mutex = Mutex.create ()
 
 let counter name =
@@ -42,7 +43,7 @@ let value c = Atomic.get c.count
 
 let counters () =
   Mutex.lock registry_mutex;
-  let snapshot = Hashtbl.fold (fun name c acc -> (name, Atomic.get c.count) :: acc) registry [] in
+  let snapshot = Hashtbl.fold (fun _ c acc -> (c.name, Atomic.get c.count) :: acc) registry [] in
   Mutex.unlock registry_mutex;
   List.sort (fun (a, _) (b, _) -> String.compare a b) snapshot
 
@@ -54,7 +55,10 @@ let reset_counters () =
 (* ---------------- clock ---------------- *)
 
 let default_clock = Unix.gettimeofday
-let clock = ref default_clock
+
+(* Sink-domain-only state (see the discipline note below): mutated from
+   the domain that installs the sink, never from pool workers. *)
+let clock = ref default_clock [@@lint.allow "mutable-global"]
 let set_clock f = clock := f
 let now () = !clock ()
 
@@ -65,8 +69,8 @@ let now () = !clock ()
    domain that installed the sink (the main domain in every current
    use). Worker domains run spans as plain calls and skip trace points;
    counters (atomic, above) remain exact everywhere. *)
-let sink : (event -> unit) option ref = ref None
-let sink_domain = ref (-1)
+let sink : (event -> unit) option ref = ref None [@@lint.allow "mutable-global"]
+let sink_domain = ref (-1) [@@lint.allow "mutable-global"]
 let on_sink_domain () = (Domain.self () :> int) = !sink_domain
 
 let set_sink f =
@@ -74,7 +78,9 @@ let set_sink f =
   sink_domain := (match f with None -> -1 | Some _ -> (Domain.self () :> int))
 
 let enabled () = Option.is_some !sink && on_sink_domain ()
-let depth = ref 0
+
+(* Only touched by [span] after the [on_sink_domain] gate. *)
+let depth = ref 0 [@@lint.allow "mutable-global"]
 
 let span name f =
   match !sink with

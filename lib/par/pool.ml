@@ -133,7 +133,9 @@ let map_array pool f arr =
     (match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
-    Array.map (function Some v -> v | None -> assert false) results
+    (* Unreachable: the barrier above guarantees every slot was filled
+       (or the batch's first failure re-raised before we got here). *)
+    Array.map (function Some v -> v | None -> (assert false) [@lint.allow "no-untyped-failure"]) results
   end
 
 (* ---------------- ambient default ---------------- *)
@@ -145,15 +147,18 @@ let env_jobs () =
   | Some s -> ( match int_of_string_opt (String.trim s) with Some j -> Some (clamp_jobs j) | None -> None)
   | None -> None
 
-let ambient = ref (match env_jobs () with Some j -> j | None -> 1)
-let set_default_jobs jobs = ambient := clamp_jobs jobs
-let default_jobs () = !ambient
+(* Atomic so reads from inside task bodies (which take the sequential
+   fallback but may still consult the default) never see a torn or
+   stale job count. *)
+let ambient = Atomic.make (match env_jobs () with Some j -> j | None -> 1)
+let set_default_jobs jobs = Atomic.set ambient (clamp_jobs jobs)
+let default_jobs () = Atomic.get ambient
 
 (* The shared pool behind [map]: created on first parallel use and
    resized (shutdown + respawn) when the requested job count changes.
    Only the main domain manages it; calls from inside a batch never
    reach it (they take the sequential fallback in [map_array]). *)
-let shared : t option ref = ref None
+let shared : t option ref = ref None [@@lint.allow "mutable-global"]
 
 let shared_pool jobs =
   match !shared with
@@ -165,6 +170,6 @@ let shared_pool jobs =
       pool
 
 let map ?jobs f arr =
-  let jobs = clamp_jobs (match jobs with Some j -> j | None -> !ambient) in
+  let jobs = clamp_jobs (match jobs with Some j -> j | None -> Atomic.get ambient) in
   if jobs = 1 || Array.length arr <= 1 || Domain.DLS.get in_batch then Array.map f arr
   else map_array (shared_pool jobs) f arr

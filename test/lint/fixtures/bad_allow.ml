@@ -1,0 +1,4 @@
+(* Fixture: a typo'd rule id must not silence anything — it is itself
+   reported, and the underlying finding still fires. *)
+
+let oops () = (failwith "x") [@lint.allow "no-such-rule"]

@@ -1,0 +1,10 @@
+(* Fixture: float-equality, both the literal-comparison and the
+   bare-polymorphic-compare forms. *)
+
+let is_unit x = x = 1.0
+let is_unit_ok x = (x = 1.0) [@lint.allow "float-equality"]
+let nonzero x = x <> 0.0
+let pick a b = min a b
+let pick_ok a b = (min a b) [@lint.allow "float-equality"]
+let ordered a b = compare a b
+let typed a b = Float.max a b

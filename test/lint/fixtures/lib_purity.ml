@@ -1,0 +1,7 @@
+(* Fixture: lib-purity. Formatter-directed printing is fine; std
+   channels are not. *)
+
+let announce name = print_endline name
+let debug n = Printf.printf "%d\n" n
+let to_sink ppf x = Format.fprintf ppf "%d" x
+let allowed name = (print_endline name) [@lint.allow "lib-purity"]

@@ -1,0 +1,11 @@
+(* Fixture: mutable-global. The allow-annotated binding must not fire. *)
+
+let cache = Hashtbl.create 16
+let hits = ref 0 [@@lint.allow "mutable-global"]
+let log_buf = Buffer.create 64
+
+type cell = { mutable value : int }
+
+let shared_cell = { value = 0 }
+let safe_count = Atomic.make 0
+let per_call () = ref 0

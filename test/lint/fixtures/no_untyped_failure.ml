@@ -1,0 +1,6 @@
+(* Fixture: no-untyped-failure. *)
+
+let explode () = failwith "boom"
+let unreachable () = assert false
+let checked x = if x < 0 then invalid_arg "negative"
+let documented () = (failwith "contract") [@lint.allow "no-untyped-failure"]

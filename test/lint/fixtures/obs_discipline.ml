@@ -1,0 +1,10 @@
+(* Fixture: obs-domain-discipline, inline closures and the let-bound
+   indirection both fire. *)
+
+let direct xs = Pool.map (fun x -> Obs.span "per-item" (fun () -> x)) xs
+let point_at x = Obs.point ~solver:"s" ~k:x ~gap:0. ~objective:0. ~step:0.
+let indirect xs = Sgr_par.Pool.map point_at xs
+
+let allowed xs =
+  (Pool.map_array pool (fun x -> Obs.span "item" (fun () -> x)) xs)
+  [@lint.allow "obs-domain-discipline"]

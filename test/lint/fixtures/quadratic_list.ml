@@ -1,0 +1,7 @@
+(* Fixture: quadratic-list. *)
+
+let contains x xs = List.mem x xs
+let join a b = a @ b
+let lookup k l = List.assoc k l
+let nth_hop p i = List.nth p i
+let joined_ok a b = (a @ b) [@lint.allow "quadratic-list"]

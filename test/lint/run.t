@@ -1,0 +1,100 @@
+sgr-lint enforces the project rules described in docs/static-analysis.md.
+Rule scoping is path-derived (lib/, lib/numerics, lib/graph, ...), so the
+fixtures are staged under a miniature source tree first. Every fixture
+carries one firing case per pattern plus one [@lint.allow]-suppressed
+case, and the suppressed case must be absent from the diagnostics.
+
+  $ mkdir -p lib/state lib/numerics lib/graph
+  $ cp fixtures/mutable_global.ml fixtures/obs_discipline.ml lib/state/
+  $ cp fixtures/lib_purity.ml fixtures/no_untyped_failure.ml lib/state/
+  $ cp fixtures/bad_allow.ml lib/state/
+  $ cp fixtures/float_equality.ml lib/numerics/
+  $ cp fixtures/quadratic_list.ml lib/graph/
+
+mutable-global: toplevel Hashtbl/Buffer/mutable-record creation fires;
+the annotated ref and the Atomic.make / per-call cases do not:
+
+  $ sgr-lint lib/state/mutable_global.ml
+  lib/state/mutable_global.ml:3:12: [mutable-global] toplevel Hashtbl.create creates shared mutable state; wrap it in Atomic/Mutex or Domain.DLS, or annotate why it is domain-safe
+  lib/state/mutable_global.ml:5:14: [mutable-global] toplevel Buffer.create creates shared mutable state; wrap it in Atomic/Mutex or Domain.DLS, or annotate why it is domain-safe
+  lib/state/mutable_global.ml:9:18: [mutable-global] toplevel record literal has mutable field value; shared mutable state needs Atomic/Mutex/Domain.DLS or an allow annotation
+  3 findings
+  [1]
+
+float-equality: literal comparisons anywhere, bare polymorphic
+compare/min/max in numeric modules; Float.max is fine:
+
+  $ sgr-lint lib/numerics/float_equality.ml
+  lib/numerics/float_equality.ml:4:16: [float-equality] exact comparison against a float literal; use Tolerance.approx / approx_le / approx_ge (or annotate an intentional exact test)
+  lib/numerics/float_equality.ml:6:16: [float-equality] exact comparison against a float literal; use Tolerance.approx / approx_le / approx_ge (or annotate an intentional exact test)
+  lib/numerics/float_equality.ml:7:15: [float-equality] bare polymorphic min in a numeric module; use Float.min / Int.min (or a tolerance helper) so the comparison semantics are explicit
+  lib/numerics/float_equality.ml:9:18: [float-equality] bare polymorphic compare in a numeric module; use Float.compare / Int.compare (or a tolerance helper) so the comparison semantics are explicit
+  4 findings
+  [1]
+
+obs-domain-discipline: spans/points inside Pool.map closures, including
+through a let-bound helper passed by name:
+
+  $ sgr-lint lib/state/obs_discipline.ml
+  lib/state/obs_discipline.ml:4:35: [obs-domain-discipline] Obs.span/Obs.point inside a closure passed to Pool.map: worker domains drop events, so traces depend on the job count
+  lib/state/obs_discipline.ml:6:35: [obs-domain-discipline] point_at emits Obs spans/points and is passed to Pool.map: worker domains drop events, so traces depend on the job count
+  2 findings
+  [1]
+
+lib-purity: std-channel printing in lib/; formatter-directed output is
+allowed:
+
+  $ sgr-lint lib/state/lib_purity.ml
+  lib/state/lib_purity.ml:4:20: [lib-purity] print_endline writes to std channels from lib/; return data or report through the Obs sink, and print from bin/
+  lib/state/lib_purity.ml:5:14: [lib-purity] Printf.printf writes to std channels from lib/; return data or report through the Obs sink, and print from bin/
+  2 findings
+  [1]
+
+no-untyped-failure: failwith and assert false; invalid_arg is fine:
+
+  $ sgr-lint lib/state/no_untyped_failure.ml
+  lib/state/no_untyped_failure.ml:3:17: [no-untyped-failure] failwith in lib/ raises an untyped Failure; use invalid_arg, a typed exception, or annotate the documented contract
+  lib/state/no_untyped_failure.ml:4:21: [no-untyped-failure] assert false in lib/; make the invariant a typed error or annotate why the branch is unreachable
+  2 findings
+  [1]
+
+quadratic-list: linear list idioms in hot-path modules:
+
+  $ sgr-lint lib/graph/quadratic_list.ml
+  lib/graph/quadratic_list.ml:3:20: [quadratic-list] List.mem is O(n) per call in a hot-path module; use an array, a sorted structure, or a Hashtbl
+  lib/graph/quadratic_list.ml:4:17: [quadratic-list] (@) is O(n) per call in a hot-path module; use an array, a sorted structure, or a Hashtbl
+  lib/graph/quadratic_list.ml:5:17: [quadratic-list] List.assoc is O(n) per call in a hot-path module; use an array, a sorted structure, or a Hashtbl
+  lib/graph/quadratic_list.ml:6:18: [quadratic-list] List.nth is O(n) per call in a hot-path module; use an array, a sorted structure, or a Hashtbl
+  4 findings
+  [1]
+
+A typo in an allow annotation is itself an error and silences nothing:
+
+  $ sgr-lint lib/state/bad_allow.ml
+  lib/state/bad_allow.ml:4:14: [no-untyped-failure] failwith in lib/ raises an untyped Failure; use invalid_arg, a typed exception, or annotate the documented contract
+  lib/state/bad_allow.ml:4:29: [bad-allow] unknown rule "no-such-rule" in [@lint.allow]
+  2 findings
+  [1]
+
+The whole staged tree in one run comes back sorted by file; a tree with
+only suppressed or conforming sites exits 0:
+
+  $ sgr-lint lib | tail -n 1
+  19 findings
+
+  $ mkdir -p clean/lib && cp fixtures/bad_allow.ml clean/lib/ && rm clean/lib/bad_allow.ml
+  $ cat > clean/lib/tidy.ml << 'EOF'
+  > let count = Atomic.make 0
+  > let documented () = (failwith "contract") [@lint.allow "no-untyped-failure"]
+  > EOF
+  $ sgr-lint clean/lib
+
+The rule catalogue is self-describing:
+
+  $ sgr-lint --rules | cut -c1-22 | sed 's/ *$//'
+  mutable-global
+  float-equality
+  obs-domain-discipline
+  lib-purity
+  no-untyped-failure
+  quadratic-list

@@ -1,0 +1,85 @@
+(* Per-site suppression via [@lint.allow "rule-id"].
+
+   The attribute may sit on an expression ([(e) [@lint.allow "r"]]), on
+   a value binding ([let x = e [@@lint.allow "r"]]), or float at the
+   module level ([[@@@lint.allow "r"]], which silences the rule for the
+   rest of the file). The carrying node's source span becomes an allow
+   region; a finding is suppressed when its start offset falls inside a
+   region registered for its rule. Unknown rule ids in an allow are
+   themselves reported (rule [bad-allow]) so a typo cannot silently
+   disable checking. *)
+
+open Parsetree
+
+type region = { rule : string; cnum_lo : int; cnum_hi : int }
+
+let payload_rule (attr : attribute) : string option =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc = Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+(* Returns the allow regions and any [bad-allow] findings. *)
+let collect ~known (str : structure) : region list * Lint_diag.t list =
+  let regions = ref [] in
+  let bad = ref [] in
+  let add_attr ~(host : Location.t) (attr : attribute) =
+    if String.equal attr.attr_name.txt "lint.allow" then
+      match payload_rule attr with
+      | Some rule when List.mem rule known ->
+          regions :=
+            { rule; cnum_lo = host.loc_start.pos_cnum; cnum_hi = host.loc_end.pos_cnum }
+            :: !regions
+      | Some rule ->
+          bad :=
+            Lint_diag.of_loc ~rule:"bad-allow"
+              ~msg:(Printf.sprintf "unknown rule %S in [@lint.allow]" rule)
+              attr.attr_loc
+            :: !bad
+      | None ->
+          bad :=
+            Lint_diag.of_loc ~rule:"bad-allow"
+              ~msg:"[@lint.allow] expects a string literal rule id" attr.attr_loc
+            :: !bad
+  in
+  let default = Ast_iterator.default_iterator in
+  let iter =
+    {
+      default with
+      expr =
+        (fun self e ->
+          List.iter (add_attr ~host:e.pexp_loc) e.pexp_attributes;
+          default.expr self e);
+      value_binding =
+        (fun self vb ->
+          List.iter (add_attr ~host:vb.pvb_loc) vb.pvb_attributes;
+          default.value_binding self vb);
+      structure_item =
+        (fun self si ->
+          (match si.pstr_desc with
+          | Pstr_attribute attr ->
+              (* Floating [@@@lint.allow]: from here to end of file. *)
+              let host =
+                {
+                  si.pstr_loc with
+                  loc_end = { si.pstr_loc.loc_end with pos_cnum = max_int };
+                }
+              in
+              add_attr ~host attr
+          | _ -> ());
+          default.structure_item self si);
+    }
+  in
+  iter.structure iter str;
+  (!regions, !bad)
+
+let suppressed regions (d : Lint_diag.t) =
+  List.exists
+    (fun r -> String.equal r.rule d.rule && r.cnum_lo <= d.cnum && d.cnum <= r.cnum_hi)
+    regions

@@ -1,0 +1,40 @@
+(* Findings and their reporting format.
+
+   A finding renders as [file:line:col: [rule-id] message] — one line
+   per finding, sorted, so cram tests can assert the exact output and
+   editors can jump to the site. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  cnum : int;  (* absolute start offset, for allow-region containment *)
+  rule : string;
+  msg : string;
+}
+
+let of_loc ~rule ~msg (loc : Location.t) =
+  let p = loc.loc_start in
+  {
+    file = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    cnum = p.pos_cnum;
+    rule;
+    msg;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+let print d = Printf.printf "%s:%d:%d: [%s] %s\n" d.file d.line d.col d.rule d.msg

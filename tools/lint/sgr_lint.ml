@@ -1,0 +1,78 @@
+(* sgr-lint — project-rule static analysis on compiler-libs.
+
+   Usage: sgr-lint [PATH ...]           (default: lib bin bench)
+          sgr-lint --rules              (list rule ids)
+
+   Parses every .ml/.mli under the given paths with the compiler's own
+   parser and walks the Parsetree with the rules in [Lint_rules]. Rule
+   applicability is derived from the path (lib/, lib/numerics, ...), so
+   fixtures laid out under a mimicking directory tree exercise the same
+   scoping as the real tree. Exit status is non-zero iff any finding
+   survives its [@lint.allow] filter. *)
+
+let skip_dirs = [ "_build"; ".git"; "_opam"; "node_modules" ]
+
+let rec source_files acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if List.mem name skip_dirs then acc else source_files acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then path :: acc
+  else acc
+
+let parse_error_findings file exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok { Location.main = { loc; txt }; _ }) ->
+      let msg =
+        Format.asprintf "%t" txt |> String.map (function '\n' -> ' ' | c -> c)
+      in
+      [ Lint_diag.of_loc ~rule:"parse-error" ~msg loc ]
+  | _ ->
+      [ { Lint_diag.file; line = 1; col = 0; cnum = 0; rule = "parse-error";
+          msg = Printexc.to_string exn } ]
+
+let check_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf file;
+      if Filename.check_suffix file ".mli" then
+        (* Interfaces carry no expressions; parsing still catches syntax
+           rot in files dune might not currently build. *)
+        match Parse.interface lexbuf with
+        | _ -> []
+        | exception exn -> parse_error_findings file exn
+      else
+        match Parse.implementation lexbuf with
+        | str ->
+            let findings = Lint_rules.collect ~path:file str in
+            let regions, bad = Lint_allow.collect ~known:Lint_rules.known str in
+            bad @ List.filter (fun d -> not (Lint_allow.suppressed regions d)) findings
+        | exception exn -> parse_error_findings file exn)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ ("--rules" | "-rules") ] ->
+      List.iter (fun (id, doc) -> Printf.printf "%-22s %s\n" id doc) Lint_rules.rules
+  | [ ("--help" | "-help" | "-h") ] ->
+      print_endline "usage: sgr-lint [--rules] [PATH ...]   (default paths: lib bin bench)"
+  | _ ->
+      let roots = if args = [] then [ "lib"; "bin"; "bench" ] else args in
+      let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+      if missing <> [] then begin
+        List.iter (Printf.eprintf "sgr-lint: no such path: %s\n") missing;
+        exit 2
+      end;
+      let files = List.fold_left source_files [] roots |> List.sort String.compare in
+      let findings = List.concat_map check_file files |> List.sort Lint_diag.compare in
+      List.iter Lint_diag.print findings;
+      if findings <> [] then begin
+        Printf.printf "%d finding%s\n" (List.length findings)
+          (if List.length findings = 1 then "" else "s");
+        exit 1
+      end
