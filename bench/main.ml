@@ -3,12 +3,13 @@
    `dune exec bench/main.exe` runs, in order:
    1. the reproduction experiments E1-E13 (paper-vs-measured tables for
       every figure and quantitative claim; see DESIGN.md / EXPERIMENTS.md);
-   2. the bechamel timing suite T1-T6.
+   2. the timing suite T1-T10 (bechamel groups plus the custom-measured
+      T9 determinism and T10 serving-cache groups).
 
    `dune exec bench/main.exe -- --experiments` or `-- --timings` runs only
-   one half; `-- --quick` runs only the T9 determinism smoke (seconds,
-   suitable for CI). Exit status is nonzero if any reproduction or
-   determinism check fails. *)
+   one half; `-- --quick` runs only the T9 determinism smoke and the T10
+   serving-cache smoke (seconds, suitable for CI). Exit status is nonzero
+   if any reproduction, determinism, or cache-speedup check fails. *)
 
 let () =
   let args = Array.to_list Sys.argv in

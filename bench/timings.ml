@@ -341,6 +341,69 @@ let run_t9 ~grid_n ~repeats ~sweep_samples ~jobs () =
   in
   { entry; sweep_identical = identical }
 
+(* ---------------- T10: serving cache, cold vs warm ----------------
+
+   Batch throughput of the query engine on a grid network: a cold pass
+   (every request solved and memoized) against a warm pass of the same
+   requests on the same cache (every request a memo hit). The headline
+   numbers are requests/sec for both passes, the memo hit ratio, and
+   the cold/warm speedup — the quick gate requires warm >= 5x cold. *)
+
+type t10_result = { entry : obs_entry; speedup : float }
+
+let run_t10 ~grid_n ~reqs () =
+  let t0 = Obs.now () in
+  let net = W.grid_network (Prng.create 9003) ~rows:grid_n ~cols:grid_n () in
+  let path = Filename.temp_file "sgr_bench_t10" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Sgr_io.Instance_file.print_network net));
+  let kinds = [| "solve g nash"; "solve g opt"; "mop g" |] in
+  let lines =
+    Printf.sprintf "load g %s" path :: List.init reqs (fun i -> kinds.(i mod Array.length kinds))
+  in
+  let cache = Sgr_serve.Cache.create ~capacity:8 in
+  let pass () =
+    let t = Obs.now () in
+    ignore (Sgr_serve.Engine.run_batch ~jobs:1 cache lines);
+    Obs.now () -. t
+  in
+  let cold_s = pass () in
+  let warm_s = pass () in
+  let stats = Sgr_serve.Cache.stats cache in
+  let hit_ratio =
+    float_of_int stats.Sgr_serve.Cache.memo_hits
+    /. float_of_int (Int.max 1 (stats.memo_hits + stats.memo_misses))
+  in
+  let rps s = float_of_int (reqs + 1) /. Float.max 1e-9 s in
+  let speedup = cold_s /. Float.max 1e-9 warm_s in
+  Format.printf "  %-28s %8.1f req/s  (%.3f ms total)@."
+    (Printf.sprintf "batch-cold/grid%dx%d" grid_n grid_n)
+    (rps cold_s) (cold_s *. 1e3);
+  Format.printf "  %-28s %8.1f req/s  (%.3f ms total, %.2fx cold, hit ratio %.2f)@."
+    (Printf.sprintf "batch-warm/grid%dx%d" grid_n grid_n)
+    (rps warm_s) (warm_s *. 1e3) speedup hit_ratio;
+  let entry =
+    {
+      group = "T10 serving cache";
+      wall_s = Obs.now () -. t0;
+      counters =
+        [
+          ("t10.requests", reqs + 1);
+          ("t10.cold_us", int_of_float (cold_s *. 1e6));
+          ("t10.warm_us", int_of_float (warm_s *. 1e6));
+          ("t10.cold_rps", int_of_float (rps cold_s));
+          ("t10.warm_rps", int_of_float (rps warm_s));
+          ("t10.warm_speedup_x", int_of_float speedup);
+          ("t10.memo_hit_ratio_pct", int_of_float (hit_ratio *. 100.0));
+        ];
+      spans = [];
+    }
+  in
+  { entry; speedup }
+
 let run_all () =
   Format.printf "@.=== Timing suite (bechamel, monotonic clock, OLS ns/run) ===@.";
   let instance = Toolkit.Instance.monotonic_clock in
@@ -390,16 +453,28 @@ let run_all () =
   Format.printf "@.=== T9 csr + multicore (median custom timings, deltas as counters) ===@.";
   let t9 = run_t9 ~grid_n:10 ~repeats:21 ~sweep_samples:41 ~jobs:4 () in
   entries := t9.entry :: !entries;
+  Format.printf "@.=== T10 serving cache (cold vs warm batch) ===@.";
+  let t10 = run_t10 ~grid_n:10 ~reqs:60 () in
+  entries := t10.entry :: !entries;
   write_obs_json "BENCH_obs.json" (List.rev !entries);
   Format.printf "@.wrote BENCH_obs.json (per-experiment span totals + counter snapshots)@."
 
 (* CI smoke: a scaled-down T9 at jobs=1 (trivially identical) and
-   jobs=2. Returns false — a nonzero exit for the workflow — when the
-   pooled sweep is not byte-identical to the sequential one. *)
+   jobs=2, plus a scaled-down T10. Returns false — a nonzero exit for
+   the workflow — when the pooled sweep is not byte-identical to the
+   sequential one, or the warm serving cache is not at least 5x faster
+   than the cold pass. *)
 let run_quick () =
   Format.printf "@.=== T9 quick smoke (jobs=1 and jobs=2) ===@.";
   let r1 = run_t9 ~grid_n:6 ~repeats:5 ~sweep_samples:9 ~jobs:1 () in
   let r2 = run_t9 ~grid_n:6 ~repeats:5 ~sweep_samples:9 ~jobs:2 () in
-  let ok = r1.sweep_identical && r2.sweep_identical in
-  if not ok then Format.printf "FAIL: pooled alpha sweep diverged from the sequential curve@.";
-  ok
+  Format.printf "@.=== T10 quick smoke (serving cache cold vs warm) ===@.";
+  let r10 = run_t10 ~grid_n:6 ~reqs:30 () in
+  let sweep_ok = r1.sweep_identical && r2.sweep_identical in
+  let cache_ok = r10.speedup >= 5.0 in
+  if not sweep_ok then
+    Format.printf "FAIL: pooled alpha sweep diverged from the sequential curve@.";
+  if not cache_ok then
+    Format.printf "FAIL: warm serving-cache pass only %.2fx faster than cold (need 5x)@."
+      r10.speedup;
+  sweep_ok && cache_ok

@@ -537,6 +537,115 @@ let random_cmd =
     (Cmd.info "random" ~doc:"Generate a random instance and print it in instance-file format.")
     Term.(const run $ kind $ seed $ size $ obs_term)
 
+(* ---------------- batch / serve ---------------- *)
+
+let cache_arg =
+  Arg.(
+    value
+    & opt int 32
+    & info [ "cache" ] ~docv:"N"
+        ~doc:
+          "Capacity of the instance LRU cache (parsed instances plus their memoized solutions). \
+           Least-recently-used instances are evicted and transparently reloaded from their bound \
+           file path on next use.")
+
+let batch_cmd =
+  let run path connect cache_cap (trace, stats) =
+    with_obs ~machine:true ~trace ~stats @@ fun () ->
+    let lines =
+      if path = "-" then In_channel.input_lines In_channel.stdin
+      else
+        match In_channel.with_open_text path In_channel.input_lines with
+        | lines -> lines
+        | exception Sys_error m ->
+            Format.eprintf "error: %s@." m;
+            exit 2
+    in
+    match connect with
+    | Some socket -> (
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        let c =
+          try Sgr_serve.Client.connect socket
+          with Unix.Unix_error (e, _, _) ->
+            Format.eprintf "error: cannot connect to %s: %s@." socket (Unix.error_message e);
+            exit 2
+        in
+        Fun.protect ~finally:(fun () -> Sgr_serve.Client.close c) @@ fun () ->
+        (* Mirror the in-process semantics: nothing after [quit] runs. *)
+        let live = ref true in
+        try
+          List.iter
+            (fun raw ->
+              if !live then
+                match Sgr_serve.Client.rpc c raw with
+                | None -> ()
+                | Some reply ->
+                    print_endline reply;
+                    if String.equal reply "ok bye" then live := false)
+            lines
+        with Sgr_serve.Client.Disconnected | Unix.Unix_error _ ->
+          Format.eprintf "error: server closed the connection@.";
+          exit 2)
+    | None ->
+        let cache = Sgr_serve.Cache.create ~capacity:cache_cap in
+        List.iter print_endline (Sgr_serve.Engine.run_batch cache lines)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Request file, one request per line ($(b,-) for stdin); see docs/serving.md for the \
+             grammar.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SOCKET"
+          ~doc:
+            "Send the requests to a running $(b,sgr serve) over this Unix-domain socket instead \
+             of solving in-process.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Execute a request file against the query engine and print one reply line per request. \
+          Output is byte-identical at any $(b,--jobs) (except $(b,stats) replies, which report \
+          scheduling-dependent counters).")
+    Term.(const run $ file $ connect $ cache_arg $ obs_term)
+
+let serve_cmd =
+  let run socket cache_cap (trace, stats) =
+    with_obs ~machine:true ~trace ~stats @@ fun () ->
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let cache = Sgr_serve.Cache.create ~capacity:cache_cap in
+    let log msg = Format.eprintf "sgr serve: %s@." msg in
+    let server = Sgr_serve.Server.create ~socket_path:socket ~cache ~log in
+    let stop _ = Sgr_serve.Server.request_stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    match Sgr_serve.Server.run server with
+    | () -> ()
+    | exception Unix.Unix_error (e, fn, _) ->
+        Format.eprintf "error: %s: %s@." fn (Unix.error_message e);
+        exit 2
+  in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path to listen on (created at startup, removed on shutdown).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived query engine on a Unix-domain socket (one session at a time; SIGINT \
+          drains gracefully).")
+    Term.(const run $ socket $ cache_arg $ obs_term)
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -547,5 +656,5 @@ let () =
        (Cmd.group info
           [
             solve_cmd; optop_cmd; mop_cmd; llf_cmd; scale_cmd; thm24_cmd; sweep_cmd; profile_cmd;
-            bound_cmd; tolls_cmd; info_cmd; catalog_cmd; random_cmd;
+            bound_cmd; tolls_cmd; info_cmd; catalog_cmd; random_cmd; batch_cmd; serve_cmd;
           ]))

@@ -10,40 +10,60 @@ let ratio_of ~opt_cost cost =
   else if Float.abs cost <= 1e-12 then 1.0
   else Float.infinity
 
-let run ?jobs ?(samples = 21) ?(grid_resolution = 32) instance =
-  if samples < 2 then invalid_arg "Alpha_sweep.run: need at least two samples";
+(* One α evaluated against a precomputed OpTop result. Shared by the
+   full sweep and the single-point entry so a served `sweep` query and a
+   sweep sample at the same α are byte-identical. No per-point Obs.span
+   here: this runs on pool workers, where spans are dropped, so a span
+   would make the recorded trace depend on the job count and break PR
+   3's jobs-invariant observability guarantee. *)
+let point_of ~beta ~opt_cost ~common_slope ~m ~grid_resolution instance alpha =
+  let ratio_of cost = ratio_of ~opt_cost cost in
+  if alpha >= beta -. 1e-12 then { alpha; ratio = 1.0; method_used = Exact_threshold }
+  else if common_slope then
+    let r = Linear_exact.solve instance ~alpha in
+    { alpha; ratio = ratio_of r.Linear_exact.induced_cost; method_used = Linear_exact }
+  else if m <= 6 then
+    let r = Brute_force.optimal_strategy ~resolution:grid_resolution instance ~alpha in
+    { alpha; ratio = ratio_of r.Brute_force.induced_cost; method_used = Grid_search }
+  else begin
+    let llf = Strategies.llf instance ~alpha in
+    let scale = Strategies.scale instance ~alpha in
+    let best = Float.min llf.Strategies.induced_cost scale.Strategies.induced_cost in
+    { alpha; ratio = ratio_of best; method_used = Heuristic_upper_bound }
+  end
+
+let at ?(grid_resolution = 32) instance ~alpha =
+  if not (0.0 <= alpha && alpha <= 1.0) then invalid_arg "Alpha_sweep.at: alpha not in [0, 1]";
+  let optop = Optop.run instance in
+  point_of ~beta:optop.Optop.beta ~opt_cost:optop.Optop.optimum_cost
+    ~common_slope:(Linear_exact.is_common_slope instance)
+    ~m:(Links.num_links instance) ~grid_resolution instance alpha
+
+let range ?jobs ?(grid_resolution = 32) instance ~lo ~hi ~samples =
+  if samples < 2 then invalid_arg "Alpha_sweep.range: need at least two samples";
+  if not (0.0 <= lo && lo <= hi && hi <= 1.0) then
+    invalid_arg "Alpha_sweep.range: need 0 <= lo <= hi <= 1";
   Sgr_obs.Obs.span "alpha_sweep.run" @@ fun () ->
   let optop = Optop.run instance in
   let beta = optop.Optop.beta in
   let opt_cost = optop.Optop.optimum_cost in
   let m = Links.num_links instance in
   let common_slope = Linear_exact.is_common_slope instance in
-  let ratio_of cost = ratio_of ~opt_cost cost in
   let point_at alpha =
-    (* No per-point Obs.span here: [point_at] runs on pool workers,
-       where spans are dropped, so a span in this closure would make the
-       recorded trace depend on the job count and break PR 3's
-       jobs-invariant observability guarantee. The enclosing
-       [alpha_sweep.run] span covers the whole sweep. *)
-    if alpha >= beta -. 1e-12 then { alpha; ratio = 1.0; method_used = Exact_threshold }
-    else if common_slope then
-      let r = Linear_exact.solve instance ~alpha in
-      { alpha; ratio = ratio_of r.Linear_exact.induced_cost; method_used = Linear_exact }
-    else if m <= 6 then
-      let r = Brute_force.optimal_strategy ~resolution:grid_resolution instance ~alpha in
-      { alpha; ratio = ratio_of r.Brute_force.induced_cost; method_used = Grid_search }
-    else begin
-      let llf = Strategies.llf instance ~alpha in
-      let scale = Strategies.scale instance ~alpha in
-      let best = Float.min llf.Strategies.induced_cost scale.Strategies.induced_cost in
-      { alpha; ratio = ratio_of best; method_used = Heuristic_upper_bound }
-    end
+    point_of ~beta ~opt_cost ~common_slope ~m ~grid_resolution instance alpha
   in
   (* Each α point is independent; results are collected by index, so the
      curve is identical at any job count. *)
-  let alphas = Array.init samples (fun k -> float_of_int k /. float_of_int (samples - 1)) in
+  let alphas =
+    Array.init samples (fun k ->
+        lo +. ((hi -. lo) *. (float_of_int k /. float_of_int (samples - 1))))
+  in
   let points = Array.to_list (Sgr_par.Pool.map ?jobs point_at alphas) in
   { beta; points }
+
+let run ?jobs ?(samples = 21) ?(grid_resolution = 32) instance =
+  if samples < 2 then invalid_arg "Alpha_sweep.run: need at least two samples";
+  range ?jobs ~grid_resolution instance ~lo:0.0 ~hi:1.0 ~samples
 
 let pigou_closed_form alpha =
   if alpha >= 0.5 then 1.0

@@ -34,6 +34,21 @@ val ratio_of : opt_cost:float -> float -> float
     zero, [infinity] when [opt_cost] is zero but [cost] is positive —
     the Leader pays something where paying nothing was possible. *)
 
+val at : ?grid_resolution:int -> Sgr_links.Links.t -> alpha:float -> point
+(** One point of the curve, computed exactly as {!run} would compute the
+    sample at this [alpha] (so a served point query and a sweep sample
+    agree byte for byte). Runs OpTop once per call; use {!range} to
+    amortize it over many points.
+    @raise Invalid_argument unless [0 <= alpha <= 1]. *)
+
+val range :
+  ?jobs:int -> ?grid_resolution:int -> Sgr_links.Links.t ->
+  lo:float -> hi:float -> samples:int -> curve
+(** [samples] evenly spaced values of [α] in [[lo, hi]] (endpoints
+    included). {!run} is [range ~lo:0.0 ~hi:1.0].
+    @raise Invalid_argument unless [0 <= lo <= hi <= 1] and
+    [samples >= 2]. *)
+
 val run : ?jobs:int -> ?samples:int -> ?grid_resolution:int -> Sgr_links.Links.t -> curve
 (** [run t] samples [samples] (default 21) evenly spaced values of [α] in
     [[0, 1]]. Instances with more than 6 links fall back to the heuristic

@@ -133,6 +133,39 @@ let print_links (t : Links.t) =
     t.Links.latencies;
   Buffer.contents buf
 
+(* Canonical serialization: same grammar as the human printers below but
+   with a fixed field order and every float as a hex literal ([%h]), so
+   the text round-trips through [parse] bit-exactly and two structurally
+   equal instances serialize to the same bytes. This is the string the
+   serving layer fingerprints. *)
+let to_string = function
+  | Links (t : Links.t) ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "links\n";
+      Buffer.add_string buf (Printf.sprintf "demand %h\n" t.Links.demand);
+      Array.iter
+        (fun lat ->
+          Buffer.add_string buf
+            (Printf.sprintf "link %s\n" (Latency_spec.print_canonical lat)))
+        t.Links.latencies;
+      Buffer.contents buf
+  | Network (net : Net.t) ->
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf "network\n";
+      Buffer.add_string buf (Printf.sprintf "nodes %d\n" (G.Digraph.num_nodes net.Net.graph));
+      Array.iter
+        (fun (e : G.Digraph.edge) ->
+          Buffer.add_string buf
+            (Printf.sprintf "edge %d %d %s\n" e.src e.dst
+               (Latency_spec.print_canonical net.Net.latencies.(e.id))))
+        (G.Digraph.edges net.Net.graph);
+      Array.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf "commodity %d %d %h\n" c.Net.src c.Net.dst c.Net.demand))
+        net.Net.commodities;
+      Buffer.contents buf
+
 let print_network (net : Net.t) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "network\n";

@@ -38,6 +38,16 @@ val load : string -> (t, string) result
 val load_exn : string -> t
 (** @raise Failure with the parse error message. *)
 
+val to_string : t -> string
+(** Canonical serialization: stable field order (header, demand/nodes,
+    links/edges in id order, commodities in declaration order) with every
+    float rendered as a hex literal ([%h]). [parse (to_string t)]
+    reproduces [t] bit-exactly and [to_string] is stable under that round
+    trip, so equal instances always serialize to equal bytes — the
+    property {!Sgr_serve.Fingerprint} keys the instance cache on.
+    @raise Invalid_argument on non-serializable (custom/shifted)
+    latencies, which cannot appear in parsed instances. *)
+
 val print_links : Sgr_links.Links.t -> string
 (** Render a links instance in file format (round-trips through
     {!parse} for serializable latencies). *)

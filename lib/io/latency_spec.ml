@@ -66,6 +66,14 @@ let parse s =
         | Some (_ :: _ as coeffs) -> (
             try Ok (L.polynomial (Array.of_list coeffs)) with Invalid_argument m -> Error m)
         | _ -> Error "poly expects at least one coefficient")
+    | "affine" :: rest -> (
+        (* Keyword form of the [Ax + B] expression. Unlike the expression
+           form it tokenizes on whitespace, so hex float literals
+           (["0x1.8p+0"], whose 'x' would be read as the variable) are
+           accepted — this is what {!print_canonical} emits. *)
+        match parse_floats rest with
+        | Some [ a; b ] when a >= 0.0 && b >= 0.0 -> Ok (L.affine ~slope:a ~intercept:b)
+        | _ -> Error "affine expects 'affine SLOPE INTERCEPT' with nonnegative numbers")
     | _ -> parse_affine s
 
 let parse_exn s =
@@ -90,3 +98,25 @@ let print lat =
       Printf.sprintf "bpr %s %s %s %s" (num free_flow) (num capacity) (num alpha) (num beta)
   | L.Shifted _ -> invalid_arg "Latency_spec.print: shifted latencies are not serializable"
   | L.Custom _ -> invalid_arg "Latency_spec.print: custom latencies are not serializable"
+
+(* Canonical form: keyword head + hex float literals ([%h]), one fixed
+   field order per kind. [float_of_string] reads hex literals back
+   bit-exactly, so [parse (print_canonical l)] reproduces [l]'s kind and
+   parameters without rounding — the property the instance fingerprint
+   rests on. The constructors normalize degenerate kinds (zero slope,
+   constant-only polynomial) before a value can reach the printer, so
+   printing is also stable across one round trip. *)
+let print_canonical lat =
+  let h = Printf.sprintf "%h" in
+  match L.kind lat with
+  | L.Constant c -> Printf.sprintf "const %s" (h c)
+  | L.Affine { slope; intercept } -> Printf.sprintf "affine %s %s" (h slope) (h intercept)
+  | L.Polynomial coeffs ->
+      "poly " ^ String.concat " " (List.map h (Array.to_list coeffs))
+  | L.Mm1 { capacity } -> Printf.sprintf "mm1 %s" (h capacity)
+  | L.Bpr { free_flow; capacity; alpha; beta } ->
+      Printf.sprintf "bpr %s %s %s %s" (h free_flow) (h capacity) (h alpha) (h beta)
+  | L.Shifted _ ->
+      invalid_arg "Latency_spec.print_canonical: shifted latencies are not serializable"
+  | L.Custom _ ->
+      invalid_arg "Latency_spec.print_canonical: custom latencies are not serializable"

@@ -7,7 +7,10 @@
     - ["const C"] — constant latency [C];
     - ["mm1 CAP"] — M/M/1 delay with capacity [CAP];
     - ["bpr T0 CAP [ALPHA BETA]"] — BPR curve (defaults α=0.15, β=4);
-    - ["poly C0 C1 C2 ..."] — polynomial coefficients by ascending degree.
+    - ["poly C0 C1 C2 ..."] — polynomial coefficients by ascending degree;
+    - ["affine A B"] — keyword form of [Ax + B]. Unlike the expression
+      form, the numbers are whitespace-delimited tokens, so hex float
+      literals are accepted (the canonical printer uses them).
 *)
 
 val parse : string -> (Sgr_latency.Latency.t, string) result
@@ -20,3 +23,11 @@ val print : Sgr_latency.Latency.t -> string
 (** Render a latency back into parseable form.
     [parse (print l)] reproduces [l] for every non-[Custom], non-[Shifted]
     latency. @raise Invalid_argument on [Custom]/[Shifted] kinds. *)
+
+val print_canonical : Sgr_latency.Latency.t -> string
+(** Canonical serialization: fixed keyword head per kind, parameters as
+    hex float literals ([%h]) in a fixed order. [parse (print_canonical l)]
+    reproduces [l]'s kind and parameters {e bit-exactly}, and
+    [print_canonical] is stable under that round trip — the foundation of
+    {!Sgr_serve.Fingerprint}. @raise Invalid_argument on
+    [Custom]/[Shifted] kinds. *)

@@ -1,0 +1,131 @@
+module IF = Sgr_io.Instance_file
+module Obs = Sgr_obs.Obs
+
+type entry = { fingerprint : string; instance : IF.t; memo : (string, string) Hashtbl.t }
+
+type t = {
+  mutex : Mutex.t;
+  lru : entry Lru.t;
+  bindings : (string, string * string) Hashtbl.t;  (* id -> (path, fingerprint) *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+  memo_hits : int Atomic.t;
+  memo_misses : int Atomic.t;
+}
+
+type error = Io of string | Parse of string | Unknown_id of string
+
+let c_hit = Obs.counter "serve.cache.hit"
+let c_miss = Obs.counter "serve.cache.miss"
+let c_evict = Obs.counter "serve.cache.eviction"
+let c_memo_hit = Obs.counter "serve.memo.hit"
+let c_memo_miss = Obs.counter "serve.memo.miss"
+
+let create ~capacity =
+  {
+    mutex = Mutex.create ();
+    lru = Lru.create ~capacity;
+    bindings = Hashtbl.create 16;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+    memo_hits = Atomic.make 0;
+    memo_misses = Atomic.make 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let bump local obs =
+  Atomic.incr local;
+  Obs.incr obs
+
+(* Parse [path] into a fresh entry. Runs outside the lock: parsing and
+   freezing a big instance must not serialize unrelated requests. *)
+let entry_of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error (Io m)
+  | text -> (
+      match IF.parse text with
+      | Error m -> Error (Parse (path ^ ": " ^ m))
+      | Ok instance ->
+          let fingerprint = Fingerprint.of_instance instance in
+          Ok { fingerprint; instance; memo = Hashtbl.create 16 })
+
+(* Insert under the lock, preferring an already-cached entry with the
+   same fingerprint (its memo table is warm). *)
+let intern t ~id ~path fresh =
+  locked t @@ fun () ->
+  Hashtbl.replace t.bindings id (path, fresh.fingerprint);
+  match Lru.find t.lru fresh.fingerprint with
+  | Some cached ->
+      bump t.hits c_hit;
+      (cached, `Hit)
+  | None ->
+      bump t.misses c_miss;
+      (match Lru.add t.lru fresh.fingerprint fresh with
+      | Some _evicted -> bump t.evictions c_evict
+      | None -> ());
+      (fresh, `Miss)
+
+let load t ~id ~path =
+  match entry_of_file path with
+  | Error _ as e -> e
+  | Ok fresh -> Ok (intern t ~id ~path fresh)
+
+let resolve t ~id =
+  let binding = locked t (fun () -> Hashtbl.find_opt t.bindings id) in
+  match binding with
+  | None -> Error (Unknown_id id)
+  | Some (path, fp) -> (
+      let cached =
+        locked t (fun () ->
+            match Lru.find t.lru fp with
+            | Some e ->
+                bump t.hits c_hit;
+                Some e
+            | None -> None)
+      in
+      match cached with
+      | Some e -> Ok e
+      | None -> (
+          (* Evicted: reload from the bound path. *)
+          match entry_of_file path with
+          | Error _ as e -> e
+          | Ok fresh -> Ok (fst (intern t ~id ~path fresh))))
+
+let memo t entry ~key ~compute =
+  let cached = locked t (fun () -> Hashtbl.find_opt entry.memo key) in
+  match cached with
+  | Some payload ->
+      bump t.memo_hits c_memo_hit;
+      payload
+  | None ->
+      bump t.memo_misses c_memo_miss;
+      let payload = compute () in
+      locked t (fun () -> Hashtbl.replace entry.memo key payload);
+      payload
+
+type stats = {
+  entries : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  memo_hits : int;
+  memo_misses : int;
+}
+
+let stats t =
+  locked t @@ fun () ->
+  {
+    entries = Lru.length t.lru;
+    capacity = Lru.capacity t.lru;
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions;
+    memo_hits = Atomic.get t.memo_hits;
+    memo_misses = Atomic.get t.memo_misses;
+  }

@@ -1,0 +1,69 @@
+(** The serving layer's instance cache.
+
+    A bounded {!Lru} of parsed instances keyed by canonical
+    {!Fingerprint}, plus a per-instance memo of finished reply payloads
+    keyed by the request's canonical key (request kind, parameters and
+    the active solver engine). Holding the parsed
+    {!Sgr_io.Instance_file.t} keeps the frozen {!Sgr_graph.Digraph} CSR
+    arrays alive across requests, so a repeated query re-runs neither
+    [freeze] nor the equilibrium solver; per-domain Dijkstra workspaces
+    are already reused underneath via [Domain.DLS] (see
+    docs/performance.md).
+
+    All operations are guarded by an internal mutex, so a batch may fan
+    requests for {e different} instances across {!Sgr_par.Pool} domains
+    while sharing one cache. Two domains racing to fill the same memo
+    key both compute (deterministically) and the results are identical,
+    so last-write-wins is harmless — replies never depend on the job
+    count.
+
+    Counter discipline: every lookup bumps the cache's own atomic
+    counters (reported by the [stats] request) and the global
+    [Sgr_obs.Obs] counters [serve.cache.hit]/[miss]/[eviction] and
+    [serve.memo.hit]/[miss]. *)
+
+type entry = private {
+  fingerprint : string;  (** 16-hex-digit canonical fingerprint. *)
+  instance : Sgr_io.Instance_file.t;
+  memo : (string, string) Hashtbl.t;
+      (** Reply payloads by canonical request key; guarded by the
+          cache mutex. *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+type error =
+  | Io of string  (** File unreadable. *)
+  | Parse of string  (** Instance text did not parse. *)
+  | Unknown_id of string  (** No [load] bound this id in the session. *)
+
+val load : t -> id:string -> path:string -> (entry * [ `Hit | `Miss ], error) result
+(** Read and parse [path], fingerprint it, bind [id] to it, and insert
+    it into the LRU (touching it if already present — [`Hit]). [load]
+    always re-reads the file, so re-loading a changed file re-keys the
+    binding to the new content. *)
+
+val resolve : t -> id:string -> (entry, error) result
+(** The entry [id] is bound to. If the entry was evicted since, it is
+    transparently reloaded from the bound path (counted as a miss; if
+    the file changed on disk the binding follows the new content). *)
+
+val memo : t -> entry -> key:string -> compute:(unit -> string) -> string
+(** The memoized reply payload for [key], computing (outside the lock)
+    and storing it on first use. Exceptions from [compute] propagate and
+    nothing is stored. *)
+
+type stats = {
+  entries : int;
+  capacity : int;
+  hits : int;  (** Entry lookups served from the LRU ([load]+[resolve]). *)
+  misses : int;  (** Entry lookups that (re)parsed the file. *)
+  evictions : int;
+  memo_hits : int;
+  memo_misses : int;
+}
+
+val stats : t -> stats

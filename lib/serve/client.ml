@@ -1,0 +1,48 @@
+type t = { fd : Unix.file_descr; pending : Buffer.t; chunk : Bytes.t }
+
+exception Disconnected
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; pending = Buffer.create 256; chunk = Bytes.create 4096 }
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+  end
+
+let take_line pending =
+  let s = Buffer.contents pending in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      Buffer.clear pending;
+      Buffer.add_substring pending s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+
+let rec recv_line t =
+  match take_line t.pending with
+  | Some l -> l
+  | None -> (
+      match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+      | 0 -> raise Disconnected
+      | n ->
+          Buffer.add_subbytes t.pending t.chunk 0 n;
+          recv_line t
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv_line t)
+
+let rpc t raw =
+  match Protocol.parse_line raw with
+  | Ok None -> None
+  | Ok (Some _) | Error _ ->
+      let line = raw ^ "\n" in
+      write_all t.fd line 0 (String.length line);
+      Some (recv_line t)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,22 @@
+(** Lockstep client for a {!Server} socket.
+
+    One request line out, one reply line back, strictly alternating —
+    the client never has more than one reply in flight, so neither side
+    can deadlock on a full pipe buffer. Blank and comment lines are
+    dropped client-side (the server would not reply to them). *)
+
+type t
+
+exception Disconnected
+(** Raised by {!rpc} when the server closes the connection before the
+    awaited reply arrives. *)
+
+val connect : string -> t
+(** Connect to the Unix-domain socket at the given path.
+    @raise Unix.Unix_error when the socket is absent or refuses. *)
+
+val rpc : t -> string -> string option
+(** Send one raw request line and await its reply; [None] when the line
+    is blank or a comment (nothing is sent). *)
+
+val close : t -> unit

@@ -1,0 +1,219 @@
+module P = Protocol
+module IF = Sgr_io.Instance_file
+module Links = Sgr_links.Links
+module Net = Sgr_network.Network
+module Eq = Sgr_network.Equilibrate
+module Obj = Sgr_network.Objective
+module Obs = Sgr_obs.Obs
+
+let fs = P.float_str
+
+(* A fully-formed error reply escaping from the middle of a compute. *)
+exception Reply of string
+
+let wrong_kind what needs = raise (Reply (P.error_reply `Solve (what ^ " needs a " ^ needs)))
+
+let method_str = function
+  | Stackelberg.Alpha_sweep.Exact_threshold -> "threshold"
+  | Stackelberg.Alpha_sweep.Linear_exact -> "thm2.4"
+  | Stackelberg.Alpha_sweep.Grid_search -> "grid"
+  | Stackelberg.Alpha_sweep.Heuristic_upper_bound -> "heuristic"
+
+(* The id-independent reply payload: this is what the memo stores, so an
+   instance reached under two ids shares one cache line. Must stay a
+   deterministic function of (instance, request, engine) — no cache
+   state, no clocks, no job count. *)
+let payload (entry : Cache.entry) (req : P.request) =
+  match (req, entry.Cache.instance) with
+  | P.Solve { obj; _ }, inst ->
+      let name = match obj with `Nash -> "nash" | `Opt -> "opt" in
+      let cost =
+        match inst with
+        | IF.Links t ->
+            let sol = match obj with `Nash -> Links.nash t | `Opt -> Links.opt t in
+            Links.cost t sol.Links.assignment
+        | IF.Network net ->
+            let o = match obj with `Nash -> Obj.Wardrop | `Opt -> Obj.System_optimum in
+            Net.cost net (Eq.solve o net).Eq.edge_flow
+      in
+      Printf.sprintf "obj=%s cost=%s" name (fs cost)
+  | P.Optop _, IF.Links t ->
+      let r = Stackelberg.Optop.run t in
+      Printf.sprintf "beta=%s nash_cost=%s opt_cost=%s induced_cost=%s" (fs r.Stackelberg.Optop.beta)
+        (fs r.nash_cost) (fs r.optimum_cost) (fs r.induced_cost)
+  | P.Optop _, IF.Network _ -> wrong_kind "optop" "parallel-links instance"
+  | P.Mop _, IF.Network net ->
+      let r = Stackelberg.Mop.run net in
+      Printf.sprintf "beta=%s beta_weak=%s nash_cost=%s opt_cost=%s induced_cost=%s"
+        (fs r.Stackelberg.Mop.beta) (fs r.beta_weak) (fs r.nash_cost) (fs r.opt_cost)
+        (fs r.induced.Stackelberg.Induced.cost)
+  | P.Mop _, IF.Links _ -> wrong_kind "mop" "network instance"
+  | P.Induced { alpha; _ }, IF.Links t ->
+      let o = Stackelberg.Strategies.llf t ~alpha in
+      Printf.sprintf "alpha=%s cost=%s ratio=%s" (fs alpha)
+        (fs o.Stackelberg.Strategies.induced_cost) (fs o.ratio_to_opt)
+  | P.Induced { alpha; _ }, IF.Network net ->
+      let o = Stackelberg.Net_strategies.llf net ~alpha in
+      Printf.sprintf "alpha=%s cost=%s ratio=%s" (fs alpha)
+        (fs o.Stackelberg.Net_strategies.induced.Stackelberg.Induced.cost) (fs o.ratio_to_opt)
+  | P.Sweep_point { alpha; _ }, IF.Links t ->
+      let p = Stackelberg.Alpha_sweep.at t ~alpha in
+      Printf.sprintf "alpha=%s ratio=%s method=%s" (fs p.Stackelberg.Alpha_sweep.alpha)
+        (fs p.ratio) (method_str p.method_used)
+  | P.Sweep_range { lo; hi; samples; _ }, IF.Links t ->
+      (* Runs inside a pool task in batch mode, where the nested
+         Pool.map falls back to sequential — same bytes either way. *)
+      let c = Stackelberg.Alpha_sweep.range t ~lo ~hi ~samples in
+      let pts =
+        List.map
+          (fun (p : Stackelberg.Alpha_sweep.point) ->
+            Printf.sprintf "%s:%s" (fs p.alpha) (fs p.ratio))
+          c.Stackelberg.Alpha_sweep.points
+      in
+      Printf.sprintf "beta=%s n=%d points=%s" (fs c.beta) samples (String.concat "," pts)
+  | (P.Sweep_point _ | P.Sweep_range _), IF.Network _ ->
+      wrong_kind "sweep" "parallel-links instance"
+  | (P.Load _ | P.Stats | P.Ping | P.Quit), _ ->
+      (* Routed in [dispatch]; no memoized payload exists for these. *)
+      raise (Reply (P.error_reply `Parse "internal: request has no payload"))
+
+let cache_error = function
+  | Cache.Io m -> P.error_reply `Io m
+  | Cache.Parse m -> P.error_reply `Parse m
+  | Cache.Unknown_id id ->
+      P.error_reply `Parse (Printf.sprintf "unknown instance id %S (load it first)" id)
+
+let dispatch cache req =
+  match req with
+  | P.Ping -> "ok pong"
+  | P.Quit -> "ok bye"
+  | P.Stats ->
+      let s = Cache.stats cache in
+      Printf.sprintf
+        "ok stats entries=%d capacity=%d hits=%d misses=%d evictions=%d memo_hits=%d \
+         memo_misses=%d"
+        s.Cache.entries s.capacity s.hits s.misses s.evictions s.memo_hits s.memo_misses
+  | P.Load { id; path } -> (
+      match Cache.load cache ~id ~path with
+      | Error e -> cache_error e
+      | Ok (entry, hit) ->
+          Printf.sprintf "ok load id=%s kind=%s fp=%s cache=%s" id
+            (match entry.Cache.instance with IF.Links _ -> "links" | IF.Network _ -> "network")
+            entry.Cache.fingerprint
+            (match hit with `Hit -> "hit" | `Miss -> "miss"))
+  | req -> (
+      match (P.instance_id req, P.memo_key req) with
+      | Some id, Some key -> (
+          match Cache.resolve cache ~id with
+          | Error e -> cache_error e
+          | Ok entry ->
+              let p = Cache.memo cache entry ~key ~compute:(fun () -> payload entry req) in
+              Printf.sprintf "ok %s id=%s %s" (P.request_kind req) id p)
+      | _ -> P.error_reply `Parse "internal: unroutable request")
+
+let is_error reply = String.length reply >= 5 && String.equal (String.sub reply 0 5) "error"
+
+let execute cache (line : P.line) =
+  let kind = P.request_kind line.P.request in
+  let t0 = Obs.now () in
+  let reply =
+    (* The loop must survive anything a solver throws; the catch-all is
+       the documented containment boundary, not control flow. *)
+    try dispatch cache line.P.request with
+    | Reply r -> r
+    | Invalid_argument m | (Failure m [@lint.allow "no-untyped-failure"]) ->
+        P.error_reply `Solve m
+    | exn -> P.error_reply `Solve (Printexc.to_string exn)
+  in
+  let elapsed_us = int_of_float (1e6 *. (Obs.now () -. t0)) in
+  Obs.incr (Obs.counter ("serve.requests." ^ kind));
+  Obs.add (Obs.counter ("serve.request_us." ^ kind)) elapsed_us;
+  let reply =
+    match line.P.deadline_ms with
+    | Some ms when elapsed_us > ms * 1000 ->
+        Obs.incr (Obs.counter "serve.timeouts");
+        P.error_reply `Timeout
+          (Printf.sprintf "request exceeded its %dms deadline (result cached for retry)" ms)
+    | _ -> reply
+  in
+  if is_error reply then Obs.incr (Obs.counter "serve.errors");
+  reply
+
+let execute_raw cache raw =
+  match P.parse_line raw with
+  | Ok None -> None
+  | Ok (Some line) -> Some (execute cache line)
+  | Error m -> Some (P.error_reply `Parse m)
+
+type item = Skip | Bad of string | Req of P.line
+
+(* Batch scheduling: requests group by instance id (id-less requests are
+   their own singleton groups); groups fan across the pool while each
+   group stays sequential in input order, and replies scatter back by
+   line index — output bytes are independent of the job count. [stats]
+   is a barrier (its counters reflect all preceding requests); [quit]
+   flushes and stops the batch. *)
+let run_batch ?jobs cache raw_lines =
+  Obs.span "serve.batch" @@ fun () ->
+  let items =
+    Array.of_list
+      (List.map
+         (fun raw ->
+           match P.parse_line raw with
+           | Ok None -> Skip
+           | Ok (Some l) -> Req l
+           | Error m -> Bad m)
+         raw_lines)
+  in
+  let n = Array.length items in
+  let replies = Array.make n None in
+  Obs.add (Obs.counter "serve.batch.lines") n;
+  let pending = ref [] in
+  let flush () =
+    let work = List.rev !pending in
+    pending := [];
+    if work <> [] then begin
+      let order = ref [] and tbl = Hashtbl.create 8 in
+      List.iter
+        (fun ((idx, line) as task) ->
+          let key =
+            match P.instance_id line.P.request with
+            | Some id -> "i:" ^ id
+            | None -> Printf.sprintf "l:%d" idx
+          in
+          match Hashtbl.find_opt tbl key with
+          | None ->
+              Hashtbl.add tbl key (ref [ task ]);
+              order := key :: !order
+          | Some r -> r := task :: !r)
+        work;
+      let groups =
+        Array.of_list (List.rev_map (fun k -> List.rev !(Hashtbl.find tbl k)) !order)
+      in
+      Obs.add (Obs.counter "serve.batch.groups") (Array.length groups);
+      let results =
+        Sgr_par.Pool.map ?jobs
+          (fun group -> List.map (fun (idx, line) -> (idx, execute cache line)) group)
+          groups
+      in
+      Array.iter (List.iter (fun (idx, r) -> replies.(idx) <- Some r)) results
+    end
+  in
+  (try
+     Array.iteri
+       (fun idx item ->
+         match item with
+         | Skip -> ()
+         | Bad m -> replies.(idx) <- Some (P.error_reply `Parse m)
+         | Req ({ request = P.Stats; _ } as l) ->
+             flush ();
+             replies.(idx) <- Some (execute cache l)
+         | Req ({ request = P.Quit; _ } as l) ->
+             flush ();
+             replies.(idx) <- Some (execute cache l);
+             raise Exit
+         | Req l -> pending := (idx, l) :: !pending)
+       items
+   with Exit -> ());
+  flush ();
+  List.filter_map Fun.id (Array.to_list replies)

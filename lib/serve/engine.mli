@@ -1,0 +1,34 @@
+(** Request execution and batch scheduling.
+
+    {b Determinism.} A reply is a pure function of the instance bytes,
+    the request parameters and the ambient solver engine — never of the
+    cache state or the job count. {!run_batch} fans per-instance request
+    groups across {!Sgr_par.Pool} but keeps each group sequential in
+    input order and scatters replies back by line index, so its output
+    is byte-identical at any [--jobs] (the [stats] reply is the
+    documented exception: it reports operational counters, which depend
+    on scheduling, and is therefore executed at a barrier and excluded
+    from the guarantee).
+
+    {b Deadlines.} A [@MS] prefix is enforced post hoc: solvers are not
+    preemptible, so an overrunning request completes, its result is
+    still memoized (a retry is instant), and the reply is
+    [error timeout:] instead of the result.
+
+    {b Failure modes.} A malformed line yields [error parse:], a solver
+    or applicability failure [error solve:], an unreadable file
+    [error io:] — the loop itself never raises. *)
+
+val execute : Cache.t -> Protocol.line -> string
+(** One request, one reply line. Performs no channel I/O besides
+    reading the file named by a [load]. Safe to call from pool worker
+    domains (it emits no Obs spans or points, only atomic counters). *)
+
+val execute_raw : Cache.t -> string -> string option
+(** Parse one raw line and execute it; [None] for blank/comment lines.
+    This is the serve loop's per-line step. *)
+
+val run_batch : ?jobs:int -> Cache.t -> string list -> string list
+(** Execute a batch, one reply per non-blank line, in input order.
+    Requests after a [quit] line are not executed and produce no
+    replies. [jobs] defaults to {!Sgr_par.Pool.default_jobs}. *)

@@ -1,0 +1,22 @@
+(* FNV-1a, 64-bit: tiny, dependency-free, and stable across runs and
+   platforms — exactly what a cache key needs. Not cryptographic; a
+   malicious instance file could engineer a collision, but the cache
+   only ever serves the colliding entry's *results*, never executes
+   anything from it, so the blast radius is a wrong answer for an
+   adversarial self-inflicted input. *)
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let fnv1a64 s =
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let hex h = Printf.sprintf "%016Lx" h
+let of_string s = hex (fnv1a64 s)
+let of_instance t = of_string (Sgr_io.Instance_file.to_string t)

@@ -1,0 +1,24 @@
+(** Canonical instance fingerprints.
+
+    A fingerprint is the 64-bit FNV-1a hash of
+    {!Sgr_io.Instance_file.to_string}'s canonical serialization, rendered
+    as 16 lowercase hex digits. Because the canonical form round-trips
+    floats bit-exactly and fixes field order, parsing the same instance
+    text twice — or printing and re-parsing it — always yields the same
+    fingerprint, while perturbing any latency coefficient, demand, or the
+    topology changes it. The serving cache keys on this string. *)
+
+val fnv1a64 : string -> int64
+(** The 64-bit FNV-1a hash of a byte string. *)
+
+val hex : int64 -> string
+(** 16 lowercase hex digits, zero-padded. *)
+
+val of_instance : Sgr_io.Instance_file.t -> string
+(** [hex (fnv1a64 (Instance_file.to_string t))].
+    @raise Invalid_argument on non-serializable latencies (cannot happen
+    for instances that came from a file). *)
+
+val of_string : string -> string
+(** Fingerprint of raw canonical text (for callers that already hold the
+    serialization). *)

@@ -1,0 +1,60 @@
+(* Hash table + intrusive doubly-linked recency list. The list has a
+   permanent sentinel node; sentinel.next is most-recently-used,
+   sentinel.prev least-recently-used. *)
+
+type 'v node = {
+  key : string;
+  mutable value : 'v option;  (* None only on the sentinel *)
+  mutable prev : 'v node;
+  mutable next : 'v node;
+}
+
+type 'v t = { capacity : int; table : (string, 'v node) Hashtbl.t; sentinel : 'v node }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  let rec sentinel = { key = ""; value = None; prev = sentinel; next = sentinel } in
+  { capacity; table = Hashtbl.create (2 * capacity); sentinel }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let push_front t n =
+  n.next <- t.sentinel.next;
+  n.prev <- t.sentinel;
+  t.sentinel.next.prev <- n;
+  t.sentinel.next <- n
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some n ->
+      unlink n;
+      push_front t n;
+      n.value
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some n ->
+      n.value <- Some value;
+      unlink n;
+      push_front t n
+  | None ->
+      let rec n = { key; value = Some value; prev = n; next = n } in
+      Hashtbl.replace t.table key n;
+      push_front t n);
+  if Hashtbl.length t.table > t.capacity then begin
+    let lru = t.sentinel.prev in
+    unlink lru;
+    Hashtbl.remove t.table lru.key;
+    match lru.value with Some v -> Some (lru.key, v) | None -> None
+  end
+  else None
+
+let keys t =
+  let rec go acc n = if n == t.sentinel then List.rev acc else go (n.key :: acc) n.next in
+  go [] t.sentinel.next

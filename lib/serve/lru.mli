@@ -1,0 +1,24 @@
+(** A bounded least-recently-used cache with string keys.
+
+    Plain single-threaded data structure — O(1) find/add via a hash
+    table over an intrusive doubly-linked recency list. {b Not}
+    domain-safe; {!Cache} guards every call with its mutex. *)
+
+type 'v t
+
+val create : capacity:int -> 'v t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'v t -> int
+val length : 'v t -> int
+
+val find : 'v t -> string -> 'v option
+(** Lookup; a hit moves the key to most-recently-used. *)
+
+val add : 'v t -> string -> 'v -> (string * 'v) option
+(** Insert (or replace) a binding and mark it most-recently-used.
+    Returns the evicted least-recently-used binding when the insert
+    pushed the cache over capacity. *)
+
+val keys : 'v t -> string list
+(** Keys from most- to least-recently-used (for tests and stats). *)

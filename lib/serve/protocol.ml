@@ -1,0 +1,116 @@
+type request =
+  | Load of { id : string; path : string }
+  | Solve of { id : string; obj : [ `Nash | `Opt ] }
+  | Optop of { id : string }
+  | Mop of { id : string }
+  | Induced of { id : string; alpha : float }
+  | Sweep_point of { id : string; alpha : float }
+  | Sweep_range of { id : string; lo : float; hi : float; samples : int }
+  | Stats
+  | Ping
+  | Quit
+
+type line = { deadline_ms : int option; request : request }
+
+let words s =
+  String.split_on_char ' ' s |> List.map String.trim |> List.filter (fun w -> w <> "")
+
+let float_arg w = float_of_string_opt w
+
+let parse_request = function
+  | [ "load"; id; path ] -> Ok (Load { id; path })
+  | [ "solve"; id; "nash" ] -> Ok (Solve { id; obj = `Nash })
+  | [ "solve"; id; "opt" ] -> Ok (Solve { id; obj = `Opt })
+  | [ "solve"; _; obj ] -> Error (Printf.sprintf "solve expects nash|opt, got %S" obj)
+  | [ "optop"; id ] -> Ok (Optop { id })
+  | [ "mop"; id ] -> Ok (Mop { id })
+  | [ "induced"; id; a ] -> (
+      match float_arg a with
+      | Some alpha when 0.0 <= alpha && alpha <= 1.0 -> Ok (Induced { id; alpha })
+      | _ -> Error (Printf.sprintf "induced expects an alpha in [0, 1], got %S" a))
+  | [ "sweep"; id; a ] -> (
+      match float_arg a with
+      | Some alpha when 0.0 <= alpha && alpha <= 1.0 -> Ok (Sweep_point { id; alpha })
+      | _ -> Error (Printf.sprintf "sweep expects an alpha in [0, 1], got %S" a))
+  | [ "sweep"; id; lo; hi; n ] -> (
+      match (float_arg lo, float_arg hi, int_of_string_opt n) with
+      | Some lo, Some hi, Some samples
+        when 0.0 <= lo && lo <= hi && hi <= 1.0 && samples >= 2 ->
+          Ok (Sweep_range { id; lo; hi; samples })
+      | _ -> Error "sweep range expects 'sweep ID LO HI N' with 0 <= LO <= HI <= 1 and N >= 2")
+  | [ "stats" ] -> Ok Stats
+  | [ "ping" ] -> Ok Ping
+  | [ "quit" ] -> Ok Quit
+  | w :: _ -> Error (Printf.sprintf "unknown or malformed request %S" w)
+  | [] -> Error "empty request"
+
+let parse_line raw =
+  let trimmed = String.trim raw in
+  if trimmed = "" || trimmed.[0] = '#' then Ok None
+  else
+    let deadline, rest =
+      if trimmed.[0] = '@' then
+        match String.index_opt trimmed ' ' with
+        | Some i -> (
+            let d = String.sub trimmed 1 (i - 1) in
+            match int_of_string_opt d with
+            | Some ms when ms >= 0 ->
+                (Ok (Some ms), String.sub trimmed i (String.length trimmed - i))
+            | _ -> (Error (Printf.sprintf "bad deadline %S (expected @MILLISECONDS)" d), "")
+          )
+        | None -> (Error "a deadline prefix needs a request after it", "")
+      else (Ok None, trimmed)
+    in
+    match deadline with
+    | Error m -> Error m
+    | Ok deadline_ms -> (
+        match parse_request (words rest) with
+        | Ok request -> Ok (Some { deadline_ms; request })
+        | Error m -> Error m)
+
+let instance_id = function
+  | Load { id; _ } | Solve { id; _ } | Optop { id } | Mop { id } | Induced { id; _ }
+  | Sweep_point { id; _ } | Sweep_range { id; _ } ->
+      Some id
+  | Stats | Ping | Quit -> None
+
+let request_kind = function
+  | Load _ -> "load"
+  | Solve _ -> "solve"
+  | Optop _ -> "optop"
+  | Mop _ -> "mop"
+  | Induced _ -> "induced"
+  | Sweep_point _ | Sweep_range _ -> "sweep"
+  | Stats -> "stats"
+  | Ping -> "ping"
+  | Quit -> "quit"
+
+let float_str = Printf.sprintf "%.9g"
+
+(* Memo keys embed every parameter the reply depends on, including the
+   ambient solver engine (a column-gen and an exhaustive solve of the
+   same instance are different cache lines). Parameters are canonical
+   ([%h]) so numerically equal requests share a key. *)
+let memo_key req =
+  let engine =
+    match Sgr_network.Equilibrate.default_engine () with
+    | Sgr_network.Equilibrate.Column_generation -> "cg"
+    | Sgr_network.Equilibrate.Exhaustive -> "ex"
+  in
+  let key fmt = Printf.ksprintf (fun body -> Some (body ^ "|" ^ engine)) fmt in
+  match req with
+  | Load _ | Stats | Ping | Quit -> None
+  | Solve { obj = `Nash; _ } -> key "solve|nash"
+  | Solve { obj = `Opt; _ } -> key "solve|opt"
+  | Optop _ -> key "optop"
+  | Mop _ -> key "mop"
+  | Induced { alpha; _ } -> key "induced|%h" alpha
+  | Sweep_point { alpha; _ } -> key "sweep|%h" alpha
+  | Sweep_range { lo; hi; samples; _ } -> key "sweep|%h|%h|%d" lo hi samples
+
+let error_reply cls msg =
+  let cls =
+    match cls with `Parse -> "parse" | `Solve -> "solve" | `Timeout -> "timeout" | `Io -> "io"
+  in
+  let flat = String.map (function '\n' | '\r' -> ' ' | c -> c) msg in
+  Printf.sprintf "error %s: %s" cls flat

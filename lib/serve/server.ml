@@ -1,0 +1,114 @@
+module Obs = Sgr_obs.Obs
+
+type t = {
+  socket_path : string;
+  cache : Cache.t;
+  log : string -> unit;
+  stop : bool Atomic.t;
+}
+
+let create ~socket_path ~cache ~log = { socket_path; cache; log; stop = Atomic.make false }
+let request_stop t = Atomic.set t.stop true
+
+(* One poll interval: the latency bound on noticing [request_stop]. *)
+let poll_s = 0.2
+
+let readable fd =
+  match Unix.select [ fd ] [] [] poll_s with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+  end
+
+let take_line pending =
+  let s = Buffer.contents pending in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      Buffer.clear pending;
+      Buffer.add_substring pending s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+
+type step = Line of string | Eof | Stopped
+
+(* Buffered, stop-aware line reader over the client fd. *)
+let rec next_line t fd pending chunk =
+  match take_line pending with
+  | Some l -> Line l
+  | None ->
+      if Atomic.get t.stop then Stopped
+      else if readable fd then begin
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+            (* EOF; a trailing unterminated line still counts. *)
+            if Buffer.length pending > 0 then begin
+              let l = Buffer.contents pending in
+              Buffer.clear pending;
+              Line l
+            end
+            else Eof
+        | n ->
+            Buffer.add_subbytes pending chunk 0 n;
+            next_line t fd pending chunk
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line t fd pending chunk
+        | exception Unix.Unix_error _ -> Eof
+      end
+      else next_line t fd pending chunk
+
+let serve_session t fd =
+  let pending = Buffer.create 256 and chunk = Bytes.create 4096 in
+  let rec loop () =
+    match next_line t fd pending chunk with
+    | Eof -> t.log "client disconnected"
+    | Stopped -> t.log "stop requested; closing session"
+    | Line raw -> (
+        match Engine.execute_raw t.cache raw with
+        | None -> loop ()
+        | Some reply ->
+            write_all fd (reply ^ "\n") 0 (String.length reply + 1);
+            Obs.incr (Obs.counter "serve.replies");
+            if String.equal reply "ok bye" then t.log "client quit" else loop ())
+  in
+  try loop ()
+  with Unix.Unix_error (err, _, _) ->
+    (* EPIPE/ECONNRESET from a vanished client: a disconnect, not a crash. *)
+    t.log (Printf.sprintf "client error: %s" (Unix.error_message err))
+
+let unlink_quiet path =
+  match Unix.unlink path with
+  | () -> ()
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let run t =
+  unlink_quiet t.socket_path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      unlink_quiet t.socket_path;
+      t.log "socket removed; bye")
+  @@ fun () ->
+  Unix.bind sock (Unix.ADDR_UNIX t.socket_path);
+  Unix.listen sock 8;
+  t.log (Printf.sprintf "listening on %s" t.socket_path);
+  let rec accept_loop () =
+    if Atomic.get t.stop then t.log "stop requested; draining"
+    else if readable sock then begin
+      match Unix.accept sock with
+      | client, _ ->
+          Obs.incr (Obs.counter "serve.sessions");
+          Fun.protect
+            ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+            (fun () -> serve_session t client);
+          accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    end
+    else accept_loop ()
+  in
+  accept_loop ()

@@ -1,0 +1,28 @@
+(** Unix-domain-socket serve loop.
+
+    One session at a time: the accept loop takes a client, answers its
+    requests in order, and returns to accepting when the client quits
+    or disconnects. Both the accept wait and the per-line read are
+    select-polled against the {!request_stop} flag, so a SIGINT turned
+    into [request_stop] by the frontend drains gracefully — the
+    in-flight request finishes, its reply is written, and the loop
+    exits, removing the socket file.
+
+    The server never prints: all operational chatter goes through the
+    [log] callback supplied by the frontend (lib code stays pure). *)
+
+type t
+
+val create : socket_path:string -> cache:Cache.t -> log:(string -> unit) -> t
+
+val request_stop : t -> unit
+(** Async-signal-safe (a single atomic store): callable from a signal
+    handler. The loop notices within one poll interval (0.2s). *)
+
+val run : t -> unit
+(** Bind, listen, and serve until {!request_stop}. An existing socket
+    file at the path is unlinked first (a stale one would make [bind]
+    fail); the file is unlinked again on exit. The frontend should
+    ignore SIGPIPE so an abruptly-vanishing client surfaces as
+    [EPIPE] (handled as a disconnect) rather than killing the
+    process. *)

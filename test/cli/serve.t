@@ -1,0 +1,50 @@
+The batch frontend executes a request file in-process and prints one
+reply line per request, in input order (the stats reply reports the
+cache counters as of its barrier):
+
+  $ sgr catalog pigou > pigou.sgr
+  $ sgr batch requests.txt
+  ok load id=p kind=links fp=067affba1581e718 cache=miss
+  ok solve id=p obj=nash cost=1
+  ok solve id=p obj=opt cost=0.75
+  ok optop id=p beta=0.5 nash_cost=1 opt_cost=0.75 induced_cost=0.75
+  ok induced id=p alpha=0.25 cost=0.8125 ratio=1.08333333
+  ok sweep id=p beta=0.5 n=5 points=0:1.33333333,0.25:1.08333333,0.5:1,0.75:1,1:1
+  error parse: unknown instance id "zzz" (load it first)
+  error solve: mop needs a network instance
+  ok stats entries=1 capacity=32 hits=6 misses=1 evictions=0 memo_hits=0 memo_misses=6
+  ok pong
+  ok bye
+
+The output is byte-identical at any job count (stats included here,
+because each run starts from a fresh cache and the counters are sums):
+
+  $ sgr batch requests.txt --jobs 4 > jobs4.out
+  $ sgr batch requests.txt --jobs 1 | diff - jobs4.out
+
+The socket server answers the same protocol over a Unix-domain socket.
+The second session hits the warm cache (memo_hits > 0), and SIGINT
+drains gracefully: the socket file is removed and the server exits 0.
+
+  $ SOCK=$(mktemp -d)/sgr.sock
+  $ sgr serve --socket "$SOCK" 2>serve.log &
+  $ SERVE_PID=$!
+  $ for _ in 1 2 3 4 5 6 7 8 9 10; do test -S "$SOCK" && break; sleep 0.2; done
+  $ sgr batch requests.txt --connect "$SOCK" | grep -c '^ok\|^error'
+  11
+  $ sgr batch requests.txt --connect "$SOCK" | grep '^ok stats'
+  ok stats entries=1 capacity=32 hits=13 misses=1 evictions=0 memo_hits=5 memo_misses=7
+  $ kill -INT $SERVE_PID
+  $ wait $SERVE_PID
+  $ test -S "$SOCK" || echo socket removed
+  socket removed
+(the first log line embeds the tempdir socket path, so it is checked
+by count rather than by content)
+
+  $ grep -c 'listening on' serve.log
+  1
+  $ tail -n +2 serve.log
+  sgr serve: client quit
+  sgr serve: client quit
+  sgr serve: stop requested; draining
+  sgr serve: socket removed; bye

@@ -1,0 +1,10 @@
+(* Fixture: no-blocking-in-pool, inline closures and the let-bound
+   indirection both fire. *)
+
+let direct xs = Pool.map (fun x -> Unix.sleep x) xs
+let fetch fd buf x = ignore (Unix.read fd buf 0 x); x
+let indirect xs = Sgr_par.Pool.map fetch xs
+
+let allowed pool xs =
+  (Pool.map_array pool (fun x -> Unix.sleepf x) xs)
+  [@lint.allow "no-blocking-in-pool"]

@@ -7,7 +7,7 @@ case, and the suppressed case must be absent from the diagnostics.
   $ mkdir -p lib/state lib/numerics lib/graph
   $ cp fixtures/mutable_global.ml fixtures/obs_discipline.ml lib/state/
   $ cp fixtures/lib_purity.ml fixtures/no_untyped_failure.ml lib/state/
-  $ cp fixtures/bad_allow.ml lib/state/
+  $ cp fixtures/bad_allow.ml fixtures/blocking_pool.ml lib/state/
   $ cp fixtures/float_equality.ml lib/numerics/
   $ cp fixtures/quadratic_list.ml lib/graph/
 
@@ -30,6 +30,16 @@ compare/min/max in numeric modules; Float.max is fine:
   lib/numerics/float_equality.ml:7:15: [float-equality] bare polymorphic min in a numeric module; use Float.min / Int.min (or a tolerance helper) so the comparison semantics are explicit
   lib/numerics/float_equality.ml:9:18: [float-equality] bare polymorphic compare in a numeric module; use Float.compare / Int.compare (or a tolerance helper) so the comparison semantics are explicit
   4 findings
+  [1]
+
+no-blocking-in-pool: blocking syscalls inside Pool.map closures,
+including through a let-bound helper passed by name; the suppressed
+Unix.sleepf is absent:
+
+  $ sgr-lint lib/state/blocking_pool.ml
+  lib/state/blocking_pool.ml:4:35: [no-blocking-in-pool] Unix.sleep blocks inside a closure passed to Pool.map: a parked worker domain stalls every task queued behind it
+  lib/state/blocking_pool.ml:6:35: [no-blocking-in-pool] fetch performs blocking calls and is passed to Pool.map: a parked worker domain stalls every task queued behind it
+  2 findings
   [1]
 
 obs-domain-discipline: spans/points inside Pool.map closures, including
@@ -80,7 +90,7 @@ The whole staged tree in one run comes back sorted by file; a tree with
 only suppressed or conforming sites exits 0:
 
   $ sgr-lint lib | tail -n 1
-  19 findings
+  21 findings
 
   $ mkdir -p clean/lib && cp fixtures/bad_allow.ml clean/lib/ && rm clean/lib/bad_allow.ml
   $ cat > clean/lib/tidy.ml << 'EOF'
@@ -96,5 +106,6 @@ The rule catalogue is self-describing:
   float-equality
   obs-domain-discipline
   lib-purity
+  no-blocking-in-pool
   no-untyped-failure
   quadratic-list

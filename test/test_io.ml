@@ -180,6 +180,51 @@ let prop_random_networks_roundtrip =
           Sgr_numerics.Tolerance.approx ~eps:1e-6 c c'
       | _ -> false)
 
+(* The canonical serialization ([%h] floats, keyword forms) must be a
+   *bit-exact* fixpoint: parse ∘ print is the identity on the printed
+   bytes, not just on evaluation up to tolerance. *)
+let canonical_latencies (a, b) =
+  [
+    L.constant (a +. 0.1);
+    L.affine ~slope:(a +. 0.1) ~intercept:b;
+    L.polynomial [| b; 0.0; a +. 0.1 |];
+    L.mm1 ~capacity:(a +. b +. 1.0);
+    L.bpr ~free_flow:(a +. 0.1) ~capacity:(b +. 1.0) ();
+  ]
+
+let prop_canonical_spec_roundtrip =
+  Helpers.qcheck ~count:200 "canonical latency specs: parse∘print is bit-exact"
+    QCheck.(pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0))
+    (fun seed ->
+      List.for_all
+        (fun lat ->
+          let printed = LS.print_canonical lat in
+          match LS.parse printed with
+          | Error _ -> false
+          | Ok lat' ->
+              String.equal printed (LS.print_canonical lat')
+              && Float.equal (L.eval lat 1.2345) (L.eval lat' 1.2345))
+        (canonical_latencies seed))
+
+let prop_canonical_instance_roundtrip =
+  Helpers.qcheck ~count:50 "canonical instance files: parse∘to_string is a fixpoint"
+    QCheck.small_nat (fun seed ->
+      let rng = Sgr_numerics.Prng.create (seed + 1) in
+      let inst =
+        match Sgr_numerics.Prng.int rng 4 with
+        | 0 -> IF.Links (W.random_affine_links rng ~m:(2 + Sgr_numerics.Prng.int rng 5) ())
+        | 1 -> IF.Links (W.random_mm1_links rng ~m:(2 + Sgr_numerics.Prng.int rng 5) ())
+        | 2 -> IF.Network (W.grid_network rng ~rows:2 ~cols:3 ())
+        | _ ->
+            IF.Network
+              (W.random_layered_network rng ~layers:(1 + Sgr_numerics.Prng.int rng 2)
+                 ~width:(1 + Sgr_numerics.Prng.int rng 2) ())
+      in
+      let printed = IF.to_string inst in
+      match IF.parse printed with
+      | Error _ -> false
+      | Ok inst' -> String.equal printed (IF.to_string inst'))
+
 let suite =
   [
     case "latency specs: affine forms" test_affine_specs;
@@ -197,4 +242,6 @@ let suite =
     case "instance files: missing file" test_load_missing_file;
     prop_random_links_roundtrip;
     prop_random_networks_roundtrip;
+    prop_canonical_spec_roundtrip;
+    prop_canonical_instance_roundtrip;
   ]

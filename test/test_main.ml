@@ -23,4 +23,5 @@ let () =
       ("atomic-net & tolls", Test_atomic_net.suite);
       ("discrete", Test_discrete.suite);
       ("workloads", Test_workloads.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,238 @@
+(* Tests for the serving subsystem: LRU, fingerprints, the request
+   protocol, the engine, and the batch determinism guarantee. *)
+
+open Helpers
+module IF = Sgr_io.Instance_file
+module W = Sgr_workloads.Workloads
+module Lru = Sgr_serve.Lru
+module Fp = Sgr_serve.Fingerprint
+module Cache = Sgr_serve.Cache
+module P = Sgr_serve.Protocol
+module Engine = Sgr_serve.Engine
+
+(* ---------------- LRU ---------------- *)
+
+let test_lru_capacity_one () =
+  let l = Lru.create ~capacity:1 in
+  Alcotest.(check (option (pair string string))) "no eviction on first add" None
+    (Lru.add l "a" "1");
+  Alcotest.(check (option string)) "find a" (Some "1") (Lru.find l "a");
+  (match Lru.add l "b" "2" with
+  | Some ("a", "1") -> ()
+  | _ -> Alcotest.fail "adding b to a full capacity-1 cache must evict a");
+  Alcotest.(check (option string)) "a is gone" None (Lru.find l "a");
+  Alcotest.(check (option string)) "b is in" (Some "2") (Lru.find l "b");
+  Alcotest.(check int) "length stays 1" 1 (Lru.length l)
+
+let test_lru_eviction_order () =
+  let l = Lru.create ~capacity:3 in
+  List.iter (fun k -> ignore (Lru.add l k k)) [ "a"; "b"; "c" ];
+  (* Touch [a]: now [b] is the least recently used. *)
+  ignore (Lru.find l "a");
+  (match Lru.add l "d" "d" with
+  | Some ("b", _) -> ()
+  | Some (k, _) -> Alcotest.failf "evicted %S, expected the untouched b" k
+  | None -> Alcotest.fail "full cache must evict");
+  Alcotest.(check (list string)) "MRU -> LRU order" [ "d"; "a"; "c" ] (Lru.keys l)
+
+let test_lru_hit_after_evict_misses () =
+  let l = Lru.create ~capacity:2 in
+  ignore (Lru.add l "a" "1");
+  ignore (Lru.add l "b" "2");
+  ignore (Lru.add l "c" "3");
+  Alcotest.(check (option string)) "evicted key misses" None (Lru.find l "a");
+  (* Re-adding after the miss works and evicts the current LRU. *)
+  (match Lru.add l "a" "1'" with
+  | Some ("b", _) -> ()
+  | _ -> Alcotest.fail "re-add must evict b");
+  Alcotest.(check (option string)) "re-added key hits" (Some "1'") (Lru.find l "a")
+
+let test_lru_replace_same_key () =
+  let l = Lru.create ~capacity:2 in
+  ignore (Lru.add l "a" "1");
+  Alcotest.(check (option (pair string string))) "same-key add replaces, no evict" None
+    (Lru.add l "a" "2");
+  Alcotest.(check (option string)) "new value visible" (Some "2") (Lru.find l "a");
+  Alcotest.(check int) "no duplicate node" 1 (Lru.length l)
+
+let test_lru_bad_capacity () =
+  match Lru.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected"
+
+(* ---------------- fingerprints ---------------- *)
+
+let test_fingerprint_stability () =
+  let text = IF.print_links W.pigou in
+  let parse t =
+    match IF.parse t with Ok i -> i | Error m -> Alcotest.failf "parse failed: %s" m
+  in
+  let fp1 = Fp.of_instance (parse text) and fp2 = Fp.of_instance (parse text) in
+  Alcotest.(check string) "same bytes, same fingerprint" fp1 fp2;
+  (* A perturbed latency coefficient must change the key. *)
+  let perturbed =
+    IF.Links
+      (Sgr_links.Links.make
+         [| Sgr_latency.Latency.linear (1.0 +. 1e-12); Sgr_latency.Latency.constant 1.0 |]
+         ~demand:1.0)
+  in
+  check_true "perturbed coefficient changes the fingerprint"
+    (not (String.equal fp1 (Fp.of_instance perturbed)))
+
+let test_fingerprint_fnv_vector () =
+  (* Standard FNV-1a test vectors pin the constants. *)
+  Alcotest.(check string) "fnv empty" "cbf29ce484222325" (Fp.hex (Fp.fnv1a64 ""));
+  Alcotest.(check string) "fnv a" "af63dc4c8601ec8c" (Fp.hex (Fp.fnv1a64 "a"))
+
+(* ---------------- protocol ---------------- *)
+
+let test_protocol_parse () =
+  (match P.parse_line "  " with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "blank is skipped");
+  (match P.parse_line "# comment" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "comment is skipped");
+  (match P.parse_line "solve p nash" with
+  | Ok (Some { deadline_ms = None; request = P.Solve { id = "p"; obj = `Nash } }) -> ()
+  | _ -> Alcotest.fail "solve nash");
+  (match P.parse_line "@250 optop p" with
+  | Ok (Some { deadline_ms = Some 250; request = P.Optop { id = "p" } }) -> ()
+  | _ -> Alcotest.fail "deadline prefix");
+  (match P.parse_line "sweep p 0 1 5" with
+  | Ok (Some { request = P.Sweep_range { lo = 0.0; hi = 1.0; samples = 5; _ }; _ }) -> ()
+  | _ -> Alcotest.fail "sweep range");
+  (match P.parse_line "induced p 1.5" with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "alpha out of range is rejected");
+  (match P.parse_line "@x ping" with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "bad deadline is rejected")
+
+let test_memo_keys () =
+  let some = function Some k -> k | None -> Alcotest.fail "expected a memo key" in
+  let k1 = some (P.memo_key (P.Solve { id = "a"; obj = `Nash })) in
+  let k2 = some (P.memo_key (P.Solve { id = "b"; obj = `Nash })) in
+  Alcotest.(check string) "memo keys are id-independent" k1 k2;
+  check_true "objective distinguishes keys"
+    (not (String.equal k1 (some (P.memo_key (P.Solve { id = "a"; obj = `Opt })))));
+  (match P.memo_key P.Stats with
+  | None -> ()
+  | Some _ -> Alcotest.fail "stats must not be memoized")
+
+(* ---------------- engine ---------------- *)
+
+let with_instance_file inst f =
+  let path = Filename.temp_file "sgr_serve_test" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            (match inst with IF.Links t -> IF.print_links t | IF.Network n -> IF.print_network n));
+      f path)
+
+let test_engine_pigou () =
+  with_instance_file (IF.Links W.pigou) @@ fun path ->
+  let cache = Cache.create ~capacity:4 in
+  let run raw =
+    match Engine.execute_raw cache raw with
+    | Some r -> r
+    | None -> Alcotest.failf "no reply for %S" raw
+  in
+  check_true "load ok"
+    (String.length (run (Printf.sprintf "load p %s" path)) > 0);
+  Alcotest.(check string) "nash cost" "ok solve id=p obj=nash cost=1" (run "solve p nash");
+  Alcotest.(check string) "opt cost" "ok solve id=p obj=opt cost=0.75" (run "solve p opt");
+  Alcotest.(check string) "optop"
+    "ok optop id=p beta=0.5 nash_cost=1 opt_cost=0.75 induced_cost=0.75" (run "optop p");
+  Alcotest.(check string) "unknown id"
+    "error parse: unknown instance id \"zzz\" (load it first)" (run "solve zzz nash");
+  Alcotest.(check string) "wrong kind" "error solve: mop needs a network instance" (run "mop p");
+  Alcotest.(check string) "parse error"
+    "error parse: unknown or malformed request \"frobnicate\"" (run "frobnicate the network")
+
+let test_engine_memo_and_reload () =
+  with_instance_file (IF.Links W.pigou) @@ fun path ->
+  (* Capacity 1 and two distinct instances: the second load evicts the
+     first, and a later request transparently reloads from the bound
+     path. *)
+  with_instance_file (IF.Links W.fig456) @@ fun path2 ->
+  let cache = Cache.create ~capacity:1 in
+  let run raw = Option.get (Engine.execute_raw cache raw) in
+  ignore (run (Printf.sprintf "load p %s" path));
+  let first = run "solve p nash" in
+  ignore (run (Printf.sprintf "load q %s" path2));
+  let stats = Cache.stats cache in
+  Alcotest.(check int) "eviction happened" 1 stats.Cache.evictions;
+  Alcotest.(check string) "reload after evict gives the same reply" first (run "solve p nash")
+
+let test_engine_timeout () =
+  with_instance_file (IF.Links W.fig456) @@ fun path ->
+  let cache = Cache.create ~capacity:4 in
+  let run raw = Option.get (Engine.execute_raw cache raw) in
+  ignore (run (Printf.sprintf "load p %s" path));
+  (* A fresh (unmemoized) solve takes well over 0ms; the deadline is
+     enforced post hoc and classified as a timeout. *)
+  let reply = run "@0 optop p" in
+  check_true "deadline 0 on a fresh solve times out"
+    (String.length reply >= 13 && String.equal (String.sub reply 0 13) "error timeout");
+  (* The overrunning result was still memoized: a retry without the
+     deadline is a memo hit with the normal reply. *)
+  let before = (Cache.stats cache).Cache.memo_hits in
+  let retry = run "optop p" in
+  Alcotest.(check int) "retry is a memo hit" (before + 1) (Cache.stats cache).Cache.memo_hits;
+  check_true "retry succeeds" (String.length retry >= 2 && String.equal (String.sub retry 0 2) "ok")
+
+(* ---------------- batch determinism ---------------- *)
+
+(* Random request files over two instances must produce byte-identical
+   replies at any job count. [stats] lines are the documented exception
+   (operational counters depend on scheduling) and deadline-tagged
+   requests are timing-dependent by design, so the generator emits
+   neither. *)
+let prop_batch_jobs_deterministic =
+  Helpers.qcheck ~count:25 "sgr batch replies are byte-identical at --jobs 1 and 4"
+    QCheck.(pair small_nat (list_of_size Gen.(1 -- 20) small_nat))
+    (fun (seed, picks) ->
+      with_instance_file (IF.Links W.pigou) @@ fun pigou ->
+      with_instance_file (IF.Links W.fig456) @@ fun fig ->
+      let rng = Sgr_numerics.Prng.create (seed + 1) in
+      let id () = if Sgr_numerics.Prng.bool rng then "a" else "b" in
+      let request pick =
+        match pick mod 8 with
+        | 0 -> Printf.sprintf "solve %s nash" (id ())
+        | 1 -> Printf.sprintf "solve %s opt" (id ())
+        | 2 -> Printf.sprintf "optop %s" (id ())
+        | 3 -> Printf.sprintf "induced %s 0.25" (id ())
+        | 4 -> Printf.sprintf "sweep %s 0.5" (id ())
+        | 5 -> "ping"
+        | 6 -> Printf.sprintf "solve %s garbage" (id ())
+        | _ -> Printf.sprintf "mop %s" (id ())
+      in
+      let lines =
+        (Printf.sprintf "load a %s" pigou :: Printf.sprintf "load b %s" fig
+        :: List.map request picks)
+        @ [ "quit"; "solve a nash" ]
+      in
+      let run jobs = Engine.run_batch ~jobs (Cache.create ~capacity:4) lines in
+      let r1 = run 1 and r4 = run 4 in
+      List.length r1 = List.length r4 && List.for_all2 String.equal r1 r4)
+
+let suite =
+  [
+    case "lru: capacity one" test_lru_capacity_one;
+    case "lru: eviction order respects touches" test_lru_eviction_order;
+    case "lru: hit after evict misses, re-add works" test_lru_hit_after_evict_misses;
+    case "lru: same-key add replaces" test_lru_replace_same_key;
+    case "lru: zero capacity rejected" test_lru_bad_capacity;
+    case "fingerprint: stable across parses, sensitive to coefficients"
+      test_fingerprint_stability;
+    case "fingerprint: FNV-1a test vectors" test_fingerprint_fnv_vector;
+    case "protocol: parse" test_protocol_parse;
+    case "protocol: memo keys" test_memo_keys;
+    case "engine: pigou golden replies" test_engine_pigou;
+    case "engine: memoization and reload-after-evict" test_engine_memo_and_reload;
+    case "engine: post-hoc deadline" test_engine_timeout;
+    prop_batch_jobs_deterministic;
+  ]

@@ -37,6 +37,9 @@ let rules =
       "Obs.span/Obs.point must not run inside closures handed to Pool.map/map_array \
        (spans and points are sink-domain-only)" );
     ("lib-purity", "no direct stdout/stderr output from lib/; print from bin/ or an Obs sink");
+    ( "no-blocking-in-pool",
+      "blocking syscalls (Unix.sleep/select/read/..., Thread.delay/join) must not run \
+       inside closures handed to Pool.map/map_array" );
     ("no-untyped-failure", "failwith / assert false in lib/ needs an explicit allow");
     ( "quadratic-list",
       "List.mem/List.assoc/List.nth/(@) in lib/graph and lib/network hot paths" );
@@ -196,11 +199,48 @@ let obs_call_in e =
   iter.expr iter e;
   !found
 
-(* Names let-bound (at any level) to a body that emits spans/points, so
-   passing the name to Pool.map is caught too. One level only: a helper
-   calling another tainted helper is a documented blind spot. *)
+(* A pool worker that parks in a syscall stalls every task queued behind
+   it, and a pool-wide Thread.join can deadlock outright. Precise-name
+   match: only the [Unix]/[Thread] entry points this repo could reach. *)
+let blocking_unix =
+  [
+    "sleep"; "sleepf"; "select"; "accept"; "connect"; "read"; "write"; "single_write";
+    "recv"; "send"; "wait"; "waitpid";
+  ]
+
+let blocking_call path =
+  match last_two path with
+  | Some ("Unix", f) when List.mem f blocking_unix -> Some ("Unix." ^ f)
+  | Some ("Thread", (("delay" | "join") as f)) -> Some ("Thread." ^ f)
+  | _ -> None
+
+(* First blocking-call reference syntactically inside [e], if any. *)
+let blocking_call_in e =
+  let found = ref None in
+  let default = Ast_iterator.default_iterator in
+  let iter =
+    {
+      default with
+      expr =
+        (fun self ex ->
+          (match ex.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match blocking_call (flatten txt) with
+              | Some what -> if !found = None then found := Some (ex.pexp_loc, what)
+              | None -> ())
+          | _ -> ());
+          default.expr self ex);
+    }
+  in
+  iter.expr iter e;
+  !found
+
+(* Names let-bound (at any level) to a body that emits spans/points or
+   performs blocking calls, so passing the name to Pool.map is caught
+   too. One level only: a helper calling another tainted helper is a
+   documented blind spot. *)
 let tainted_bindings str =
-  let tainted = Hashtbl.create 8 in
+  let obs_tainted = Hashtbl.create 8 and blocking_tainted = Hashtbl.create 8 in
   let default = Ast_iterator.default_iterator in
   let iter =
     {
@@ -208,16 +248,19 @@ let tainted_bindings str =
       value_binding =
         (fun self vb ->
           (match vb.pvb_pat.ppat_desc with
-          | Ppat_var { txt; _ } -> (
-              match obs_call_in vb.pvb_expr with
-              | Some _ -> Hashtbl.replace tainted txt ()
+          | Ppat_var { txt; _ } ->
+              (match obs_call_in vb.pvb_expr with
+              | Some _ -> Hashtbl.replace obs_tainted txt ()
+              | None -> ());
+              (match blocking_call_in vb.pvb_expr with
+              | Some _ -> Hashtbl.replace blocking_tainted txt ()
               | None -> ())
           | _ -> ());
           default.value_binding self vb);
     }
   in
   iter.structure iter str;
-  tainted
+  (obs_tainted, blocking_tainted)
 
 let print_idents =
   [
@@ -256,7 +299,7 @@ let collect ~path (str : structure) : Lint_diag.t list =
     scan_mutable_global ~emit:(fun loc msg -> emit ~rule:"mutable-global" loc msg)
       ~mutable_fields str
   end;
-  let tainted = tainted_bindings str in
+  let obs_tainted, blocking_tainted = tainted_bindings str in
   let default = Ast_iterator.default_iterator in
   let expr self e =
     (match e.pexp_desc with
@@ -283,13 +326,28 @@ let collect ~path (str : structure) : Lint_diag.t list =
                         "Obs.span/Obs.point inside a closure passed to Pool.map: worker \
                          domains drop events, so traces depend on the job count"
                   | None -> ());
-                  match a.pexp_desc with
-                  | Pexp_ident { txt = Longident.Lident n; _ } when Hashtbl.mem tainted n ->
-                      emit ~rule:"obs-domain-discipline" a.pexp_loc
+                  (match blocking_call_in a with
+                  | Some (loc, what) ->
+                      emit ~rule:"no-blocking-in-pool" loc
                         (Printf.sprintf
-                           "%s emits Obs spans/points and is passed to Pool.map: worker \
-                            domains drop events, so traces depend on the job count"
-                           n)
+                           "%s blocks inside a closure passed to Pool.map: a parked worker \
+                            domain stalls every task queued behind it"
+                           what)
+                  | None -> ());
+                  match a.pexp_desc with
+                  | Pexp_ident { txt = Longident.Lident n; _ } ->
+                      if Hashtbl.mem obs_tainted n then
+                        emit ~rule:"obs-domain-discipline" a.pexp_loc
+                          (Printf.sprintf
+                             "%s emits Obs spans/points and is passed to Pool.map: worker \
+                              domains drop events, so traces depend on the job count"
+                             n);
+                      if Hashtbl.mem blocking_tainted n then
+                        emit ~rule:"no-blocking-in-pool" a.pexp_loc
+                          (Printf.sprintf
+                             "%s performs blocking calls and is passed to Pool.map: a parked \
+                              worker domain stalls every task queued behind it"
+                             n)
                   | _ -> ())
                 args
         | None -> ())

@@ -1,6 +1,6 @@
 (* sgr-lint — project-rule static analysis on compiler-libs.
 
-   Usage: sgr-lint [PATH ...]           (default: lib bin bench)
+   Usage: sgr-lint [PATH ...]           (default: lib bin bench tools)
           sgr-lint --rules              (list rule ids)
 
    Parses every .ml/.mli under the given paths with the compiler's own
@@ -60,9 +60,9 @@ let () =
   | [ ("--rules" | "-rules") ] ->
       List.iter (fun (id, doc) -> Printf.printf "%-22s %s\n" id doc) Lint_rules.rules
   | [ ("--help" | "-help" | "-h") ] ->
-      print_endline "usage: sgr-lint [--rules] [PATH ...]   (default paths: lib bin bench)"
+      print_endline "usage: sgr-lint [--rules] [PATH ...]   (default paths: lib bin bench tools)"
   | _ ->
-      let roots = if args = [] then [ "lib"; "bin"; "bench" ] else args in
+      let roots = if args = [] then [ "lib"; "bin"; "bench"; "tools" ] else args in
       let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
       if missing <> [] then begin
         List.iter (Printf.eprintf "sgr-lint: no such path: %s\n") missing;
