@@ -404,6 +404,54 @@ let run_t10 ~grid_n ~reqs () =
   in
   { entry; speedup }
 
+(* ---------------- T11: serving latency under synthetic load ----------------
+
+   The Loadgen harness replays a deterministic mixed-verb request
+   stream (instance reuse 60%) through the in-process engine and
+   reports the distribution-level numbers the serving tier is judged
+   by: p50/p95/p99 latency from the per-verb histograms, throughput,
+   and the memo hit rate. The quick gate enforces the same thresholds
+   as `sgr bench serve --quick`. *)
+
+type t11_result = { entry : obs_entry; gate_failures : string list }
+
+let run_t11 ~requests ~instances ~reuse () =
+  let t0 = Obs.now () in
+  let dir = Filename.temp_dir "sgr_bench_t11" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let lines = Sgr_serve.Loadgen.generate ~dir ~seed:9011 ~instances ~requests ~reuse in
+  let cache = Sgr_serve.Cache.create ~capacity:32 in
+  let r = Sgr_serve.Loadgen.run (Sgr_serve.Loadgen.In_process { cache; jobs = Some 1 }) lines in
+  Format.printf "  %-28s %8.1f req/s  (p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, hit rate %.2f)@."
+    (Printf.sprintf "loadgen/%dreq-%dinst" requests instances)
+    r.Sgr_serve.Loadgen.rps (1e3 *. r.p50_s) (1e3 *. r.p95_s) (1e3 *. r.p99_s) r.memo_hit_rate;
+  let gate_failures =
+    Sgr_serve.Loadgen.gate r ~p99_max_s:0.25 ~rps_min:20.0 ~hit_rate_min:0.2
+  in
+  let entry =
+    {
+      group = "T11 serving latency";
+      wall_s = Obs.now () -. t0;
+      counters =
+        [
+          ("t11.requests", r.Sgr_serve.Loadgen.requests);
+          ("t11.errors", r.errors);
+          ("t11.rps", int_of_float r.rps);
+          ("t11.p50_us", int_of_float (1e6 *. r.p50_s));
+          ("t11.p95_us", int_of_float (1e6 *. r.p95_s));
+          ("t11.p99_us", int_of_float (1e6 *. r.p99_s));
+          ("t11.memo_hit_ratio_pct", int_of_float (r.memo_hit_rate *. 100.0));
+        ];
+      spans = [];
+    }
+  in
+  { entry; gate_failures }
+
 let run_all () =
   Format.printf "@.=== Timing suite (bechamel, monotonic clock, OLS ns/run) ===@.";
   let instance = Toolkit.Instance.monotonic_clock in
@@ -456,25 +504,33 @@ let run_all () =
   Format.printf "@.=== T10 serving cache (cold vs warm batch) ===@.";
   let t10 = run_t10 ~grid_n:10 ~reqs:60 () in
   entries := t10.entry :: !entries;
+  Format.printf "@.=== T11 serving latency (synthetic load) ===@.";
+  let t11 = run_t11 ~requests:2000 ~instances:12 ~reuse:0.6 () in
+  entries := t11.entry :: !entries;
   write_obs_json "BENCH_obs.json" (List.rev !entries);
   Format.printf "@.wrote BENCH_obs.json (per-experiment span totals + counter snapshots)@."
 
 (* CI smoke: a scaled-down T9 at jobs=1 (trivially identical) and
-   jobs=2, plus a scaled-down T10. Returns false — a nonzero exit for
-   the workflow — when the pooled sweep is not byte-identical to the
-   sequential one, or the warm serving cache is not at least 5x faster
-   than the cold pass. *)
+   jobs=2, plus scaled-down T10 and T11. Returns false — a nonzero exit
+   for the workflow — when the pooled sweep is not byte-identical to
+   the sequential one, the warm serving cache is not at least 5x faster
+   than the cold pass, or the T11 latency/throughput/hit-rate gate
+   fails. *)
 let run_quick () =
   Format.printf "@.=== T9 quick smoke (jobs=1 and jobs=2) ===@.";
   let r1 = run_t9 ~grid_n:6 ~repeats:5 ~sweep_samples:9 ~jobs:1 () in
   let r2 = run_t9 ~grid_n:6 ~repeats:5 ~sweep_samples:9 ~jobs:2 () in
   Format.printf "@.=== T10 quick smoke (serving cache cold vs warm) ===@.";
   let r10 = run_t10 ~grid_n:6 ~reqs:30 () in
+  Format.printf "@.=== T11 quick smoke (serving latency gate) ===@.";
+  let r11 = run_t11 ~requests:300 ~instances:6 ~reuse:0.6 () in
   let sweep_ok = r1.sweep_identical && r2.sweep_identical in
   let cache_ok = r10.speedup >= 5.0 in
+  let latency_ok = r11.gate_failures = [] in
   if not sweep_ok then
     Format.printf "FAIL: pooled alpha sweep diverged from the sequential curve@.";
   if not cache_ok then
     Format.printf "FAIL: warm serving-cache pass only %.2fx faster than cold (need 5x)@."
       r10.speedup;
-  sweep_ok && cache_ok
+  List.iter (fun m -> Format.printf "FAIL: T11 %s@." m) r11.gate_failures;
+  sweep_ok && cache_ok && latency_ok

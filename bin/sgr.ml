@@ -124,13 +124,29 @@ let jobs_arg =
           "Number of worker domains for parallel stages (alpha-sweep points, per-commodity \
            pricing). Defaults to 1 (sequential). Results are byte-identical at any job count.")
 
+let fixed_clock_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "fixed-clock" ]
+        ~doc:
+          "Replace the wall clock with a deterministic tick (every reading advances 1ms), making \
+           latency output — notably the $(b,metrics) histogram section — reproducible. Meant for \
+           golden tests at $(b,--jobs 1); at higher job counts worker domains race on the tick.")
+
 let obs_term =
   Term.(
-    const (fun trace stats engine jobs ->
+    const (fun trace stats engine jobs fixed_clock ->
         Eq.set_default_engine engine;
         Option.iter Sgr_par.Pool.set_default_jobs jobs;
+        if fixed_clock then begin
+          let ticks = ref 0.0 in
+          Obs.set_clock (fun () ->
+              ticks := !ticks +. 0.001;
+              !ticks)
+        end;
         (trace, stats))
-    $ trace_arg $ stats_arg $ solver_arg $ jobs_arg)
+    $ trace_arg $ stats_arg $ solver_arg $ jobs_arg $ fixed_clock_arg)
 
 (* ---------------- solve ---------------- *)
 
@@ -612,8 +628,8 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:
          "Execute a request file against the query engine and print one reply line per request. \
-          Output is byte-identical at any $(b,--jobs) (except $(b,stats) replies, which report \
-          scheduling-dependent counters).")
+          Output is byte-identical at any $(b,--jobs); the latency-histogram section of \
+          $(b,metrics) replies is the documented exception (counts and gauges stay exact).")
     Term.(const run $ file $ connect $ cache_arg $ obs_term)
 
 let serve_cmd =
@@ -646,6 +662,125 @@ let serve_cmd =
           drains gracefully).")
     Term.(const run $ socket $ cache_arg $ obs_term)
 
+(* ---------------- bench ---------------- *)
+
+let bench_serve_cmd =
+  let run requests instances reuse seed connect quick json cache_cap (trace, stats) =
+    with_obs ~machine:true ~trace ~stats @@ fun () ->
+    let requests, instances = if quick then (300, 6) else (requests, instances) in
+    let dir = Filename.temp_dir "sgr_bench_serve" "" in
+    let lines = Sgr_serve.Loadgen.generate ~dir ~seed ~instances ~requests ~reuse in
+    let client = ref None in
+    let target =
+      match connect with
+      | None ->
+          Sgr_serve.Loadgen.In_process
+            { cache = Sgr_serve.Cache.create ~capacity:cache_cap; jobs = None }
+      | Some socket -> (
+          Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+          match Sgr_serve.Client.connect socket with
+          | c ->
+              client := Some c;
+              Sgr_serve.Loadgen.Socket c
+          | exception Unix.Unix_error (e, _, _) ->
+              Format.eprintf "error: cannot connect to %s: %s@." socket (Unix.error_message e);
+              exit 2)
+    in
+    let r =
+      Fun.protect
+        ~finally:(fun () -> Option.iter Sgr_serve.Client.close !client)
+        (fun () -> Sgr_serve.Loadgen.run target lines)
+    in
+    let open Sgr_serve.Loadgen in
+    Format.printf "target        = %s@."
+      (match connect with None -> "in-process" | Some s -> "socket " ^ s);
+    Format.printf "requests      = %d  (errors %d)@." r.requests r.errors;
+    Format.printf "wall          = %.6g s@." r.wall_s;
+    Format.printf "throughput    = %.6g req/s@." r.rps;
+    Format.printf "p50 / p95 / p99 = %.6g / %.6g / %.6g ms@." (1e3 *. r.p50_s) (1e3 *. r.p95_s)
+      (1e3 *. r.p99_s);
+    Format.printf "memo hit rate = %.6g@." r.memo_hit_rate;
+    (match json with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Printf.fprintf oc
+              "{\"group\":\"T11-serve\",\"requests\":%d,\"errors\":%d,\"wall_s\":%.6g,\"rps\":%.6g,\
+               \"p50_s\":%.6g,\"p95_s\":%.6g,\"p99_s\":%.6g,\"memo_hit_rate\":%.6g}\n"
+              r.requests r.errors r.wall_s r.rps r.p50_s r.p95_s r.p99_s r.memo_hit_rate);
+        Format.eprintf "bench: wrote %s@." path);
+    if quick then begin
+      match gate r ~p99_max_s:0.25 ~rps_min:20.0 ~hit_rate_min:0.2 with
+      | [] -> Format.printf "gate          = ok (p99 <= 250ms, >= 20 req/s, hit rate >= 0.2)@."
+      | fails ->
+          List.iter (fun m -> Format.eprintf "gate failure: %s@." m) fails;
+          exit 1
+    end
+  in
+  let requests =
+    Arg.(
+      value
+      & opt int 2000
+      & info [ "requests" ; "n" ] ~docv:"N" ~doc:"Number of verb requests to replay.")
+  in
+  let instances =
+    Arg.(
+      value
+      & opt int 12
+      & info [ "instances" ] ~docv:"K"
+          ~doc:"Size of the synthetic instance pool (mixed parallel-links and grid networks).")
+  in
+  let reuse =
+    Arg.(
+      value
+      & opt float 0.6
+      & info [ "reuse" ] ~docv:"R"
+          ~doc:
+            "Probability in [0, 1] that a request sticks with the previous instance: high values \
+             hammer the memo, low values churn the LRU.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for the stream.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SOCKET"
+          ~doc:
+            "Replay against a running $(b,sgr serve) on this Unix-domain socket (latency measured \
+             client-side) instead of the in-process engine.")
+  in
+  let quick =
+    Arg.(
+      value
+      & flag
+      & info [ "quick" ]
+          ~doc:
+            "CI gate: a small fixed workload (300 requests over 6 instances) that exits 1 unless \
+             p99 latency, throughput and memo hit rate meet the T11 thresholds.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as a JSON object to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Load-generate against the serving layer: replay a deterministic synthetic request \
+          stream (see docs/performance.md, T11) and report p50/p95/p99 latency, throughput and \
+          memo hit rate.")
+    Term.(
+      const run $ requests $ instances $ reuse $ seed $ connect $ quick $ json $ cache_arg
+      $ obs_term)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Benchmark harnesses (see docs/performance.md).")
+    [ bench_serve_cmd ]
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -657,4 +792,5 @@ let () =
           [
             solve_cmd; optop_cmd; mop_cmd; llf_cmd; scale_cmd; thm24_cmd; sweep_cmd; profile_cmd;
             bound_cmd; tolls_cmd; info_cmd; catalog_cmd; random_cmd; batch_cmd; serve_cmd;
+            bench_cmd;
           ]))

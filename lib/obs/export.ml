@@ -75,7 +75,7 @@ let chrome_trace oc ~counters events =
         (Printf.sprintf
            {|{"name":"counter/%s","cat":"counter","ph":"C","pid":1,"tid":1,"ts":%s,"args":{"value":%d}}|}
            (json_escape name) (us last_ts) v))
-    counters;
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) counters);
   output_string oc "\n]}\n"
 
 let span_totals events =
@@ -99,7 +99,12 @@ let pp_seconds s =
   else Printf.sprintf "%.1f µs" (s *. 1e6)
 
 let stats ppf ~counters events =
-  let counters = List.filter (fun (_, v) -> v > 0) counters in
+  (* Sort defensively: output order must not depend on the caller's
+     insertion order (Obs.counters is sorted, ad-hoc lists may not be). *)
+  let counters =
+    List.filter (fun (_, v) -> v > 0) counters
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   Format.fprintf ppf "@.counters@.";
   if counters = [] then Format.fprintf ppf "  (all zero)@."
   else

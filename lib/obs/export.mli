@@ -16,8 +16,9 @@ val chrome_trace :
     [chrome://tracing] / Perfetto). Spans become [ph:"B"]/[ph:"E"]
     duration events, trace points become [ph:"C"] counter series (gap,
     objective, step as [args]), and the final counter snapshot is
-    appended as one [ph:"C"] event per counter. Timestamps are
-    microseconds relative to the first event. *)
+    appended as one [ph:"C"] event per counter, sorted by name
+    regardless of the caller's list order. Timestamps are microseconds
+    relative to the first event. *)
 
 val span_totals : Obs.event list -> (string * (int * float)) list
 (** Aggregate [Span_end] events to [(name, (count, total_seconds))],
@@ -26,4 +27,6 @@ val span_totals : Obs.event list -> (string * (int * float)) list
 val stats :
   Format.formatter -> counters:(string * int) list -> Obs.event list -> unit
 (** Human-readable summary: the counter table, then per-span
-    call-count/total/mean, then the trace-point tally. *)
+    call-count/total/mean, then the trace-point tally. Counters and
+    spans are sorted by name, so the output never depends on the
+    insertion order of the caller's list. *)

@@ -1,0 +1,216 @@
+(* Log-bucketed histograms: see hist.mli for the design and the
+   quantile error-bound proof sketch. *)
+
+type t = {
+  h_alpha : float;
+  gamma : float;
+  log_gamma : float;
+  lo : float;
+  hi : float;
+  counts : int array; (* counts.(i-1): samples in (lo*gamma^(i-1), lo*gamma^i] *)
+  mutable underflow : int; (* samples <= lo (incl. clamped negatives/NaN) *)
+  mutable overflow : int; (* samples > hi *)
+  mutable n : int;
+  mutable total : float;
+  mutable vmin : float; (* infinity when empty *)
+  mutable vmax : float; (* neg_infinity when empty *)
+}
+
+let create ?(alpha = 0.01) ?(lo = 1e-9) ?(hi = 1e4) () =
+  if not (alpha > 0. && alpha < 1.) then invalid_arg "Hist.create: alpha must be in (0, 1)";
+  if not (lo > 0. && lo < hi) then invalid_arg "Hist.create: need 0 < lo < hi";
+  let gamma = (1. +. alpha) /. (1. -. alpha) in
+  let log_gamma = log gamma in
+  let nb = int_of_float (Float.ceil (log (hi /. lo) /. log_gamma)) in
+  {
+    h_alpha = alpha;
+    gamma;
+    log_gamma;
+    lo;
+    hi;
+    counts = Array.make nb 0;
+    underflow = 0;
+    overflow = 0;
+    n = 0;
+    total = 0.;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+let nbuckets t = Array.length t.counts
+
+(* 1-based bucket index for lo < v <= hi, clamped so boundary rounding
+   can never escape the array. *)
+let bucket_index t v =
+  let i = int_of_float (Float.ceil (log (v /. t.lo) /. t.log_gamma)) in
+  if i < 1 then 1 else if i > nbuckets t then nbuckets t else i
+
+let record t v =
+  let v = if v >= 0. then v else 0. (* negatives and NaN clamp to 0 *) in
+  t.n <- t.n + 1;
+  t.total <- t.total +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  if v <= t.lo then t.underflow <- t.underflow + 1
+  else if v > t.hi then t.overflow <- t.overflow + 1
+  else
+    let i = bucket_index t v in
+    t.counts.(i - 1) <- t.counts.(i - 1) + 1
+
+let count t = t.n
+let sum t = t.total
+let min_value t = if t.n = 0 then None else Some t.vmin
+let max_value t = if t.n = 0 then None else Some t.vmax
+let alpha t = t.h_alpha
+
+let same_geometry a b =
+  Float.equal a.h_alpha b.h_alpha && Float.equal a.lo b.lo && Float.equal a.hi b.hi
+
+let merge_into ~into:dst src =
+  if not (same_geometry dst src) then invalid_arg "Hist.merge: incompatible geometry";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.underflow <- dst.underflow + src.underflow;
+  dst.overflow <- dst.overflow + src.overflow;
+  dst.n <- dst.n + src.n;
+  dst.total <- dst.total +. src.total;
+  if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+  if src.vmax > dst.vmax then dst.vmax <- src.vmax
+
+let merge a b =
+  let t = create ~alpha:a.h_alpha ~lo:a.lo ~hi:a.hi () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let upper_bound t i = t.lo *. (t.gamma ** float_of_int i)
+
+(* Representative = upper * (1 - alpha): within a factor 1 +- alpha of
+   every value the bucket can hold (2/(1+gamma) = 1 - alpha). *)
+let representative t i = upper_bound t i *. (1. -. t.h_alpha)
+
+let clamp_observed t v = Float.min (Float.max v t.vmin) t.vmax
+
+let quantile t q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Hist.quantile: q must be in [0, 1]";
+  if t.n = 0 then None
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.n))) in
+    let cum = ref t.underflow in
+    if rank <= !cum then Some t.vmin
+    else begin
+      let est = ref None in
+      let i = ref 1 in
+      let nb = nbuckets t in
+      while Option.is_none !est && !i <= nb do
+        cum := !cum + t.counts.(!i - 1);
+        if rank <= !cum then est := Some (clamp_observed t (representative t !i));
+        incr i
+      done;
+      match !est with Some _ as e -> e | None -> Some t.vmax (* overflow bucket *)
+    end
+  end
+
+let clear t =
+  Array.fill t.counts 0 (nbuckets t) 0;
+  t.underflow <- 0;
+  t.overflow <- 0;
+  t.n <- 0;
+  t.total <- 0.;
+  t.vmin <- infinity;
+  t.vmax <- neg_infinity
+
+let nonzero_buckets t =
+  let acc = ref [] in
+  if t.overflow > 0 then acc := (infinity, t.overflow) :: !acc;
+  for i = nbuckets t downto 1 do
+    if t.counts.(i - 1) > 0 then acc := (upper_bound t i, t.counts.(i - 1)) :: !acc
+  done;
+  if t.underflow > 0 then acc := (t.lo, t.underflow) :: !acc;
+  !acc
+
+(* ---------------- registered per-domain histograms ---------------- *)
+
+type reg = {
+  reg_name : string;
+  geometry : t; (* empty template carrying alpha/lo/hi *)
+  reg_mutex : Mutex.t;
+  mutable shards : (int * t) list; (* (domain id, shard), registration order *)
+}
+
+(* Guarded by [reg_registry_mutex] on every access; same discipline as
+   the counter registry in obs.ml. *)
+let reg_registry : (string, reg) Hashtbl.t = Hashtbl.create 16 [@@lint.allow "mutable-global"]
+let reg_registry_mutex = Mutex.create ()
+
+let histogram ?alpha ?lo ?hi name =
+  Mutex.lock reg_registry_mutex;
+  let r =
+    match Hashtbl.find_opt reg_registry name with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            reg_name = name;
+            geometry = create ?alpha ?lo ?hi ();
+            reg_mutex = Mutex.create ();
+            shards = [];
+          }
+        in
+        Hashtbl.add reg_registry name r;
+        r
+  in
+  Mutex.unlock reg_registry_mutex;
+  r
+
+let reg_name r = r.reg_name
+
+(* Per-domain shard table, name -> t. Each domain only ever touches its
+   own table, so the tables need no locking; the handle's shard list is
+   the only cross-domain structure and is mutex-guarded on the rare
+   first-observe path. *)
+let shard_key : (string, t) Hashtbl.t Domain.DLS.key =
+  (Domain.DLS.new_key (fun () -> Hashtbl.create 8) [@lint.allow "mutable-global"])
+
+let shard_for r =
+  let tbl = Domain.DLS.get shard_key in
+  match Hashtbl.find_opt tbl r.reg_name with
+  | Some s -> s
+  | None ->
+      let g = r.geometry in
+      let s = create ~alpha:g.h_alpha ~lo:g.lo ~hi:g.hi () in
+      Hashtbl.add tbl r.reg_name s;
+      Mutex.lock r.reg_mutex;
+      r.shards <- ((Domain.self () :> int), s) :: r.shards;
+      Mutex.unlock r.reg_mutex;
+      s
+
+let observe r v = record (shard_for r) v
+
+let snapshot r =
+  Mutex.lock r.reg_mutex;
+  let shards = r.shards in
+  Mutex.unlock r.reg_mutex;
+  let slot_order = List.sort (fun (a, _) (b, _) -> compare (a : int) b) shards in
+  let g = r.geometry in
+  let acc = create ~alpha:g.h_alpha ~lo:g.lo ~hi:g.hi () in
+  List.iter (fun (_, s) -> merge_into ~into:acc s) slot_order;
+  acc
+
+let snapshots () =
+  Mutex.lock reg_registry_mutex;
+  let regs = Hashtbl.fold (fun _ r acc -> r :: acc) reg_registry [] in
+  Mutex.unlock reg_registry_mutex;
+  regs
+  |> List.map (fun r -> (r.reg_name, snapshot r))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Mutex.lock reg_registry_mutex;
+  let regs = Hashtbl.fold (fun _ r acc -> r :: acc) reg_registry [] in
+  Mutex.unlock reg_registry_mutex;
+  List.iter
+    (fun r ->
+      Mutex.lock r.reg_mutex;
+      List.iter (fun (_, s) -> clear s) r.shards;
+      Mutex.unlock r.reg_mutex)
+    regs

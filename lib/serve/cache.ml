@@ -1,5 +1,6 @@
 module IF = Sgr_io.Instance_file
 module Obs = Sgr_obs.Obs
+module Hist = Sgr_obs.Hist
 
 type entry = { fingerprint : string; instance : IF.t; memo : (string, string) Hashtbl.t }
 
@@ -21,6 +22,12 @@ let c_miss = Obs.counter "serve.cache.miss"
 let c_evict = Obs.counter "serve.cache.eviction"
 let c_memo_hit = Obs.counter "serve.memo.hit"
 let c_memo_miss = Obs.counter "serve.memo.miss"
+
+(* Latency split the memo exists to create: a hit is a mutex + hashtable
+   probe, a cold solve runs the solver. Per-domain shards ([Hist.observe])
+   keep recording safe from pool workers. *)
+let h_memo_hit = Hist.histogram "serve.memo.hit_seconds"
+let h_memo_cold = Hist.histogram "serve.memo.cold_seconds"
 
 let create ~capacity =
   {
@@ -97,15 +104,18 @@ let resolve t ~id =
           | Ok fresh -> Ok (fst (intern t ~id ~path fresh))))
 
 let memo t entry ~key ~compute =
+  let t0 = Obs.now () in
   let cached = locked t (fun () -> Hashtbl.find_opt entry.memo key) in
   match cached with
   | Some payload ->
       bump t.memo_hits c_memo_hit;
+      Hist.observe h_memo_hit (Obs.now () -. t0);
       payload
   | None ->
       bump t.memo_misses c_memo_miss;
       let payload = compute () in
       locked t (fun () -> Hashtbl.replace entry.memo key payload);
+      Hist.observe h_memo_cold (Obs.now () -. t0);
       payload
 
 type stats = {
@@ -116,16 +126,24 @@ type stats = {
   evictions : int;
   memo_hits : int;
   memo_misses : int;
+  memo_hit_rate : float;
+  occupancy : float;
 }
 
 let stats t =
   locked t @@ fun () ->
+  let entries = Lru.length t.lru and capacity = Lru.capacity t.lru in
+  let memo_hits = Atomic.get t.memo_hits and memo_misses = Atomic.get t.memo_misses in
+  let memo_lookups = memo_hits + memo_misses in
   {
-    entries = Lru.length t.lru;
-    capacity = Lru.capacity t.lru;
+    entries;
+    capacity;
     hits = Atomic.get t.hits;
     misses = Atomic.get t.misses;
     evictions = Atomic.get t.evictions;
-    memo_hits = Atomic.get t.memo_hits;
-    memo_misses = Atomic.get t.memo_misses;
+    memo_hits;
+    memo_misses;
+    memo_hit_rate =
+      (if memo_lookups = 0 then 0.0 else float_of_int memo_hits /. float_of_int memo_lookups);
+    occupancy = float_of_int entries /. float_of_int capacity;
   }

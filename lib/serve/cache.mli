@@ -20,7 +20,10 @@
     Counter discipline: every lookup bumps the cache's own atomic
     counters (reported by the [stats] request) and the global
     [Sgr_obs.Obs] counters [serve.cache.hit]/[miss]/[eviction] and
-    [serve.memo.hit]/[miss]. *)
+    [serve.memo.hit]/[miss]. Memo lookups additionally record their
+    latency into the per-domain [Sgr_obs.Hist] histograms
+    [serve.memo.hit_seconds] / [serve.memo.cold_seconds], splitting
+    probe cost from solver cost (rendered by the [metrics] verb). *)
 
 type entry = private {
   fingerprint : string;  (** 16-hex-digit canonical fingerprint. *)
@@ -64,6 +67,10 @@ type stats = {
   evictions : int;
   memo_hits : int;
   memo_misses : int;
+  memo_hit_rate : float;
+      (** [memo_hits / (memo_hits + memo_misses)]; [0.] before any
+          memo lookup. *)
+  occupancy : float;  (** [entries / capacity], in [[0, 1]]. *)
 }
 
 val stats : t -> stats

@@ -37,12 +37,29 @@ let rec recv_line t =
           recv_line t
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv_line t)
 
+(* A [metrics] reply is the one multi-line frame in the protocol: the
+   header announces how many continuation lines follow, so the lockstep
+   invariant (never more than one reply in flight) still holds. *)
+let continuation_lines header =
+  let prefix = "ok metrics lines=" in
+  let pl = String.length prefix in
+  if String.length header > pl && String.equal (String.sub header 0 pl) prefix then
+    match int_of_string_opt (String.sub header pl (String.length header - pl)) with
+    | Some n when n >= 0 -> n
+    | _ -> 0
+  else 0
+
 let rpc t raw =
   match Protocol.parse_line raw with
   | Ok None -> None
   | Ok (Some _) | Error _ ->
       let line = raw ^ "\n" in
       write_all t.fd line 0 (String.length line);
-      Some (recv_line t)
+      let header = recv_line t in
+      let rest = ref [] in
+      for _ = 1 to continuation_lines header do
+        rest := recv_line t :: !rest
+      done;
+      Some (String.concat "\n" (header :: List.rev !rest))
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

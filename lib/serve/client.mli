@@ -1,9 +1,14 @@
 (** Lockstep client for a {!Server} socket.
 
-    One request line out, one reply line back, strictly alternating —
-    the client never has more than one reply in flight, so neither side
+    One request line out, one reply back, strictly alternating — the
+    client never has more than one reply in flight, so neither side
     can deadlock on a full pipe buffer. Blank and comment lines are
-    dropped client-side (the server would not reply to them). *)
+    dropped client-side (the server would not reply to them).
+
+    A [metrics] reply is the protocol's one multi-line frame: its
+    header [ok metrics lines=N] announces the continuation, the client
+    reads exactly [N] further lines, and {!rpc} returns the whole
+    frame newline-joined — so the lockstep invariant is preserved. *)
 
 type t
 
@@ -16,7 +21,8 @@ val connect : string -> t
     @raise Unix.Unix_error when the socket is absent or refuses. *)
 
 val rpc : t -> string -> string option
-(** Send one raw request line and await its reply; [None] when the line
-    is blank or a comment (nothing is sent). *)
+(** Send one raw request line and await its reply (all continuation
+    lines included for [metrics]); [None] when the line is blank or a
+    comment (nothing is sent). *)
 
 val close : t -> unit

@@ -5,8 +5,25 @@ module Net = Sgr_network.Network
 module Eq = Sgr_network.Equilibrate
 module Obj = Sgr_network.Objective
 module Obs = Sgr_obs.Obs
+module Hist = Sgr_obs.Hist
 
 let fs = P.float_str
+
+(* Per-verb latency histograms, interned once so the request hot path
+   never touches the registry mutex; recording goes through per-domain
+   shards ([Hist.observe]) and is safe from pool workers. *)
+let request_hists =
+  List.map
+    (fun kind -> (kind, Hist.histogram ("serve.request_seconds." ^ kind)))
+    [ "load"; "solve"; "optop"; "mop"; "induced"; "sweep"; "stats"; "metrics"; "ping"; "quit" ]
+
+let request_hist kind =
+  match List.assoc_opt kind request_hists with
+  | Some h -> h
+  | None -> Hist.histogram ("serve.request_seconds." ^ kind)
+
+let h_batch_wait = Hist.histogram "serve.batch.wait_seconds"
+let h_batch_compute = Hist.histogram "serve.batch.compute_seconds"
 
 (* A fully-formed error reply escaping from the middle of a compute. *)
 exception Reply of string
@@ -73,7 +90,7 @@ let payload (entry : Cache.entry) (req : P.request) =
       Printf.sprintf "beta=%s n=%d points=%s" (fs c.beta) samples (String.concat "," pts)
   | (P.Sweep_point _ | P.Sweep_range _), IF.Network _ ->
       wrong_kind "sweep" "parallel-links instance"
-  | (P.Load _ | P.Stats | P.Ping | P.Quit), _ ->
+  | (P.Load _ | P.Stats | P.Metrics | P.Ping | P.Quit), _ ->
       (* Routed in [dispatch]; no memoized payload exists for these. *)
       raise (Reply (P.error_reply `Parse "internal: request has no payload"))
 
@@ -91,8 +108,10 @@ let dispatch cache req =
       let s = Cache.stats cache in
       Printf.sprintf
         "ok stats entries=%d capacity=%d hits=%d misses=%d evictions=%d memo_hits=%d \
-         memo_misses=%d"
+         memo_misses=%d memo_hit_rate=%s occupancy=%s"
         s.Cache.entries s.capacity s.hits s.misses s.evictions s.memo_hits s.memo_misses
+        (fs s.memo_hit_rate) (fs s.occupancy)
+  | P.Metrics -> Metrics.reply cache
   | P.Load { id; path } -> (
       match Cache.load cache ~id ~path with
       | Error e -> cache_error e
@@ -125,9 +144,11 @@ let execute cache (line : P.line) =
         P.error_reply `Solve m
     | exn -> P.error_reply `Solve (Printexc.to_string exn)
   in
-  let elapsed_us = int_of_float (1e6 *. (Obs.now () -. t0)) in
+  let elapsed_s = Obs.now () -. t0 in
+  let elapsed_us = int_of_float (1e6 *. elapsed_s) in
   Obs.incr (Obs.counter ("serve.requests." ^ kind));
   Obs.add (Obs.counter ("serve.request_us." ^ kind)) elapsed_us;
+  Hist.observe (request_hist kind) elapsed_s;
   let reply =
     match line.P.deadline_ms with
     | Some ms when elapsed_us > ms * 1000 ->
@@ -151,8 +172,8 @@ type item = Skip | Bad of string | Req of P.line
    their own singleton groups); groups fan across the pool while each
    group stays sequential in input order, and replies scatter back by
    line index — output bytes are independent of the job count. [stats]
-   is a barrier (its counters reflect all preceding requests); [quit]
-   flushes and stops the batch. *)
+   and [metrics] are barriers (their counters reflect all preceding
+   requests); [quit] flushes and stops the batch. *)
 let run_batch ?jobs cache raw_lines =
   Obs.span "serve.batch" @@ fun () ->
   let items =
@@ -191,9 +212,20 @@ let run_batch ?jobs cache raw_lines =
         Array.of_list (List.rev_map (fun k -> List.rev !(Hashtbl.find tbl k)) !order)
       in
       Obs.add (Obs.counter "serve.batch.groups") (Array.length groups);
+      let t_flush = Obs.now () in
       let results =
         Sgr_par.Pool.map ?jobs
-          (fun group -> List.map (fun (idx, line) -> (idx, execute cache line)) group)
+          (fun group ->
+            List.map
+              (fun (idx, line) ->
+                (* Queue wait = time from the flush until a worker picks
+                   the request up; compute = the execute itself. *)
+                let t_start = Obs.now () in
+                Hist.observe h_batch_wait (t_start -. t_flush);
+                let r = execute cache line in
+                Hist.observe h_batch_compute (Obs.now () -. t_start);
+                (idx, r))
+              group)
           groups
       in
       Array.iter (List.iter (fun (idx, r) -> replies.(idx) <- Some r)) results
@@ -205,7 +237,9 @@ let run_batch ?jobs cache raw_lines =
          match item with
          | Skip -> ()
          | Bad m -> replies.(idx) <- Some (P.error_reply `Parse m)
-         | Req ({ request = P.Stats; _ } as l) ->
+         | Req ({ request = P.Stats | P.Metrics; _ } as l) ->
+             (* Both are barriers: their counters must reflect every
+                preceding request, independent of the job count. *)
              flush ();
              replies.(idx) <- Some (execute cache l)
          | Req ({ request = P.Quit; _ } as l) ->

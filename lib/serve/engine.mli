@@ -5,10 +5,16 @@
     cache state or the job count. {!run_batch} fans per-instance request
     groups across {!Sgr_par.Pool} but keeps each group sequential in
     input order and scatters replies back by line index, so its output
-    is byte-identical at any [--jobs] (the [stats] reply is the
-    documented exception: it reports operational counters, which depend
-    on scheduling, and is therefore executed at a barrier and excluded
-    from the guarantee).
+    is byte-identical at any [--jobs]. The [stats] and [metrics]
+    replies are executed at a barrier so their counts reflect every
+    preceding request; [metrics] splits its output into a
+    count-and-gauge section that shares the byte-identical guarantee
+    and a latency-histogram section that is explicitly exempt (see
+    {!Metrics}). Under eviction pressure (working set larger than the
+    LRU) recency order — and therefore the hit/miss/eviction split —
+    becomes scheduling-dependent at [--jobs > 1]; the determinism
+    property is stated for workloads whose distinct instances fit the
+    cache, which is how the CI property test runs.
 
     {b Deadlines.} A [@MS] prefix is enforced post hoc: solvers are not
     preemptible, so an overrunning request completes, its result is
@@ -22,7 +28,8 @@
 val execute : Cache.t -> Protocol.line -> string
 (** One request, one reply line. Performs no channel I/O besides
     reading the file named by a [load]. Safe to call from pool worker
-    domains (it emits no Obs spans or points, only atomic counters). *)
+    domains (it emits no Obs spans or points, only atomic counters and
+    per-domain latency shards via [Hist.observe]). *)
 
 val execute_raw : Cache.t -> string -> string option
 (** Parse one raw line and execute it; [None] for blank/comment lines.

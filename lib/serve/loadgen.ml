@@ -1,0 +1,167 @@
+module IF = Sgr_io.Instance_file
+module Prng = Sgr_numerics.Prng
+module W = Sgr_workloads.Workloads
+module Obs = Sgr_obs.Obs
+module Hist = Sgr_obs.Hist
+
+type target = In_process of { cache : Cache.t; jobs : int option } | Socket of Client.t
+
+type report = {
+  requests : int;
+  errors : int;
+  wall_s : float;
+  rps : float;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  memo_hit_rate : float;
+}
+
+(* Instance pool: two thirds parallel-links, one third small grid
+   networks, sized so a single request stays well under a millisecond
+   on a warm cache but exercises every solver entry point. *)
+let write_instance ~dir ~index rng =
+  let inst =
+    if index mod 3 = 2 then IF.Network (W.grid_network rng ~rows:3 ~cols:3 ())
+    else IF.Links (W.random_affine_links rng ~m:(4 + (index mod 4)) ())
+  in
+  let path = Filename.concat dir (Printf.sprintf "w%d.sgr" index) in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc
+        (match inst with IF.Links t -> IF.print_links t | IF.Network n -> IF.print_network n));
+  (path, match inst with IF.Links _ -> `Links | IF.Network _ -> `Network)
+
+(* Alphas come from a 5-value grid so identical parameters recur and
+   the memo actually gets hits at realistic reuse ratios. *)
+let pick_alpha rng = float_of_int (Prng.int rng 5) /. 4.0
+
+let verb_line rng kind id =
+  match kind with
+  | `Links -> (
+      match Prng.int rng 5 with
+      | 0 -> Printf.sprintf "solve %s nash" id
+      | 1 -> Printf.sprintf "solve %s opt" id
+      | 2 -> Printf.sprintf "optop %s" id
+      | 3 -> Printf.sprintf "induced %s %g" id (pick_alpha rng)
+      | _ -> Printf.sprintf "sweep %s %g" id (pick_alpha rng))
+  | `Network -> (
+      match Prng.int rng 4 with
+      | 0 -> Printf.sprintf "solve %s nash" id
+      | 1 -> Printf.sprintf "solve %s opt" id
+      | 2 -> Printf.sprintf "mop %s" id
+      | _ -> Printf.sprintf "induced %s %g" id (pick_alpha rng))
+
+let generate ~dir ~seed ~instances ~requests ~reuse =
+  if instances < 1 then invalid_arg "Loadgen.generate: instances must be >= 1";
+  if requests < 0 then invalid_arg "Loadgen.generate: requests must be >= 0";
+  if not (reuse >= 0.0 && reuse <= 1.0) then invalid_arg "Loadgen.generate: reuse must be in [0, 1]";
+  let rng = Prng.create seed in
+  let pool = Array.init instances (fun i -> write_instance ~dir ~index:i rng) in
+  let loaded = Array.make instances false in
+  let acc = ref [] in
+  let current = ref None in
+  for _ = 1 to requests do
+    let i =
+      match !current with
+      | Some i when Prng.float rng < reuse -> i
+      | _ -> Prng.int rng instances
+    in
+    current := Some i;
+    let id = Printf.sprintf "w%d" i in
+    let path, kind = pool.(i) in
+    if not loaded.(i) then begin
+      loaded.(i) <- true;
+      acc := Printf.sprintf "load %s %s" id path :: !acc
+    end;
+    acc := verb_line rng kind id :: !acc
+  done;
+  List.rev !acc
+
+let is_error reply = String.length reply >= 5 && String.equal (String.sub reply 0 5) "error"
+
+let quantile_or_zero h q = match Hist.quantile h q with Some v -> v | None -> 0.0
+
+(* The hit rate a stats reply reports, e.g. "... memo_hit_rate=0.42 ...". *)
+let parse_hit_rate reply =
+  let marker = " memo_hit_rate=" in
+  let ml = String.length marker in
+  let n = String.length reply in
+  let rec find i =
+    if i + ml > n then None
+    else if String.equal (String.sub reply i ml) marker then Some (i + ml)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = match String.index_from_opt reply start ' ' with Some j -> j | None -> n in
+      float_of_string_opt (String.sub reply start (stop - start))
+
+let report_of ~requests ~errors ~wall_s ~latency ~memo_hit_rate =
+  {
+    requests;
+    errors;
+    wall_s;
+    rps = (if wall_s > 0.0 then float_of_int requests /. wall_s else 0.0);
+    p50_s = quantile_or_zero latency 0.5;
+    p95_s = quantile_or_zero latency 0.95;
+    p99_s = quantile_or_zero latency 0.99;
+    memo_hit_rate;
+  }
+
+let run_in_process ?jobs cache lines =
+  (* Fresh histograms so the quantiles cover exactly this replay. *)
+  Hist.reset ();
+  let t0 = Obs.now () in
+  let replies = Engine.run_batch ?jobs cache lines in
+  let wall_s = Obs.now () -. t0 in
+  let latency =
+    List.fold_left
+      (fun acc (name, h) ->
+        let prefix = "serve.request_seconds." in
+        let pl = String.length prefix in
+        if String.length name > pl && String.equal (String.sub name 0 pl) prefix then
+          Hist.merge acc h
+        else acc)
+      (Hist.create ()) (Hist.snapshots ())
+  in
+  let errors = List.length (List.filter is_error replies) in
+  report_of ~requests:(List.length replies) ~errors ~wall_s ~latency
+    ~memo_hit_rate:(Cache.stats cache).Cache.memo_hit_rate
+
+let run_socket client lines =
+  let latency = Hist.create () in
+  let requests = ref 0 and errors = ref 0 in
+  let t0 = Obs.now () in
+  List.iter
+    (fun raw ->
+      let t = Obs.now () in
+      match Client.rpc client raw with
+      | None -> ()
+      | Some reply ->
+          Hist.record latency (Obs.now () -. t);
+          incr requests;
+          if is_error reply then incr errors)
+    lines;
+  let wall_s = Obs.now () -. t0 in
+  let memo_hit_rate =
+    match Client.rpc client "stats" with
+    | Some reply -> ( match parse_hit_rate reply with Some r -> r | None -> 0.0)
+    | None -> 0.0
+  in
+  report_of ~requests:!requests ~errors:!errors ~wall_s ~latency ~memo_hit_rate
+
+let run target lines =
+  match target with
+  | In_process { cache; jobs } -> run_in_process ?jobs cache lines
+  | Socket client -> run_socket client lines
+
+let gate r ~p99_max_s ~rps_min ~hit_rate_min =
+  let fails = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
+  if r.errors > 0 then fail "%d error replies (expected none)" r.errors;
+  if r.p99_s > p99_max_s then fail "p99 latency %.6gs exceeds the %.6gs bound" r.p99_s p99_max_s;
+  if r.rps < rps_min then fail "throughput %.6g req/s is below the %.6g req/s floor" r.rps rps_min;
+  if r.memo_hit_rate < hit_rate_min then
+    fail "memo hit rate %.6g is below the %.6g floor" r.memo_hit_rate hit_rate_min;
+  List.rev !fails

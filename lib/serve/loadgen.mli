@@ -1,0 +1,56 @@
+(** Synthetic load generator for the serving layer.
+
+    {!generate} derives a deterministic request stream from a
+    {!Sgr_numerics.Prng} seed: it writes a pool of instance files
+    (parallel links and grid networks from {!Sgr_workloads.Workloads})
+    into a scratch directory and emits a mixed-verb request list
+    ([solve]/[optop]/[mop]/[induced]/[sweep]) whose instance choice
+    follows a configurable {e reuse ratio} — high reuse hammers the
+    memo, low reuse churns the LRU. Alphas are drawn from the small set
+    [{0, 1/4, 1/2, 3/4, 1}] so repeated parameters actually memo-hit.
+
+    {!run} replays a stream against either the in-process engine
+    ([Engine.run_batch], measuring per-request latency through the
+    [serve.request_seconds.*] histograms, which it resets first) or a
+    connected socket {!Client} (latency measured client-side around
+    each lockstep [rpc]), and reports p50/p95/p99 latency, throughput
+    and the memo hit rate — the numbers the T11 bench group and
+    [sgr bench serve] gate on. *)
+
+type target =
+  | In_process of { cache : Cache.t; jobs : int option }
+      (** Replay through {!Engine.run_batch} against [cache]; [jobs]
+          defaults to [Sgr_par.Pool.default_jobs]. Resets the
+          registered serve histograms first so the report covers only
+          this replay. *)
+  | Socket of Client.t
+      (** Replay lockstep over a connected client. The final hit rate
+          is read from a trailing [stats] request (not counted in
+          [requests]), so it reflects the server's whole lifetime, not
+          only this stream. *)
+
+type report = {
+  requests : int;  (** Replies received (loads included). *)
+  errors : int;  (** Replies classified [error ...]. *)
+  wall_s : float;
+  rps : float;  (** [requests /. wall_s]. *)
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;  (** Latency quantiles in seconds, all verbs pooled. *)
+  memo_hit_rate : float;
+}
+
+val generate :
+  dir:string -> seed:int -> instances:int -> requests:int -> reuse:float -> string list
+(** Write the instance pool into [dir] (must exist) and return the
+    request lines: [requests] verb requests plus one [load] per
+    instance, injected before its first use. Deterministic in [seed].
+    Raises [Invalid_argument] unless [instances >= 1], [requests >= 0]
+    and [0 <= reuse <= 1]. *)
+
+val run : target -> string list -> report
+
+val gate : report -> p99_max_s:float -> rps_min:float -> hit_rate_min:float -> string list
+(** Threshold check for CI: one human-readable failure string per
+    violated bound (empty list = pass). Any error reply is also a
+    failure. *)

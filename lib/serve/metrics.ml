@@ -1,0 +1,120 @@
+module Obs = Sgr_obs.Obs
+module Hist = Sgr_obs.Hist
+module P = Protocol
+
+let fs = P.float_str
+
+(* serve.request_seconds.<verb> shares one metric with a verb label;
+   every other serve.* histogram maps to a flat sgr_* name. *)
+let verb_hist_prefix = "serve.request_seconds."
+
+let flat_name dotted =
+  let stripped =
+    match String.length dotted >= 6 && String.equal (String.sub dotted 0 6) "serve." with
+    | true -> String.sub dotted 6 (String.length dotted - 6)
+    | false -> dotted
+  in
+  "sgr_" ^ String.map (function '.' -> '_' | c -> c) stripped
+
+let add_histogram buf ~metric ~label h =
+  let labeled extra =
+    match (label, extra) with
+    | None, None -> ""
+    | None, Some kv -> "{" ^ kv ^ "}"
+    | Some kv, None -> "{" ^ kv ^ "}"
+    | Some kv, Some kv' -> "{" ^ kv ^ "," ^ kv' ^ "}"
+  in
+  let cum = ref 0 in
+  List.iter
+    (fun (upper, count) ->
+      if Float.is_finite upper then begin
+        cum := !cum + count;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket%s %d\n" metric
+             (labeled (Some (Printf.sprintf "le=\"%s\"" (fs upper))))
+             !cum)
+      end)
+    (Hist.nonzero_buckets h);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket%s %d\n" metric (labeled (Some "le=\"+Inf\"")) (Hist.count h));
+  Buffer.add_string buf (Printf.sprintf "%s_sum%s %s\n" metric (labeled None) (fs (Hist.sum h)));
+  Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" metric (labeled None) (Hist.count h))
+
+let render cache =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let counter_value name = Obs.value (Obs.counter name) in
+  line "# sgr serving metrics (Prometheus text exposition)";
+  line "# --- counts and gauges: byte-identical at any --jobs ---";
+  (* Per-verb request counts: every registered serve.requests.* counter,
+     zeros included, sorted by name (Obs.counters is sorted). *)
+  line "# TYPE sgr_requests_total counter";
+  List.iter
+    (fun (name, v) ->
+      let prefix = "serve.requests." in
+      let pl = String.length prefix in
+      if String.length name > pl && String.equal (String.sub name 0 pl) prefix then
+        line "sgr_requests_total{verb=\"%s\"} %d" (String.sub name pl (String.length name - pl)) v)
+    (Obs.counters ());
+  line "# TYPE sgr_request_errors_total counter";
+  line "sgr_request_errors_total %d" (counter_value "serve.errors");
+  line "# TYPE sgr_request_timeouts_total counter";
+  line "sgr_request_timeouts_total %d" (counter_value "serve.timeouts");
+  let s = Cache.stats cache in
+  line "# TYPE sgr_cache_hits_total counter";
+  line "sgr_cache_hits_total %d" s.Cache.hits;
+  line "# TYPE sgr_cache_misses_total counter";
+  line "sgr_cache_misses_total %d" s.Cache.misses;
+  line "# TYPE sgr_cache_evictions_total counter";
+  line "sgr_cache_evictions_total %d" s.Cache.evictions;
+  line "# TYPE sgr_memo_hits_total counter";
+  line "sgr_memo_hits_total %d" s.Cache.memo_hits;
+  line "# TYPE sgr_memo_misses_total counter";
+  line "sgr_memo_misses_total %d" s.Cache.memo_misses;
+  line "# TYPE sgr_cache_entries gauge";
+  line "sgr_cache_entries %d" s.Cache.entries;
+  line "# TYPE sgr_cache_capacity gauge";
+  line "sgr_cache_capacity %d" s.Cache.capacity;
+  line "# TYPE sgr_cache_occupancy gauge";
+  line "sgr_cache_occupancy %s" (fs s.Cache.occupancy);
+  line "# TYPE sgr_memo_hit_rate gauge";
+  line "sgr_memo_hit_rate %s" (fs s.Cache.memo_hit_rate);
+  line "# --- latency histograms: scheduling-dependent, exempt from the determinism guarantee ---";
+  let snaps =
+    List.filter
+      (fun (name, h) ->
+        Hist.count h > 0 && String.length name > 6 && String.equal (String.sub name 0 6) "serve.")
+      (Hist.snapshots ())
+  in
+  let verb_snaps, flat_snaps =
+    List.partition
+      (fun (name, _) ->
+        let pl = String.length verb_hist_prefix in
+        String.length name > pl && String.equal (String.sub name 0 pl) verb_hist_prefix)
+      snaps
+  in
+  if verb_snaps <> [] then begin
+    line "# TYPE sgr_request_seconds histogram";
+    List.iter
+      (fun (name, h) ->
+        let pl = String.length verb_hist_prefix in
+        let verb = String.sub name pl (String.length name - pl) in
+        add_histogram buf ~metric:"sgr_request_seconds"
+          ~label:(Some (Printf.sprintf "verb=\"%s\"" verb))
+          h)
+      verb_snaps
+  end;
+  List.iter
+    (fun (name, h) ->
+      let metric = flat_name name in
+      line "# TYPE %s histogram" metric;
+      add_histogram buf ~metric ~label:None h)
+    flat_snaps;
+  (* Drop the trailing newline: the reply framing counts exact lines. *)
+  let s = Buffer.contents buf in
+  String.sub s 0 (String.length s - 1)
+
+let reply cache =
+  let body = render cache in
+  let lines = List.length (String.split_on_char '\n' body) in
+  Printf.sprintf "ok metrics lines=%d\n%s" lines body

@@ -1,0 +1,33 @@
+(** Prometheus-style text exposition of the serving telemetry.
+
+    {!render} returns the body of a [metrics] reply: counters and
+    gauges first, latency histograms second, in two explicitly marked
+    sections with different determinism contracts (see
+    docs/serving.md):
+
+    - the {b deterministic section} (request counts per verb,
+      error/timeout tallies, cache and memo counters, LRU
+      occupancy/eviction gauges) is a pure function of the request
+      history — byte-identical at any [--jobs], property-tested at
+      jobs 1 vs 4;
+    - the {b latency section} (per-verb request latency, batch
+      queue-wait vs compute split, memo hit vs cold solve) depends on
+      wall-clock scheduling and is exempt; under [Obs.set_clock] with
+      a deterministic tick and [--jobs 1] it too becomes reproducible,
+      which is how the golden cram test pins it.
+
+    Exposition conventions: [# TYPE] comments, [_total] counters,
+    gauges, and cumulative histogram buckets
+    ([..._bucket{le="B"} N] / [..._sum] / [..._count]) with only
+    non-empty buckets plus the [+Inf] bucket rendered. Metric names
+    map from the internal dotted names ([serve.memo.hit_seconds] →
+    [sgr_memo_hit_seconds]); per-verb request histograms share one
+    metric with a [verb] label. *)
+
+val render : Cache.t -> string
+(** The exposition body: newline-separated lines, no trailing
+    newline. *)
+
+val reply : Cache.t -> string
+(** The full [metrics] reply: [ok metrics lines=N] followed by the
+    [N]-line body. *)

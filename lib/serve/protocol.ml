@@ -7,6 +7,7 @@ type request =
   | Sweep_point of { id : string; alpha : float }
   | Sweep_range of { id : string; lo : float; hi : float; samples : int }
   | Stats
+  | Metrics
   | Ping
   | Quit
 
@@ -39,6 +40,7 @@ let parse_request = function
           Ok (Sweep_range { id; lo; hi; samples })
       | _ -> Error "sweep range expects 'sweep ID LO HI N' with 0 <= LO <= HI <= 1 and N >= 2")
   | [ "stats" ] -> Ok Stats
+  | [ "metrics" ] -> Ok Metrics
   | [ "ping" ] -> Ok Ping
   | [ "quit" ] -> Ok Quit
   | w :: _ -> Error (Printf.sprintf "unknown or malformed request %S" w)
@@ -72,7 +74,7 @@ let instance_id = function
   | Load { id; _ } | Solve { id; _ } | Optop { id } | Mop { id } | Induced { id; _ }
   | Sweep_point { id; _ } | Sweep_range { id; _ } ->
       Some id
-  | Stats | Ping | Quit -> None
+  | Stats | Metrics | Ping | Quit -> None
 
 let request_kind = function
   | Load _ -> "load"
@@ -82,6 +84,7 @@ let request_kind = function
   | Induced _ -> "induced"
   | Sweep_point _ | Sweep_range _ -> "sweep"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Ping -> "ping"
   | Quit -> "quit"
 
@@ -99,7 +102,7 @@ let memo_key req =
   in
   let key fmt = Printf.ksprintf (fun body -> Some (body ^ "|" ^ engine)) fmt in
   match req with
-  | Load _ | Stats | Ping | Quit -> None
+  | Load _ | Stats | Metrics | Ping | Quit -> None
   | Solve { obj = `Nash; _ } -> key "solve|nash"
   | Solve { obj = `Opt; _ } -> key "solve|opt"
   | Optop _ -> key "optop"

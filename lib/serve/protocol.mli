@@ -13,12 +13,15 @@
               | induced ID ALPHA
               | sweep ID ALPHA
               | sweep ID LO HI N
-              | stats | ping | quit
+              | stats | metrics | ping | quit
     reply    := ok KIND [k=v ...]
               | error (parse|solve|timeout|io): MESSAGE
     v}
 
-    Replies are a single line; floats are printed with [%.9g]. *)
+    Replies are a single line, except [metrics], whose reply is the
+    header [ok metrics lines=N] followed by exactly [N] further lines
+    of Prometheus-style text exposition (see docs/serving.md); floats
+    are printed with [%.9g]. *)
 
 type request =
   | Load of { id : string; path : string }
@@ -29,6 +32,7 @@ type request =
   | Sweep_point of { id : string; alpha : float }
   | Sweep_range of { id : string; lo : float; hi : float; samples : int }
   | Stats
+  | Metrics
   | Ping
   | Quit
 
@@ -40,7 +44,8 @@ val parse_line : string -> (line option, string) result
 
 val instance_id : request -> string option
 (** The instance an exclusively-sequential batch group is keyed on;
-    [None] for session-level requests ([stats]/[ping]/[quit]). *)
+    [None] for session-level requests
+    ([stats]/[metrics]/[ping]/[quit]). *)
 
 val request_kind : request -> string
 (** Stable kind label ("load", "solve", …) used for per-kind latency

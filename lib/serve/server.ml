@@ -98,7 +98,12 @@ let run t =
   Unix.listen sock 8;
   t.log (Printf.sprintf "listening on %s" t.socket_path);
   let rec accept_loop () =
-    if Atomic.get t.stop then t.log "stop requested; draining"
+    if Atomic.get t.stop then begin
+      t.log "stop requested; draining";
+      (* Final telemetry snapshot on graceful SIGINT/SIGTERM drain, one
+         log line per exposition line (the frontend owns the channel). *)
+      List.iter t.log (String.split_on_char '\n' (Metrics.render t.cache))
+    end
     else if readable sock then begin
       match Unix.accept sock with
       | client, _ ->

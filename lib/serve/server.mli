@@ -6,7 +6,8 @@
     select-polled against the {!request_stop} flag, so a SIGINT turned
     into [request_stop] by the frontend drains gracefully — the
     in-flight request finishes, its reply is written, and the loop
-    exits, removing the socket file.
+    exits after logging a final {!Metrics.render} snapshot (one log
+    line per exposition line) and removing the socket file.
 
     The server never prints: all operational chatter goes through the
     [log] callback supplied by the frontend (lib code stays pure). *)

@@ -1,0 +1,80 @@
+The metrics verb renders the Prometheus text exposition in two marked
+sections: counts and gauges (byte-identical at any --jobs), then the
+latency histograms (scheduling-dependent, exempt). Under --fixed-clock
+(a deterministic 1 ms tick at --jobs 1) the latency section is
+reproducible too, so the whole exposition can be pinned byte for byte:
+
+  $ sgr catalog pigou > pigou.sgr
+  $ sgr batch - --fixed-clock << 'EOF'
+  > load p pigou.sgr
+  > solve p nash
+  > solve p nash
+  > solve p opt
+  > metrics
+  > EOF
+  ok load id=p kind=links fp=067affba1581e718 cache=miss
+  ok solve id=p obj=nash cost=1
+  ok solve id=p obj=nash cost=1
+  ok solve id=p obj=opt cost=0.75
+  ok metrics lines=61
+  # sgr serving metrics (Prometheus text exposition)
+  # --- counts and gauges: byte-identical at any --jobs ---
+  # TYPE sgr_requests_total counter
+  sgr_requests_total{verb="load"} 1
+  sgr_requests_total{verb="solve"} 3
+  # TYPE sgr_request_errors_total counter
+  sgr_request_errors_total 0
+  # TYPE sgr_request_timeouts_total counter
+  sgr_request_timeouts_total 0
+  # TYPE sgr_cache_hits_total counter
+  sgr_cache_hits_total 3
+  # TYPE sgr_cache_misses_total counter
+  sgr_cache_misses_total 1
+  # TYPE sgr_cache_evictions_total counter
+  sgr_cache_evictions_total 0
+  # TYPE sgr_memo_hits_total counter
+  sgr_memo_hits_total 1
+  # TYPE sgr_memo_misses_total counter
+  sgr_memo_misses_total 2
+  # TYPE sgr_cache_entries gauge
+  sgr_cache_entries 1
+  # TYPE sgr_cache_capacity gauge
+  sgr_cache_capacity 32
+  # TYPE sgr_cache_occupancy gauge
+  sgr_cache_occupancy 0.03125
+  # TYPE sgr_memo_hit_rate gauge
+  sgr_memo_hit_rate 0.333333333
+  # --- latency histograms: scheduling-dependent, exempt from the determinism guarantee ---
+  # TYPE sgr_request_seconds histogram
+  sgr_request_seconds_bucket{verb="load",le="0.00100496241"} 1
+  sgr_request_seconds_bucket{verb="load",le="+Inf"} 1
+  sgr_request_seconds_sum{verb="load"} 0.001
+  sgr_request_seconds_count{verb="load"} 1
+  sgr_request_seconds_bucket{verb="solve",le="0.00301918463"} 3
+  sgr_request_seconds_bucket{verb="solve",le="+Inf"} 3
+  sgr_request_seconds_sum{verb="solve"} 0.009
+  sgr_request_seconds_count{verb="solve"} 3
+  # TYPE sgr_batch_compute_seconds histogram
+  sgr_batch_compute_seconds_bucket{le="0.00301918463"} 1
+  sgr_batch_compute_seconds_bucket{le="0.00507844006"} 4
+  sgr_batch_compute_seconds_bucket{le="+Inf"} 4
+  sgr_batch_compute_seconds_sum 0.018
+  sgr_batch_compute_seconds_count 4
+  # TYPE sgr_batch_wait_seconds histogram
+  sgr_batch_wait_seconds_bucket{le="0.00100496241"} 1
+  sgr_batch_wait_seconds_bucket{le="0.00507844006"} 2
+  sgr_batch_wait_seconds_bucket{le="0.0110787642"} 3
+  sgr_batch_wait_seconds_bucket{le="0.0172023295"} 4
+  sgr_batch_wait_seconds_bucket{le="+Inf"} 4
+  sgr_batch_wait_seconds_sum 0.034
+  sgr_batch_wait_seconds_count 4
+  # TYPE sgr_memo_cold_seconds histogram
+  sgr_memo_cold_seconds_bucket{le="0.00100496241"} 2
+  sgr_memo_cold_seconds_bucket{le="+Inf"} 2
+  sgr_memo_cold_seconds_sum 0.002
+  sgr_memo_cold_seconds_count 2
+  # TYPE sgr_memo_hit_seconds histogram
+  sgr_memo_hit_seconds_bucket{le="0.00100496241"} 1
+  sgr_memo_hit_seconds_bucket{le="+Inf"} 1
+  sgr_memo_hit_seconds_sum 0.001
+  sgr_memo_hit_seconds_count 1

@@ -12,7 +12,7 @@ cache counters as of its barrier):
   ok sweep id=p beta=0.5 n=5 points=0:1.33333333,0.25:1.08333333,0.5:1,0.75:1,1:1
   error parse: unknown instance id "zzz" (load it first)
   error solve: mop needs a network instance
-  ok stats entries=1 capacity=32 hits=6 misses=1 evictions=0 memo_hits=0 memo_misses=6
+  ok stats entries=1 capacity=32 hits=6 misses=1 evictions=0 memo_hits=0 memo_misses=6 memo_hit_rate=0 occupancy=0.03125
   ok pong
   ok bye
 
@@ -33,7 +33,7 @@ drains gracefully: the socket file is removed and the server exits 0.
   $ sgr batch requests.txt --connect "$SOCK" | grep -c '^ok\|^error'
   11
   $ sgr batch requests.txt --connect "$SOCK" | grep '^ok stats'
-  ok stats entries=1 capacity=32 hits=13 misses=1 evictions=0 memo_hits=5 memo_misses=7
+  ok stats entries=1 capacity=32 hits=13 misses=1 evictions=0 memo_hits=5 memo_misses=7 memo_hit_rate=0.416666667 occupancy=0.03125
   $ kill -INT $SERVE_PID
   $ wait $SERVE_PID
   $ test -S "$SOCK" || echo socket removed
@@ -43,8 +43,20 @@ by count rather than by content)
 
   $ grep -c 'listening on' serve.log
   1
-  $ tail -n +2 serve.log
+  $ sed -n '2,4p' serve.log
   sgr serve: client quit
   sgr serve: client quit
   sgr serve: stop requested; draining
+
+The drain also dumps a final metrics snapshot into the log. Its counts
+section is deterministic; the latency buckets are not, so those are
+checked for presence only:
+
+  $ grep -F 'sgr_requests_total{verb="solve"}' serve.log
+  sgr serve: sgr_requests_total{verb="solve"} 6
+  $ grep -F 'sgr_memo_hit_rate' serve.log | grep -v '# TYPE'
+  sgr serve: sgr_memo_hit_rate 0.416666667
+  $ grep -q 'sgr_request_seconds_bucket{verb=' serve.log && echo latency histograms dumped
+  latency histograms dumped
+  $ tail -n 1 serve.log
   sgr serve: socket removed; bye

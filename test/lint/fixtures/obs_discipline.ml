@@ -4,7 +4,11 @@
 let direct xs = Pool.map (fun x -> Obs.span "per-item" (fun () -> x)) xs
 let point_at x = Obs.point ~solver:"s" ~k:x ~gap:0. ~objective:0. ~step:0.
 let indirect xs = Sgr_par.Pool.map point_at xs
+let hist_direct h xs = Pool.map (fun x -> Hist.record h x) xs
 
 let allowed xs =
   (Pool.map_array pool (fun x -> Obs.span "item" (fun () -> x)) xs)
   [@lint.allow "obs-domain-discipline"]
+
+(* Hist.observe is the sharded, domain-safe spelling: must not fire. *)
+let sharded h xs = Pool.map (fun x -> Hist.observe h x) xs

@@ -42,13 +42,15 @@ Unix.sleepf is absent:
   2 findings
   [1]
 
-obs-domain-discipline: spans/points inside Pool.map closures, including
-through a let-bound helper passed by name:
+obs-domain-discipline: spans/points and plain Hist.record inside Pool.map
+closures, including through a let-bound helper passed by name; the sharded
+Hist.observe is domain-safe and must not fire:
 
   $ sgr-lint lib/state/obs_discipline.ml
-  lib/state/obs_discipline.ml:4:35: [obs-domain-discipline] Obs.span/Obs.point inside a closure passed to Pool.map: worker domains drop events, so traces depend on the job count
-  lib/state/obs_discipline.ml:6:35: [obs-domain-discipline] point_at emits Obs spans/points and is passed to Pool.map: worker domains drop events, so traces depend on the job count
-  2 findings
+  lib/state/obs_discipline.ml:4:35: [obs-domain-discipline] Obs.span/Obs.point/Hist.record inside a closure passed to Pool.map: worker domains drop events and race on plain histograms, so telemetry depends on the job count (use Hist.observe for histograms)
+  lib/state/obs_discipline.ml:6:35: [obs-domain-discipline] point_at emits Obs spans/points or records a plain histogram and is passed to Pool.map: worker domains drop events and race on histograms, so telemetry depends on the job count
+  lib/state/obs_discipline.ml:7:42: [obs-domain-discipline] Obs.span/Obs.point/Hist.record inside a closure passed to Pool.map: worker domains drop events and race on plain histograms, so telemetry depends on the job count (use Hist.observe for histograms)
+  3 findings
   [1]
 
 lib-purity: std-channel printing in lib/; formatter-directed output is
@@ -90,7 +92,7 @@ The whole staged tree in one run comes back sorted by file; a tree with
 only suppressed or conforming sites exits 0:
 
   $ sgr-lint lib | tail -n 1
-  21 findings
+  22 findings
 
   $ mkdir -p clean/lib && cp fixtures/bad_allow.ml clean/lib/ && rm clean/lib/bad_allow.ml
   $ cat > clean/lib/tidy.ml << 'EOF'

@@ -1,0 +1,169 @@
+(* Sgr_obs.Hist: log-bucketed latency histograms — unit cases for the
+   edge buckets plus QCheck properties for the merge algebra and the
+   documented quantile rank-error bound, checked against an exact
+   sorted-array nearest-rank oracle. *)
+
+module Hist = Sgr_obs.Hist
+open Helpers
+
+let default_lo = 1e-9
+let default_hi = 1e4
+
+(* Positive latencies spanning underflow, the tracked range and
+   overflow, weighted towards realistic sub-second values. *)
+let latency_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (8, float_range 1e-6 2.0);
+        (2, float_range 1e-12 1e-9);
+        (1, float_range 1e4 1e6);
+      ])
+
+let latencies =
+  QCheck.make
+    ~print:QCheck.Print.(list float)
+    QCheck.Gen.(list_size (1 -- 200) latency_gen)
+
+let of_samples xs =
+  let t = Hist.create () in
+  List.iter (Hist.record t) xs;
+  t
+
+(* Exact nearest-rank oracle: the (max 1 (ceil (q*n)))-th smallest. *)
+let oracle xs q =
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  let k = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+  a.(min (n - 1) (k - 1))
+
+(* Unit cases *)
+
+let test_empty () =
+  let t = Hist.create () in
+  Alcotest.(check int) "count" 0 (Hist.count t);
+  Alcotest.(check (float 0.)) "sum" 0.0 (Hist.sum t);
+  check_true "no min" (Hist.min_value t = None);
+  check_true "no max" (Hist.max_value t = None);
+  check_true "no quantile" (Hist.quantile t 0.5 = None);
+  check_true "no buckets" (Hist.nonzero_buckets t = [])
+
+let test_single_sample () =
+  let t = of_samples [ 0.042 ] in
+  Alcotest.(check int) "count" 1 (Hist.count t);
+  approx "sum" 0.042 (Hist.sum t);
+  check_true "min" (Hist.min_value t = Some 0.042);
+  check_true "max" (Hist.max_value t = Some 0.042);
+  (* With one sample every quantile clamps to the exact observed value. *)
+  List.iter
+    (fun q -> approx "quantile is the sample" 0.042 (Option.get (Hist.quantile t q)))
+    [ 0.0; 0.5; 1.0 ];
+  Alcotest.(check int) "one bucket" 1 (List.length (Hist.nonzero_buckets t))
+
+let test_underflow_overflow () =
+  let t = of_samples [ -3.0; 0.0; 1e-12; 2e5; 3e5 ] in
+  Alcotest.(check int) "count includes edge buckets" 5 (Hist.count t);
+  (* Negative/NaN clamp to 0 before the min is taken. *)
+  check_true "min clamped to 0" (Hist.min_value t = Some 0.0);
+  check_true "max exact" (Hist.max_value t = Some 3e5);
+  Hist.record t Float.nan;
+  Alcotest.(check int) "nan clamps to underflow" 6 (Hist.count t);
+  check_true "nan did not poison min" (Hist.min_value t = Some 0.0);
+  (* Low quantiles are the exact minimum, high ones the exact maximum. *)
+  approx "underflow quantile" 0.0 (Option.get (Hist.quantile t 0.1));
+  approx "overflow quantile" 3e5 (Option.get (Hist.quantile t 1.0));
+  let buckets = Hist.nonzero_buckets t in
+  check_true "underflow bound is lo" (List.mem_assoc default_lo buckets);
+  check_true "overflow bound is inf" (List.mem_assoc Float.infinity buckets)
+
+let test_geometry_mismatch () =
+  let a = Hist.create () and b = Hist.create ~alpha:0.05 () in
+  (match Hist.merge a b with
+  | _ -> Alcotest.fail "merge across geometries must raise"
+  | exception Invalid_argument _ -> ());
+  match Hist.create ~alpha:1.5 () with
+  | _ -> Alcotest.fail "alpha outside (0,1) must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_clear () =
+  let t = of_samples [ 1.0; 2.0 ] in
+  Hist.clear t;
+  Alcotest.(check int) "empty again" 0 (Hist.count t);
+  Hist.record t 3.0;
+  check_true "usable after clear" (Hist.min_value t = Some 3.0)
+
+(* QCheck properties *)
+
+let prop_merge_commutative (xs, ys) =
+  let a = of_samples xs and b = of_samples ys in
+  let ab = Hist.merge a b and ba = Hist.merge b a in
+  Hist.count ab = Hist.count ba
+  && Hist.min_value ab = Hist.min_value ba
+  && Hist.max_value ab = Hist.max_value ba
+  && Hist.nonzero_buckets ab = Hist.nonzero_buckets ba
+  && Sgr_numerics.Tolerance.approx ~eps:1e-9 (Hist.sum ab) (Hist.sum ba)
+
+let prop_merge_associative (xs, ys, zs) =
+  let a = of_samples xs and b = of_samples ys and c = of_samples zs in
+  let l = Hist.merge (Hist.merge a b) c and r = Hist.merge a (Hist.merge b c) in
+  (* Counts, extrema and buckets are bit-exact; the float sum only up
+     to rounding (the .mli scopes the guarantee the same way). *)
+  Hist.count l = Hist.count r
+  && Hist.min_value l = Hist.min_value r
+  && Hist.max_value l = Hist.max_value r
+  && Hist.nonzero_buckets l = Hist.nonzero_buckets r
+  && Sgr_numerics.Tolerance.approx ~eps:1e-9 (Hist.sum l) (Hist.sum r)
+
+let prop_merge_counts_add (xs, ys) =
+  let a = of_samples xs and b = of_samples ys in
+  let m = Hist.merge a b in
+  Hist.count m = Hist.count a + Hist.count b
+  && List.for_all
+       (fun (ub, n) ->
+         let n_a = Option.value ~default:0 (List.assoc_opt ub (Hist.nonzero_buckets a))
+         and n_b = Option.value ~default:0 (List.assoc_opt ub (Hist.nonzero_buckets b)) in
+         n = n_a + n_b)
+       (Hist.nonzero_buckets m)
+
+let qs = [ 0.0; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]
+
+let prop_quantile_monotone xs =
+  let t = of_samples xs in
+  let vs = List.map (fun q -> Option.get (Hist.quantile t q)) qs in
+  List.for_all2 (fun a b -> a <= b) vs (List.tl vs @ [ Float.max_float ])
+
+let prop_rank_error_bound xs =
+  let t = of_samples xs in
+  let alpha = Hist.alpha t in
+  List.for_all
+    (fun q ->
+      let est = Option.get (Hist.quantile t q) and x = oracle xs q in
+      if x <= default_lo then Float.abs (est -. x) <= default_lo +. 1e-15
+      else if x > default_hi then
+        (* Overflow rank: the estimate is some true sample >= hi, and at
+           rank n it is the exact maximum. *)
+        est > default_hi || Float.abs (est -. x) <= (alpha *. x) +. 1e-12
+      else Float.abs (est -. x) <= (alpha *. x) +. 1e-12)
+    qs
+
+let suite =
+  [
+    case "empty histogram" test_empty;
+    case "single sample" test_single_sample;
+    case "underflow and overflow buckets" test_underflow_overflow;
+    case "geometry mismatch raises" test_geometry_mismatch;
+    case "clear resets" test_clear;
+    qcheck "merge is commutative"
+      QCheck.(pair latencies latencies)
+      prop_merge_commutative;
+    qcheck "merge is associative"
+      QCheck.(triple latencies latencies latencies)
+      prop_merge_associative;
+    qcheck "merge adds bucket counts exactly"
+      QCheck.(pair latencies latencies)
+      prop_merge_counts_add;
+    qcheck "quantiles are monotone in q" latencies prop_quantile_monotone;
+    qcheck ~count:200 "quantile rank-error bound vs sorted oracle" latencies
+      prop_rank_error_bound;
+  ]

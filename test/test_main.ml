@@ -5,6 +5,7 @@ let () =
     [
       ("numerics", Test_numerics.suite);
       ("obs", Test_obs.suite);
+      ("hist", Test_hist.suite);
       ("par", Test_par.suite);
       ("latency", Test_latency.suite);
       ("graph", Test_graph.suite);

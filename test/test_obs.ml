@@ -180,6 +180,39 @@ let test_exports_well_formed () =
     (List.length events)
     (List.length (String.split_on_char '\n' (String.trim jsonl)))
 
+let test_exports_sorted () =
+  (* Regression: counter and span ordering in the exports must never
+     depend on the caller's list order or on event emission order. *)
+  let ticks = ref 0.0 in
+  Obs.set_clock (fun () ->
+      ticks := !ticks +. 1.0;
+      !ticks);
+  let events =
+    Fun.protect
+      ~finally:(fun () -> Obs.set_clock Obs.default_clock)
+      (fun () ->
+        with_recorder (fun () ->
+            ignore (Obs.span "z.last" Fun.id);
+            ignore (Obs.span "a.first" Fun.id);
+            ignore (Obs.span "m.mid" Fun.id)))
+  in
+  Alcotest.(check (list string)) "span_totals sorted by name"
+    [ "a.first"; "m.mid"; "z.last" ]
+    (List.map fst (Export.span_totals events));
+  let unsorted = [ ("z.counter", 2); ("a.counter", 1); ("m.counter", 3) ] in
+  let out = Format.asprintf "%a" (fun fmt -> Export.stats fmt ~counters:unsorted) events in
+  let pos name =
+    let n = String.length out and m = String.length name in
+    let rec go i = if i + m > n then -1 else if String.sub out i m = name then i else go (i + 1) in
+    go 0
+  in
+  Helpers.check_true "all counters rendered"
+    (List.for_all (fun (n, _) -> pos n >= 0) unsorted);
+  Helpers.check_true "counters rendered in name order"
+    (pos "a.counter" < pos "m.counter" && pos "m.counter" < pos "z.counter");
+  Helpers.check_true "spans rendered in name order"
+    (pos "a.first" < pos "m.mid" && pos "m.mid" < pos "z.last")
+
 let suite =
   [
     Alcotest.test_case "counters accumulate and reset" `Quick test_counters;
@@ -189,4 +222,5 @@ let suite =
     Alcotest.test_case "frank-wolfe convergence trace" `Quick test_fw_convergence_trace;
     Alcotest.test_case "mop spans and counters" `Quick test_mop_spans_and_counters;
     Alcotest.test_case "exports are well-formed" `Quick test_exports_well_formed;
+    Alcotest.test_case "exports sort counters and spans" `Quick test_exports_sorted;
   ]

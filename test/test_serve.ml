@@ -102,6 +102,12 @@ let test_protocol_parse () =
   (match P.parse_line "sweep p 0 1 5" with
   | Ok (Some { request = P.Sweep_range { lo = 0.0; hi = 1.0; samples = 5; _ }; _ }) -> ()
   | _ -> Alcotest.fail "sweep range");
+  (match P.parse_line "metrics" with
+  | Ok (Some { deadline_ms = None; request = P.Metrics }) -> ()
+  | _ -> Alcotest.fail "metrics verb");
+  (match P.memo_key P.Metrics with
+  | None -> ()
+  | Some _ -> Alcotest.fail "metrics must not be memoized");
   (match P.parse_line "induced p 1.5" with
   | Error _ -> ()
   | _ -> Alcotest.fail "alpha out of range is rejected");
@@ -219,6 +225,79 @@ let prop_batch_jobs_deterministic =
       let r1 = run 1 and r4 = run 4 in
       List.length r1 = List.length r4 && List.for_all2 String.equal r1 r4)
 
+(* ---------------- metrics determinism ---------------- *)
+
+(* Everything before the latency-section marker: the part of the
+   exposition covered by the determinism guarantee. *)
+let counts_section body =
+  let is_marker l =
+    String.length l >= 25 && String.equal (String.sub l 0 25) "# --- latency histograms:"
+  in
+  let rec take acc = function
+    | [] -> List.rev acc
+    | l :: _ when is_marker l -> List.rev acc
+    | l :: rest -> take (l :: acc) rest
+  in
+  String.concat "\n" (take [] (String.split_on_char '\n' body))
+
+(* The counts-and-gauges section of the metrics exposition is a pure
+   function of the request history: byte-identical at --jobs 1 and 4
+   as long as the working set fits the cache (eviction recency is
+   scheduling-dependent, so capacity >= distinct instances here). The
+   latency section below the marker is exempt by contract. *)
+let prop_metrics_counts_deterministic =
+  Helpers.qcheck ~count:15 "metrics counts section is byte-identical at --jobs 1 and 4"
+    QCheck.(pair small_nat (list_of_size Gen.(1 -- 15) small_nat))
+    (fun (seed, picks) ->
+      with_instance_file (IF.Links W.pigou) @@ fun pigou ->
+      with_instance_file (IF.Links W.fig456) @@ fun fig ->
+      let rng = Sgr_numerics.Prng.create (seed + 1) in
+      let id () = if Sgr_numerics.Prng.bool rng then "a" else "b" in
+      let request pick =
+        match pick mod 6 with
+        | 0 -> Printf.sprintf "solve %s nash" (id ())
+        | 1 -> Printf.sprintf "solve %s opt" (id ())
+        | 2 -> Printf.sprintf "optop %s" (id ())
+        | 3 -> Printf.sprintf "induced %s 0.25" (id ())
+        | 4 -> "ping"
+        | _ -> Printf.sprintf "solve %s garbage" (id ())
+      in
+      let lines =
+        Printf.sprintf "load a %s" pigou :: Printf.sprintf "load b %s" fig
+        :: List.map request picks
+      in
+      let run jobs =
+        Sgr_obs.Obs.reset_counters ();
+        Sgr_obs.Hist.reset ();
+        let cache = Cache.create ~capacity:4 in
+        ignore (Engine.run_batch ~jobs cache lines);
+        counts_section (Sgr_serve.Metrics.render cache)
+      in
+      let s1 = run 1 and s4 = run 4 in
+      String.equal s1 s4)
+
+let test_metrics_reply_framing () =
+  with_instance_file (IF.Links W.pigou) @@ fun path ->
+  (* Counters and histograms are process-global: start from zero so the
+     rendered counts are this test's own. *)
+  Sgr_obs.Obs.reset_counters ();
+  Sgr_obs.Hist.reset ();
+  let cache = Cache.create ~capacity:4 in
+  let run raw = Option.get (Engine.execute_raw cache raw) in
+  ignore (run (Printf.sprintf "load p %s" path));
+  ignore (run "solve p nash");
+  let reply = run "metrics" in
+  match String.split_on_char '\n' reply with
+  | header :: body ->
+      let expect = Printf.sprintf "ok metrics lines=%d" (List.length body) in
+      Alcotest.(check string) "header counts the body lines" expect header;
+      check_true "body is non-empty" (body <> []);
+      check_true "request counter present"
+        (List.exists
+           (fun l -> String.equal l "sgr_requests_total{verb=\"solve\"} 1")
+           body)
+  | [] -> Alcotest.fail "empty metrics reply"
+
 let suite =
   [
     case "lru: capacity one" test_lru_capacity_one;
@@ -235,4 +314,6 @@ let suite =
     case "engine: memoization and reload-after-evict" test_engine_memo_and_reload;
     case "engine: post-hoc deadline" test_engine_timeout;
     prop_batch_jobs_deterministic;
+    case "metrics: reply framing" test_metrics_reply_framing;
+    prop_metrics_counts_deterministic;
   ]

@@ -34,8 +34,9 @@ let rules =
       "float-literal =/<>/==/!= and bare polymorphic compare/min/max in numeric modules; \
        use Tolerance helpers or Float.*" );
     ( "obs-domain-discipline",
-      "Obs.span/Obs.point must not run inside closures handed to Pool.map/map_array \
-       (spans and points are sink-domain-only)" );
+      "Obs.span/Obs.point/Hist.record must not run inside closures handed to \
+       Pool.map/map_array (spans and points are sink-domain-only; a plain histogram is \
+       single-domain — use Hist.observe)" );
     ("lib-purity", "no direct stdout/stderr output from lib/; print from bin/ or an Obs sink");
     ( "no-blocking-in-pool",
       "blocking syscalls (Unix.sleep/select/read/..., Thread.delay/join) must not run \
@@ -178,7 +179,12 @@ let scan_mutable_global ~emit ~mutable_fields str =
 
 (* ---------------- shared expression rules ---------------- *)
 
-let is_obs_emit path = ends_with path ("Obs", "span") || ends_with path ("Obs", "point")
+(* Hist.record mutates an unsynchronized histogram: from a pool worker
+   that is a data race (the per-domain Hist.observe is the safe spelling). *)
+let is_obs_emit path =
+  ends_with path ("Obs", "span")
+  || ends_with path ("Obs", "point")
+  || ends_with path ("Hist", "record")
 
 (* First Obs.span/Obs.point reference syntactically inside [e], if any. *)
 let obs_call_in e =
@@ -323,8 +329,10 @@ let collect ~path (str : structure) : Lint_diag.t list =
                   (match obs_call_in a with
                   | Some loc ->
                       emit ~rule:"obs-domain-discipline" loc
-                        "Obs.span/Obs.point inside a closure passed to Pool.map: worker \
-                         domains drop events, so traces depend on the job count"
+                        "Obs.span/Obs.point/Hist.record inside a closure passed to Pool.map: \
+                         worker domains drop events and race on plain histograms, so \
+                         telemetry depends on the job count (use Hist.observe for \
+                         histograms)"
                   | None -> ());
                   (match blocking_call_in a with
                   | Some (loc, what) ->
@@ -339,8 +347,9 @@ let collect ~path (str : structure) : Lint_diag.t list =
                       if Hashtbl.mem obs_tainted n then
                         emit ~rule:"obs-domain-discipline" a.pexp_loc
                           (Printf.sprintf
-                             "%s emits Obs spans/points and is passed to Pool.map: worker \
-                              domains drop events, so traces depend on the job count"
+                             "%s emits Obs spans/points or records a plain histogram and is \
+                              passed to Pool.map: worker domains drop events and race on \
+                              histograms, so telemetry depends on the job count"
                              n);
                       if Hashtbl.mem blocking_tainted n then
                         emit ~rule:"no-blocking-in-pool" a.pexp_loc
