@@ -426,7 +426,7 @@ let run_t11 ~requests ~instances ~reuse () =
   @@ fun () ->
   let lines = Sgr_serve.Loadgen.generate ~dir ~seed:9011 ~instances ~requests ~reuse in
   let cache = Sgr_serve.Cache.create ~capacity:32 in
-  let r = Sgr_serve.Loadgen.run (Sgr_serve.Loadgen.In_process { cache; jobs = Some 1 }) lines in
+  let r = Sgr_serve.Loadgen.run (Sgr_serve.Loadgen.In_process { cache; jobs = Some 1 }) [| lines |] in
   Format.printf "  %-28s %8.1f req/s  (p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, hit rate %.2f)@."
     (Printf.sprintf "loadgen/%dreq-%dinst" requests instances)
     r.Sgr_serve.Loadgen.rps (1e3 *. r.p50_s) (1e3 *. r.p95_s) (1e3 *. r.p99_s) r.memo_hit_rate;

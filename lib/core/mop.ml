@@ -56,6 +56,9 @@ let run ?(tol = 1e-9) ?(eps = 1e-6) net =
   let per_commodity =
     Array.init k (fun i ->
         Obs.span "mop.commodity" @@ fun () ->
+        (* Deadline checkpoint between commodities; the equilibrium
+           solves above and below checkpoint per sweep/round. *)
+        Sgr_obs.Cancel.check ();
         let c = net.Net.commodities.(i) in
         let on_shortest =
           Obs.span "mop.subgraph" (fun () ->

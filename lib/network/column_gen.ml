@@ -118,7 +118,9 @@ let equalize ?(k0 = 0) obj net ~edge_flow ~paths ~path_flows ~tol ~max_sweeps =
   let sweeps = ref 0 in
   let gap = ref Float.infinity in
   let tracing = Obs.enabled () in
+  let cancel = Sgr_obs.Cancel.handle () in
   while !gap > tol && !sweeps < max_sweeps do
+    Sgr_obs.Cancel.check_handle cancel;
     incr sweeps;
     Obs.incr c_sweeps;
     let worst = ref 0.0 in
@@ -206,6 +208,9 @@ let solve ?(tol = 1e-9) ?(max_sweeps = 200_000) ?(max_rounds = 1_000) obj net =
   let tracing = Obs.enabled () in
   let converged = ref false in
   while (not !converged) && !rounds < max_rounds && !sweeps < max_sweeps do
+    (* Deadline checkpoint per pricing round; the per-sweep checkpoint
+       inside [equalize] covers the long Gauss–Seidel stretches. *)
+    Sgr_obs.Cancel.check ();
     incr rounds;
     Obs.incr c_rounds;
     (* Equalize the active columns, then price: a Dijkstra per commodity

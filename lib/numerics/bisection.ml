@@ -7,10 +7,14 @@ let c_expansions = Obs.counter "bisection.expansions"
 let bisect ~tol ~max_iter ~f ~lo ~hi =
   let lo = ref lo and hi = ref hi in
   let iter = ref 0 in
+  (* Pre-emptive deadline checkpoint, hoisted so a disarmed domain pays
+     one float compare per iteration (see Sgr_obs.Cancel). *)
+  let cancel = Sgr_obs.Cancel.handle () in
   let width_ok () =
     !hi -. !lo <= tol *. Float.max 1.0 (Float.max (Float.abs !lo) (Float.abs !hi))
   in
   while (not (width_ok ())) && !iter < max_iter do
+    Sgr_obs.Cancel.check_handle cancel;
     let mid = 0.5 *. (!lo +. !hi) in
     if f mid <= 0.0 then lo := mid else hi := mid;
     incr iter
@@ -47,6 +51,7 @@ let root_bracketed ?(tol = Tolerance.solver_eps) ?(max_iter = 200) ~f ~lo ~hi ()
 let expand_upper ?(start = 1.0) ?(limit = 1e18) ~f ~target () =
   let hi = ref (Float.max start 1e-12) in
   while f !hi < target && !hi < limit do
+    Sgr_obs.Cancel.check ();
     Obs.incr c_expansions;
     hi := !hi *. 2.0
   done;

@@ -1,0 +1,30 @@
+(* Cooperative cancellation for pre-emptive deadlines.
+
+   The armed deadline is per-domain state ([Domain.DLS]): the domain
+   that executes a request arms it, and the checkpoints the solvers
+   call run on that same domain (nested [Sgr_par.Pool] batches fall
+   back to sequential, so a pooled request's inner loops still see the
+   token). A disarmed domain pays one DLS load and a float compare per
+   checkpoint — no clock read — so the instrumentation is free unless a
+   deadline is actually set. *)
+
+exception Deadline_exceeded
+
+type handle = float ref
+
+(* [infinity] = disarmed; otherwise the absolute deadline in seconds on
+   the [Obs] clock. The ref inside the DLS slot is domain-local, never
+   shared across domains. *)
+let key = Domain.DLS.new_key (fun () -> ref infinity)
+
+let handle () = Domain.DLS.get key
+
+let check_handle h = if !h < infinity && Obs.now () > !h then raise Deadline_exceeded
+let check () = check_handle (handle ())
+let armed () = !(handle ()) < infinity
+
+let with_deadline ~seconds f =
+  let h = handle () in
+  let saved = !h in
+  h := Float.min saved (Obs.now () +. seconds);
+  Fun.protect ~finally:(fun () -> h := saved) f

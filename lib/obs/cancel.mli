@@ -1,0 +1,46 @@
+(** Cooperative cancellation tokens for pre-emptive deadlines.
+
+    The serving layer arms a deadline around a request's compute
+    ({!with_deadline}); the iterative solvers call {!check} (or the
+    hoisted {!check_handle}) at their convergence checkpoints — one per
+    bisection iteration, Gauss–Seidel sweep, column-generation pricing
+    round and MOP commodity — and the first checkpoint past the
+    deadline raises {!Deadline_exceeded}. The engine maps the exception
+    to the protocol's [error timeout:] reply and, because the exception
+    propagates out of the memo's [compute], a cancelled result is never
+    memoized.
+
+    {b Scope.} The token is per-domain ([Domain.DLS]). The domain that
+    calls {!with_deadline} is the domain whose checkpoints fire; work
+    a solver fans out to {!Sgr_par.Pool} workers is not cancelled
+    mid-task (pool tasks are short — a single Dijkstra — and the
+    spawning loop re-checks when they return). Nested deadlines
+    compose: the inner scope's effective deadline is the minimum.
+
+    {b Cost.} With no deadline armed a checkpoint is one DLS load and
+    one float compare — the clock is only read while armed — so solver
+    hot loops pay nothing in normal (deadline-free) operation. *)
+
+exception Deadline_exceeded
+
+val with_deadline : seconds:float -> (unit -> 'a) -> 'a
+(** [with_deadline ~seconds f] runs [f] with the current domain's
+    deadline armed at [now () +. seconds] (clamped to any outer
+    deadline), restoring the previous state on exit, including on
+    exceptions. *)
+
+val check : unit -> unit
+(** Checkpoint: raises {!Deadline_exceeded} iff a deadline is armed on
+    this domain and the {!Obs.now} clock has passed it. *)
+
+type handle
+(** The current domain's token, hoisted out of a hot loop. *)
+
+val handle : unit -> handle
+(** Fetch once outside the loop; only valid on the fetching domain. *)
+
+val check_handle : handle -> unit
+(** Same as {!check} without the per-call DLS lookup. *)
+
+val armed : unit -> bool
+(** Whether this domain currently has a deadline armed. *)

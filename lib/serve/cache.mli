@@ -10,12 +10,23 @@
     are already reused underneath via [Domain.DLS] (see
     docs/performance.md).
 
-    All operations are guarded by an internal mutex, so a batch may fan
-    requests for {e different} instances across {!Sgr_par.Pool} domains
-    while sharing one cache. Two domains racing to fill the same memo
-    key both compute (deterministically) and the results are identical,
-    so last-write-wins is harmless — replies never depend on the job
-    count.
+    {b Locking choice: one cache-wide mutex, not sharded locks.} Every
+    LRU/binding/memo table operation takes the same internal mutex, so
+    one cache is safely shared by {!Sgr_par.Pool} worker domains in
+    batch mode and by every session of the concurrent socket server.
+    A single mutex is the right trade here because the lock only ever
+    guards {e probes} — hash lookups, LRU splay, table stores — which
+    are microseconds, while everything expensive (file read, instance
+    parse, solver run in [memo]'s [compute]) deliberately happens
+    {e outside} the lock. Sharding would buy contention relief the
+    probe-only hold times never generate, at the cost of cross-shard
+    eviction accounting. Two domains racing to fill the same memo key
+    both compute (deterministically) and the results are identical, so
+    last-write-wins is harmless — replies never depend on the job
+    count. Because [compute] runs unlocked, an exception from it (in
+    particular {!Sgr_obs.Cancel.Deadline_exceeded} from a pre-empted
+    solve) propagates before the store: a cancelled result is never
+    memoized.
 
     Counter discipline: every lookup bumps the cache's own atomic
     counters (reported by the [stats] request) and the global

@@ -1,4 +1,4 @@
-type t = { fd : Unix.file_descr; pending : Buffer.t; chunk : Bytes.t }
+type t = { fd : Unix.file_descr; reader : Lineio.t; chunk : Bytes.t }
 
 exception Disconnected
 
@@ -8,7 +8,7 @@ let connect path =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; pending = Buffer.create 256; chunk = Bytes.create 4096 }
+  { fd; reader = Lineio.create (); chunk = Bytes.create 4096 }
 
 let rec write_all fd s off len =
   if len > 0 then begin
@@ -17,29 +17,20 @@ let rec write_all fd s off len =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
   end
 
-let take_line pending =
-  let s = Buffer.contents pending in
-  match String.index_opt s '\n' with
-  | None -> None
-  | Some i ->
-      Buffer.clear pending;
-      Buffer.add_substring pending s (i + 1) (String.length s - i - 1);
-      Some (String.sub s 0 i)
-
 let rec recv_line t =
-  match take_line t.pending with
+  match Lineio.next t.reader with
   | Some l -> l
   | None -> (
       match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
       | 0 -> raise Disconnected
       | n ->
-          Buffer.add_subbytes t.pending t.chunk 0 n;
+          Lineio.feed t.reader t.chunk 0 n;
           recv_line t
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv_line t)
 
 (* A [metrics] reply is the one multi-line frame in the protocol: the
-   header announces how many continuation lines follow, so the lockstep
-   invariant (never more than one reply in flight) still holds. *)
+   header announces how many continuation lines follow, so a reply is
+   always a self-delimiting frame even when requests are pipelined. *)
 let continuation_lines header =
   let prefix = "ok metrics lines=" in
   let pl = String.length prefix in
@@ -49,17 +40,21 @@ let continuation_lines header =
     | _ -> 0
   else 0
 
-let rpc t raw =
+let send t raw =
   match Protocol.parse_line raw with
-  | Ok None -> None
+  | Ok None -> false
   | Ok (Some _) | Error _ ->
       let line = raw ^ "\n" in
       write_all t.fd line 0 (String.length line);
-      let header = recv_line t in
-      let rest = ref [] in
-      for _ = 1 to continuation_lines header do
-        rest := recv_line t :: !rest
-      done;
-      Some (String.concat "\n" (header :: List.rev !rest))
+      true
 
+let recv t =
+  let header = recv_line t in
+  let rest = ref [] in
+  for _ = 1 to continuation_lines header do
+    rest := recv_line t :: !rest
+  done;
+  String.concat "\n" (header :: List.rev !rest)
+
+let rpc t raw = if send t raw then Some (recv t) else None
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

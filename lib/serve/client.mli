@@ -1,28 +1,41 @@
-(** Lockstep client for a {!Server} socket.
+(** Client for a {!Server} socket.
 
-    One request line out, one reply back, strictly alternating — the
-    client never has more than one reply in flight, so neither side
-    can deadlock on a full pipe buffer. Blank and comment lines are
-    dropped client-side (the server would not reply to them).
+    {!rpc} is the lockstep form — one request out, one reply awaited —
+    and is what interactive callers should use. The split
+    {!send}/{!recv} pair supports pipelining: the concurrent server
+    buffers any number of outstanding requests per session and answers
+    them strictly in order, so a caller may [send] several lines and
+    then [recv] the same number of replies. Each [send] must eventually
+    be matched by exactly one [recv]; the caller should bound how many
+    replies it leaves unread (the kernel socket buffer is finite).
+    Blank and comment lines are dropped client-side — [send] returns
+    [false] and nothing goes on the wire (the server would not reply).
 
     A [metrics] reply is the protocol's one multi-line frame: its
-    header [ok metrics lines=N] announces the continuation, the client
-    reads exactly [N] further lines, and {!rpc} returns the whole
-    frame newline-joined — so the lockstep invariant is preserved. *)
+    header [ok metrics lines=N] announces the continuation, {!recv}
+    reads exactly [N] further lines and returns the whole frame
+    newline-joined — so reply framing survives pipelining. *)
 
 type t
 
 exception Disconnected
-(** Raised by {!rpc} when the server closes the connection before the
-    awaited reply arrives. *)
+(** Raised by {!recv}/{!rpc} when the server closes the connection
+    before the awaited reply arrives. *)
 
 val connect : string -> t
 (** Connect to the Unix-domain socket at the given path.
     @raise Unix.Unix_error when the socket is absent or refuses. *)
 
+val send : t -> string -> bool
+(** Write one raw request line; [false] when the line is blank or a
+    comment (nothing sent, no reply owed). *)
+
+val recv : t -> string
+(** Await the next reply frame (continuation lines included for
+    [metrics]). Blocks until it arrives. *)
+
 val rpc : t -> string -> string option
-(** Send one raw request line and await its reply (all continuation
-    lines included for [metrics]); [None] when the line is blank or a
-    comment (nothing is sent). *)
+(** [send] then [recv]: one request line, its reply; [None] when the
+    line is blank or a comment. *)
 
 val close : t -> unit

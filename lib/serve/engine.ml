@@ -135,10 +135,31 @@ let is_error reply = String.length reply >= 5 && String.equal (String.sub reply 
 let execute cache (line : P.line) =
   let kind = P.request_kind line.P.request in
   let t0 = Obs.now () in
+  (* Distinguishes a pre-emptive cancellation (already replied and
+     counted as a timeout) from an overrun the checkpoints missed,
+     which the post-hoc fallback below still catches. *)
+  let pre_empted = ref false in
   let reply =
     (* The loop must survive anything a solver throws; the catch-all is
        the documented containment boundary, not control flow. *)
-    try dispatch cache line.P.request with
+    try
+      match line.P.deadline_ms with
+      | Some ms ->
+          (* Pre-emptive enforcement: the solver inner loops checkpoint
+             against this per-domain deadline and bail mid-compute. The
+             exception propagates through [Cache.memo] before anything
+             is stored, so a cancelled result is never memoized. *)
+          Sgr_obs.Cancel.with_deadline
+            ~seconds:(float_of_int ms /. 1000.)
+            (fun () -> dispatch cache line.P.request)
+      | None -> dispatch cache line.P.request
+    with
+    | Sgr_obs.Cancel.Deadline_exceeded ->
+        pre_empted := true;
+        Obs.incr (Obs.counter "serve.timeouts");
+        let ms = match line.P.deadline_ms with Some ms -> ms | None -> 0 in
+        P.error_reply `Timeout
+          (Printf.sprintf "request cancelled at its %dms deadline (no result memoized)" ms)
     | Reply r -> r
     | Invalid_argument m | (Failure m [@lint.allow "no-untyped-failure"]) ->
         P.error_reply `Solve m
@@ -150,8 +171,12 @@ let execute cache (line : P.line) =
   Obs.add (Obs.counter ("serve.request_us." ^ kind)) elapsed_us;
   Hist.observe (request_hist kind) elapsed_s;
   let reply =
+    (* Post-hoc fallback for work the checkpoints cannot reach (e.g. a
+       sweep fanned over pool workers, or a request that finished just
+       past the line without hitting a checkpoint): the computed result
+       stays memoized, only the reply is replaced. *)
     match line.P.deadline_ms with
-    | Some ms when elapsed_us > ms * 1000 ->
+    | Some ms when (not !pre_empted) && elapsed_us > ms * 1000 ->
         Obs.incr (Obs.counter "serve.timeouts");
         P.error_reply `Timeout
           (Printf.sprintf "request exceeded its %dms deadline (result cached for retry)" ms)

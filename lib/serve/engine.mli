@@ -16,10 +16,19 @@
     property is stated for workloads whose distinct instances fit the
     cache, which is how the CI property test runs.
 
-    {b Deadlines.} A [@MS] prefix is enforced post hoc: solvers are not
-    preemptible, so an overrunning request completes, its result is
-    still memoized (a retry is instant), and the reply is
-    [error timeout:] instead of the result.
+    {b Deadlines.} A [@MS] prefix is enforced {e pre-emptively}:
+    {!execute} arms a per-domain {!Sgr_obs.Cancel} deadline around the
+    dispatch, and the solver inner loops (column-generation pricing
+    rounds, MOP per-commodity steps, bisection iterations) checkpoint
+    against it and abort mid-compute with
+    [error timeout: request cancelled at its Nms deadline (no result
+    memoized)]. The cancellation exception propagates through
+    [Cache.memo] before anything is stored, so a cancelled result is
+    never memoized — a retry recomputes from cold. Work the
+    checkpoints cannot reach (a [sweep] fanned over pool worker
+    domains, or a request that finishes just past the line) falls back
+    to the original post-hoc check: the result {e is} memoized and the
+    reply says [(result cached for retry)].
 
     {b Failure modes.} A malformed line yields [error parse:], a solver
     or applicability failure [error solve:], an unreadable file

@@ -1,0 +1,86 @@
+(* Incremental line splitter shared by the server sessions and the
+   client. Replaces the old per-module [take_line] helpers, which
+   called [Buffer.contents] on every extracted line — an O(pending)
+   copy per line, quadratic over a large pipelined burst. This reader
+   keeps one growable byte window and a scan offset, so feeding n bytes
+   and draining the lines in them is O(n) total.
+
+   No syscalls here (enforced by sgr-lint's no-blocking-in-pool scope):
+   the owner reads from its fd and feeds the bytes in. *)
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable pos : int;  (* consumed prefix: the window is buf.[pos..len) *)
+  mutable len : int;  (* filled prefix *)
+  mutable scan : int;  (* invariant pos <= scan <= len; no '\n' in buf.[pos..scan) *)
+}
+
+let create ?(capacity = 4096) () = { buf = Bytes.create (max 16 capacity); pos = 0; len = 0; scan = 0 }
+
+let compact t =
+  if t.pos > 0 then begin
+    let n = t.len - t.pos in
+    Bytes.blit t.buf t.pos t.buf 0 n;
+    t.scan <- t.scan - t.pos;
+    t.len <- n;
+    t.pos <- 0
+  end
+
+let reserve t n =
+  if t.len + n > Bytes.length t.buf then begin
+    compact t;
+    let needed = t.len + n in
+    if needed > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while needed > !cap do
+        cap := !cap * 2
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end
+  end
+
+let feed t src off n =
+  if off < 0 || n < 0 || off + n > Bytes.length src then invalid_arg "Lineio.feed";
+  reserve t n;
+  Bytes.blit src off t.buf t.len n;
+  t.len <- t.len + n
+
+let feed_string t s = feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+(* Reset once fully drained so a long-lived reader shrinks its window
+   bookkeeping back to the origin (capacity is kept). *)
+let reset_if_drained t =
+  if t.pos = t.len then begin
+    t.pos <- 0;
+    t.len <- 0;
+    t.scan <- 0
+  end
+
+let next t =
+  let i = ref t.scan in
+  while !i < t.len && Bytes.get t.buf !i <> '\n' do
+    incr i
+  done;
+  if !i >= t.len then begin
+    t.scan <- t.len;
+    reset_if_drained t;
+    None
+  end
+  else begin
+    let line = Bytes.sub_string t.buf t.pos (!i - t.pos) in
+    t.pos <- !i + 1;
+    t.scan <- t.pos;
+    reset_if_drained t;
+    Some line
+  end
+
+let pending_length t = t.len - t.pos
+
+let take_rest t =
+  let s = Bytes.sub_string t.buf t.pos (t.len - t.pos) in
+  t.pos <- 0;
+  t.len <- 0;
+  t.scan <- 0;
+  s

@@ -1,0 +1,38 @@
+(** Incremental newline framing over fed byte chunks.
+
+    One instance per connection, shared by the {!Session} state
+    machine (server side) and {!Client} (client side): the owner reads
+    from its socket and {!feed}s the raw bytes; {!next} returns the
+    complete lines in arrival order, without their terminating
+    ['\n']. A scan offset remembers how far the pending window has
+    already been searched, so feeding [n] bytes and draining every line
+    in them costs O(n) total — unlike the historical [take_line]
+    helper, which copied the whole pending buffer per line.
+
+    Purely computational: this module performs no I/O and never blocks
+    (sgr-lint's [no-blocking-in-pool] rule enforces that for the
+    session-layer modules). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh reader; [capacity] (default 4096) sizes the initial
+    window, which grows geometrically as needed. *)
+
+val feed : t -> bytes -> int -> int -> unit
+(** [feed t src off n] appends [src.[off..off+n)] to the pending
+    window. @raise Invalid_argument on an out-of-bounds slice. *)
+
+val feed_string : t -> string -> unit
+
+val next : t -> string option
+(** The next complete line, if one is pending ([None] otherwise —
+    feed more bytes). The terminator is consumed but not returned. *)
+
+val pending_length : t -> int
+(** Bytes fed but not yet returned by {!next} (a trailing line with no
+    terminator yet). *)
+
+val take_rest : t -> string
+(** Drain the unterminated tail (for EOF: a trailing line still
+    counts). The reader is empty afterwards. *)

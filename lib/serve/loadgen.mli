@@ -8,26 +8,32 @@
     follows a configurable {e reuse ratio} — high reuse hammers the
     memo, low reuse churns the LRU. Alphas are drawn from the small set
     [{0, 1/4, 1/2, 3/4, 1}] so repeated parameters actually memo-hit.
+    {!generate_multi} derives one such stream per client over a shared
+    instance pool; each stream injects its own [load] lines before
+    first use, so every client is self-contained regardless of how the
+    server interleaves the sessions.
 
-    {!run} replays a stream against either the in-process engine
+    {!run} replays the stream(s) against either the in-process engine
     ([Engine.run_batch], measuring per-request latency through the
     [serve.request_seconds.*] histograms, which it resets first) or a
-    connected socket {!Client} (latency measured client-side around
-    each lockstep [rpc]), and reports p50/p95/p99 latency, throughput
-    and the memo hit rate — the numbers the T11 bench group and
-    [sgr bench serve] gate on. *)
+    set of concurrently connected socket {!Client}s (wave-based
+    pipelining: one request per client in flight per wave, latency
+    measured client-side from each send to its own reply), and reports
+    p50/p95/p99 latency, throughput and the memo hit rate — the
+    numbers the T11 bench group and [sgr bench serve] gate on. *)
 
 type target =
   | In_process of { cache : Cache.t; jobs : int option }
-      (** Replay through {!Engine.run_batch} against [cache]; [jobs]
-          defaults to [Sgr_par.Pool.default_jobs]. Resets the
-          registered serve histograms first so the report covers only
-          this replay. *)
-  | Socket of Client.t
-      (** Replay lockstep over a connected client. The final hit rate
-          is read from a trailing [stats] request (not counted in
+      (** Replay through {!Engine.run_batch} against [cache] (streams
+          concatenated in client order); [jobs] defaults to
+          [Sgr_par.Pool.default_jobs]. Resets the registered serve
+          histograms first so the report covers only this replay. *)
+  | Sockets of Client.t array
+      (** Replay over connected clients, one stream per client, waves
+          of pipelined requests. The final hit rate is read from a
+          trailing [stats] request on the first client (not counted in
           [requests]), so it reflects the server's whole lifetime, not
-          only this stream. *)
+          only this replay. *)
 
 type report = {
   requests : int;  (** Replies received (loads included). *)
@@ -44,11 +50,29 @@ val generate :
   dir:string -> seed:int -> instances:int -> requests:int -> reuse:float -> string list
 (** Write the instance pool into [dir] (must exist) and return the
     request lines: [requests] verb requests plus one [load] per
-    instance, injected before its first use. Deterministic in [seed].
-    Raises [Invalid_argument] unless [instances >= 1], [requests >= 0]
-    and [0 <= reuse <= 1]. *)
+    instance, injected before its first use. Deterministic in [seed],
+    byte-stable across releases (the T11 bench replays it). Raises
+    [Invalid_argument] unless [instances >= 1], [requests >= 0] and
+    [0 <= reuse <= 1]. *)
 
-val run : target -> string list -> report
+val generate_multi :
+  dir:string ->
+  seed:int ->
+  instances:int ->
+  requests:int ->
+  reuse:float ->
+  clients:int ->
+  string list array
+(** One stream per client over a shared pool (written once): [requests]
+    verb requests split as evenly as possible across [clients], each
+    stream seeded independently from [seed] and carrying its own [load]
+    lines (bindings are shared server-side and idempotent, so
+    concurrent re-loads are harmless). Deterministic in
+    [(seed, clients)]. Additionally requires [clients >= 1]. *)
+
+val run : target -> string list array -> report
+(** Raises [Invalid_argument] for [Sockets] unless there is at least
+    one client and exactly one stream per client. *)
 
 val gate : report -> p99_max_s:float -> rps_min:float -> hit_rate_min:float -> string list
 (** Threshold check for CI: one human-readable failure string per

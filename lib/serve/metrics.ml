@@ -4,6 +4,25 @@ module P = Protocol
 
 let fs = P.float_str
 
+(* ---------------- session telemetry ----------------
+
+   The server owns the session table; this module only renders it.
+   [sessions_active] is a plain gauge the event loop moves on
+   accept/close. [session_stats] is a snapshot hook the server installs
+   for the lifetime of its run ([(id, lines_in, replies_out)] per live
+   session); the default renders nothing, so batch-mode expositions are
+   unchanged. Both are Atomics: the hook is installed once per server
+   run and read by the [metrics] verb, which the event loop executes on
+   its own thread. *)
+
+let sessions_active = Atomic.make 0
+
+let session_stats : (unit -> (int * int * int) list) Atomic.t =
+  Atomic.make (fun () -> [])
+
+let set_session_stats f = Atomic.set session_stats f
+let clear_session_stats () = Atomic.set session_stats (fun () -> [])
+
 (* serve.request_seconds.<verb> shares one metric with a verb label;
    every other serve.* histogram maps to a flat sgr_* name. *)
 let verb_hist_prefix = "serve.request_seconds."
@@ -79,6 +98,23 @@ let render cache =
   line "sgr_cache_occupancy %s" (fs s.Cache.occupancy);
   line "# TYPE sgr_memo_hit_rate gauge";
   line "sgr_memo_hit_rate %s" (fs s.Cache.memo_hit_rate);
+  line "# TYPE sgr_sessions_active gauge";
+  line "sgr_sessions_active %d" (Atomic.get sessions_active);
+  line "# TYPE sgr_sessions_opened_total counter";
+  line "sgr_sessions_opened_total %d" (counter_value "serve.sessions");
+  line "# TYPE sgr_sessions_closed_total counter";
+  line "sgr_sessions_closed_total %d" (counter_value "serve.sessions_closed");
+  (match (Atomic.get session_stats) () with
+  | [] -> ()
+  | per_session ->
+      line "# TYPE sgr_session_requests_total counter";
+      List.iter
+        (fun (sid, lines_in, _) -> line "sgr_session_requests_total{session=\"%d\"} %d" sid lines_in)
+        per_session;
+      line "# TYPE sgr_session_replies_total counter";
+      List.iter
+        (fun (sid, _, replies) -> line "sgr_session_replies_total{session=\"%d\"} %d" sid replies)
+        per_session);
   line "# --- latency histograms: scheduling-dependent, exempt from the determinism guarantee ---";
   let snaps =
     List.filter

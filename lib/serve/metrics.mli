@@ -24,6 +24,21 @@
     [sgr_memo_hit_seconds]); per-verb request histograms share one
     metric with a [verb] label. *)
 
+val sessions_active : int Atomic.t
+(** Live-session gauge, moved by the {!Server} event loop on
+    accept/close and rendered as [sgr_sessions_active]. Zero in batch
+    mode. *)
+
+val set_session_stats : (unit -> (int * int * int) list) -> unit
+(** Install the per-session snapshot hook for the duration of a server
+    run: [(session id, request lines received, replies sent)] per live
+    session, rendered as [sgr_session_requests_total] /
+    [sgr_session_replies_total] with a [session] label. The default
+    hook returns [[]] and renders nothing (batch mode). *)
+
+val clear_session_stats : unit -> unit
+(** Restore the default (empty) hook; the server's exit path. *)
+
 val render : Cache.t -> string
 (** The exposition body: newline-separated lines, no trailing
     newline. *)

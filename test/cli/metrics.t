@@ -16,7 +16,7 @@ reproducible too, so the whole exposition can be pinned byte for byte:
   ok solve id=p obj=nash cost=1
   ok solve id=p obj=nash cost=1
   ok solve id=p obj=opt cost=0.75
-  ok metrics lines=61
+  ok metrics lines=67
   # sgr serving metrics (Prometheus text exposition)
   # --- counts and gauges: byte-identical at any --jobs ---
   # TYPE sgr_requests_total counter
@@ -44,6 +44,12 @@ reproducible too, so the whole exposition can be pinned byte for byte:
   sgr_cache_occupancy 0.03125
   # TYPE sgr_memo_hit_rate gauge
   sgr_memo_hit_rate 0.333333333
+  # TYPE sgr_sessions_active gauge
+  sgr_sessions_active 0
+  # TYPE sgr_sessions_opened_total counter
+  sgr_sessions_opened_total 0
+  # TYPE sgr_sessions_closed_total counter
+  sgr_sessions_closed_total 0
   # --- latency histograms: scheduling-dependent, exempt from the determinism guarantee ---
   # TYPE sgr_request_seconds histogram
   sgr_request_seconds_bucket{verb="load",le="0.00100496241"} 1

@@ -43,9 +43,14 @@ by count rather than by content)
 
   $ grep -c 'listening on' serve.log
   1
-  $ sed -n '2,4p' serve.log
-  sgr serve: client quit
-  sgr serve: client quit
+Sessions are numbered in accept order; each logs a connect line and a
+close line (quit vs disconnected):
+
+  $ sed -n '2,6p' serve.log
+  sgr serve: client 1 connected
+  sgr serve: client 1 quit
+  sgr serve: client 2 connected
+  sgr serve: client 2 quit
   sgr serve: stop requested; draining
 
 The drain also dumps a final metrics snapshot into the log. Its counts
@@ -58,5 +63,17 @@ checked for presence only:
   sgr serve: sgr_memo_hit_rate 0.416666667
   $ grep -q 'sgr_request_seconds_bucket{verb=' serve.log && echo latency histograms dumped
   latency histograms dumped
+
+The session telemetry in the dump: both sessions were opened and closed,
+none is live at drain time (per-session counters render only for live
+sessions, so none appear here):
+
+  $ grep -E 'sgr_sessions_(active|opened_total|closed_total) [0-9]+$' serve.log
+  sgr serve: sgr_sessions_active 0
+  sgr serve: sgr_sessions_opened_total 2
+  sgr serve: sgr_sessions_closed_total 2
+  $ grep -c 'sgr_session_requests_total{' serve.log
+  0
+  [1]
   $ tail -n 1 serve.log
   sgr serve: socket removed; bye

@@ -1,0 +1,8 @@
+(* Fixture: no-blocking-in-pool in the session-layer scope — staged as
+   lib/serve/session.ml, where any blocking call fires even outside a
+   Pool.map closure (the event loop must never block). *)
+
+let pump fd buf = ignore (Unix.read fd buf 0 64)
+let backoff () = Thread.delay 0.1
+
+let allowed () = (Unix.sleepf 0.01) [@lint.allow "no-blocking-in-pool"]

@@ -4,12 +4,13 @@ fixtures are staged under a miniature source tree first. Every fixture
 carries one firing case per pattern plus one [@lint.allow]-suppressed
 case, and the suppressed case must be absent from the diagnostics.
 
-  $ mkdir -p lib/state lib/numerics lib/graph
+  $ mkdir -p lib/state lib/numerics lib/graph lib/serve
   $ cp fixtures/mutable_global.ml fixtures/obs_discipline.ml lib/state/
   $ cp fixtures/lib_purity.ml fixtures/no_untyped_failure.ml lib/state/
   $ cp fixtures/bad_allow.ml fixtures/blocking_pool.ml lib/state/
   $ cp fixtures/float_equality.ml lib/numerics/
   $ cp fixtures/quadratic_list.ml lib/graph/
+  $ cp fixtures/session_blocking.ml lib/serve/session.ml
 
 mutable-global: toplevel Hashtbl/Buffer/mutable-record creation fires;
 the annotated ref and the Atomic.make / per-call cases do not:
@@ -39,6 +40,17 @@ Unix.sleepf is absent:
   $ sgr-lint lib/state/blocking_pool.ml
   lib/state/blocking_pool.ml:4:35: [no-blocking-in-pool] Unix.sleep blocks inside a closure passed to Pool.map: a parked worker domain stalls every task queued behind it
   lib/state/blocking_pool.ml:6:35: [no-blocking-in-pool] fetch performs blocking calls and is passed to Pool.map: a parked worker domain stalls every task queued behind it
+  2 findings
+  [1]
+
+no-blocking-in-pool, session scope: inside the serve session-layer
+modules (session.ml, lineio.ml) any blocking call fires, Pool.map or
+not — these state machines run on the server's single event-loop
+thread; the suppressed Unix.sleepf is absent:
+
+  $ sgr-lint lib/serve/session.ml
+  lib/serve/session.ml:5:26: [no-blocking-in-pool] Unix.read blocks inside a session state-machine module: the server's event loop must never block (keep Session/Lineio pure; all I/O belongs to Server)
+  lib/serve/session.ml:6:17: [no-blocking-in-pool] Thread.delay blocks inside a session state-machine module: the server's event loop must never block (keep Session/Lineio pure; all I/O belongs to Server)
   2 findings
   [1]
 
@@ -92,7 +104,7 @@ The whole staged tree in one run comes back sorted by file; a tree with
 only suppressed or conforming sites exits 0:
 
   $ sgr-lint lib | tail -n 1
-  22 findings
+  24 findings
 
   $ mkdir -p clean/lib && cp fixtures/bad_allow.ml clean/lib/ && rm clean/lib/bad_allow.ml
   $ cat > clean/lib/tidy.ml << 'EOF'

@@ -173,22 +173,258 @@ let test_engine_memo_and_reload () =
   Alcotest.(check int) "eviction happened" 1 stats.Cache.evictions;
   Alcotest.(check string) "reload after evict gives the same reply" first (run "solve p nash")
 
+let contains s sub =
+  let n = String.length s and ml = String.length sub in
+  let rec find i = i + ml <= n && (String.equal (String.sub s i ml) sub || find (i + 1)) in
+  find 0
+
+let starts_with s prefix =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
 let test_engine_timeout () =
-  with_instance_file (IF.Links W.fig456) @@ fun path ->
+  (* Pre-emptive deadline: a deadline the request cannot meet aborts the
+     solve mid-compute through the solver checkpoints, and the
+     cancelled result is NOT memoized — the retry recomputes cold. *)
+  let rng = Sgr_numerics.Prng.create 42 in
+  (* Big enough that the cold solve takes tens of milliseconds — the
+     1ms pre-emption below must land well under it. *)
+  let net = W.grid_network rng ~rows:12 ~cols:12 () in
+  with_instance_file (IF.Network net) @@ fun path ->
   let cache = Cache.create ~capacity:4 in
   let run raw = Option.get (Engine.execute_raw cache raw) in
-  ignore (run (Printf.sprintf "load p %s" path));
-  (* A fresh (unmemoized) solve takes well over 0ms; the deadline is
-     enforced post hoc and classified as a timeout. *)
-  let reply = run "@0 optop p" in
-  check_true "deadline 0 on a fresh solve times out"
-    (String.length reply >= 13 && String.equal (String.sub reply 0 13) "error timeout");
-  (* The overrunning result was still memoized: a retry without the
-     deadline is a memo hit with the normal reply. *)
-  let before = (Cache.stats cache).Cache.memo_hits in
-  let retry = run "optop p" in
-  Alcotest.(check int) "retry is a memo hit" (before + 1) (Cache.stats cache).Cache.memo_hits;
-  check_true "retry succeeds" (String.length retry >= 2 && String.equal (String.sub retry 0 2) "ok")
+  ignore (run (Printf.sprintf "load g %s" path));
+  let t0 = Sgr_obs.Obs.now () in
+  let reply = run "@1 mop g" in
+  let cancelled_s = Sgr_obs.Obs.now () -. t0 in
+  check_true "deadline 1ms on a cold mop times out" (starts_with reply "error timeout");
+  check_true "reply says nothing was memoized" (contains reply "no result memoized");
+  (* The cancelled compute left no memo entry: the retry is a miss that
+     recomputes, and only the third run hits. *)
+  let misses_before = (Cache.stats cache).Cache.memo_misses in
+  let t1 = Sgr_obs.Obs.now () in
+  let retry = run "mop g" in
+  let cold_s = Sgr_obs.Obs.now () -. t1 in
+  check_true "retry succeeds" (starts_with retry "ok ");
+  Alcotest.(check int) "retry is a memo miss (nothing was stored)" (misses_before + 1)
+    (Cache.stats cache).Cache.memo_misses;
+  let hits_before = (Cache.stats cache).Cache.memo_hits in
+  ignore (run "mop g");
+  Alcotest.(check int) "third run hits the memo" (hits_before + 1)
+    (Cache.stats cache).Cache.memo_hits;
+  check_true
+    (Printf.sprintf "pre-empted in %.1fms, well under the %.1fms cold solve" (1e3 *. cancelled_s)
+       (1e3 *. cold_s))
+    (cancelled_s < cold_s /. 2.0)
+
+(* ---------------- line reader and sessions ---------------- *)
+
+module Lineio = Sgr_serve.Lineio
+module Session = Sgr_serve.Session
+
+let test_lineio_many_lines_one_read () =
+  (* Many lines arriving in one chunk come back one by one, in order —
+     and the scan offset makes the whole drain O(total bytes), which is
+     what replaced the quadratic per-line Buffer.contents scan. *)
+  let t = Lineio.create ~capacity:8 () in
+  let n = 500 in
+  Lineio.feed_string t
+    (String.concat "" (List.init n (fun i -> Printf.sprintf "line %d\n" i)));
+  let ok = ref 0 in
+  for i = 0 to n - 1 do
+    match Lineio.next t with
+    | Some l when String.equal l (Printf.sprintf "line %d" i) -> incr ok
+    | _ -> ()
+  done;
+  Alcotest.(check int) "every line back, in order" n !ok;
+  check_true "drained" (Lineio.next t = None);
+  Alcotest.(check int) "no pending bytes" 0 (Lineio.pending_length t)
+
+let test_lineio_chunk_boundaries () =
+  let t = Lineio.create ~capacity:4 () in
+  let chunk = Bytes.of_string "alpha\nbe" in
+  Lineio.feed t chunk 0 (Bytes.length chunk);
+  Alcotest.(check (option string)) "complete line" (Some "alpha") (Lineio.next t);
+  Alcotest.(check (option string)) "partial line held back" None (Lineio.next t);
+  Lineio.feed_string t "ta\n\ngam";
+  Alcotest.(check (option string)) "line split across chunks joins" (Some "beta") (Lineio.next t);
+  Alcotest.(check (option string)) "empty line preserved" (Some "") (Lineio.next t);
+  Alcotest.(check (option string)) "tail still partial" None (Lineio.next t);
+  Alcotest.(check int) "pending tail length" 3 (Lineio.pending_length t);
+  Alcotest.(check string) "take_rest returns the unterminated tail" "gam" (Lineio.take_rest t);
+  Alcotest.(check int) "drained after take_rest" 0 (Lineio.pending_length t)
+
+let feed_str s str =
+  let b = Bytes.of_string str in
+  Session.feed s b (Bytes.length b)
+
+let test_session_pipelining () =
+  let s = Session.create ~id:7 in
+  feed_str s "ping\nstats\npi";
+  Alcotest.(check (option string)) "first request" (Some "ping") (Session.next_request s);
+  Alcotest.(check (option string)) "second request" (Some "stats") (Session.next_request s);
+  Alcotest.(check (option string)) "partial line is not a request" None (Session.next_request s);
+  feed_str s "ng\n";
+  Alcotest.(check (option string)) "completed third" (Some "ping") (Session.next_request s);
+  Session.push_reply s "ok pong";
+  Session.push_reply s "ok stats";
+  Alcotest.(check string) "replies queue in order" "ok pong\nok stats\n" (Session.pending_out s);
+  Session.wrote s 3;
+  Alcotest.(check string) "partial write consumes a prefix" "pong\nok stats\n"
+    (Session.pending_out s);
+  Session.wrote s 14;
+  Alcotest.(check string) "drained" "" (Session.pending_out s);
+  check_true "read side still open, not finished" (not (Session.finished s));
+  Alcotest.(check int) "request lines counted" 3 (Session.lines_in s);
+  Alcotest.(check int) "replies counted" 2 (Session.replies_out s)
+
+let test_session_quit_eof_abort () =
+  (* quit discards the rest of the pipeline. *)
+  let s = Session.create ~id:1 in
+  feed_str s "ping\nquit\nping\n";
+  ignore (Session.next_request s);
+  Session.push_reply s "ok pong";
+  Alcotest.(check (option string)) "quit pops" (Some "quit") (Session.next_request s);
+  Session.push_reply s "ok bye";
+  Alcotest.(check (option string)) "requests after quit are discarded" None
+    (Session.next_request s);
+  check_true "not finished until the out queue drains" (not (Session.finished s));
+  Session.wrote s (String.length (Session.pending_out s));
+  check_true "finished once drained" (Session.finished s);
+  Alcotest.(check string) "close reason" "quit" (Session.close_reason s);
+  (* EOF: a trailing unterminated line still counts as a request. *)
+  let s2 = Session.create ~id:2 in
+  feed_str s2 "ping\npi";
+  Session.feed_eof s2;
+  Alcotest.(check (option string)) "line before eof" (Some "ping") (Session.next_request s2);
+  Alcotest.(check (option string)) "trailing unterminated line served" (Some "pi")
+    (Session.next_request s2);
+  Session.push_reply s2 "ok pong";
+  check_true "undrained eof session is not finished" (not (Session.finished s2));
+  Session.wrote s2 (String.length (Session.pending_out s2));
+  check_true "drained eof session finishes" (Session.finished s2);
+  Alcotest.(check string) "close reason" "disconnected" (Session.close_reason s2);
+  (* abort (write failure) drops everything at once. *)
+  let s3 = Session.create ~id:3 in
+  feed_str s3 "ping\nping\n";
+  Session.push_reply s3 "ok pong";
+  Session.abort s3;
+  Alcotest.(check string) "no pending output after abort" "" (Session.pending_out s3);
+  Alcotest.(check (option string)) "no requests after abort" None (Session.next_request s3);
+  check_true "aborted session is finished" (Session.finished s3)
+
+(* ---------------- concurrent server ---------------- *)
+
+module Server = Sgr_serve.Server
+module Client = Sgr_serve.Client
+
+(* An in-process server on a scratch socket, stopped and joined on the
+   way out. *)
+let with_server ?(capacity = 8) f =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let dir = Filename.temp_dir "sgr_serve_test" "" in
+  let socket = Filename.concat dir "s.sock" in
+  let cache = Cache.create ~capacity in
+  let server = Server.create ~socket_path:socket ~cache ~log:(fun _ -> ()) in
+  let th = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop server;
+      Thread.join th;
+      (try Sys.remove socket with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let rec wait n =
+    if Sys.file_exists socket then ()
+    else if n = 0 then Alcotest.fail "server did not come up"
+    else begin
+      Thread.delay 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 500;
+  f socket
+
+let test_server_concurrent_clients () =
+  with_instance_file (IF.Links W.pigou) @@ fun pigou ->
+  with_instance_file (IF.Links W.fig456) @@ fun fig ->
+  let stream1 =
+    [ Printf.sprintf "load a %s" pigou; "solve a nash"; "optop a"; "induced a 0.25" ]
+  in
+  let stream2 = [ Printf.sprintf "load b %s" fig; "solve b nash"; "solve b opt"; "sweep b 0.5" ] in
+  (* Two clients connected at once, their solves interleaved request by
+     request in one server process. *)
+  let inter1, inter2 =
+    with_server @@ fun socket ->
+    let c1 = Client.connect socket and c2 = Client.connect socket in
+    Fun.protect
+      ~finally:(fun () ->
+        Client.close c1;
+        Client.close c2)
+    @@ fun () ->
+    let r1 = ref [] and r2 = ref [] in
+    List.iter2
+      (fun a b ->
+        (match Client.rpc c1 a with Some r -> r1 := r :: !r1 | None -> ());
+        match Client.rpc c2 b with Some r -> r2 := r :: !r2 | None -> ())
+      stream1 stream2;
+    (List.rev !r1, List.rev !r2)
+  in
+  (* The same streams played back to back on a fresh server. Replies
+     are a pure function of (instance, request), so the interleaved run
+     must be byte-identical to the sequential one. *)
+  let seq1, seq2 =
+    with_server @@ fun socket ->
+    let c = Client.connect socket in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    let play stream = List.filter_map (Client.rpc c) stream in
+    let s1 = play stream1 in
+    let s2 = play stream2 in
+    (s1, s2)
+  in
+  Alcotest.(check (list string)) "client 1 replies byte-identical to sequential" seq1 inter1;
+  Alcotest.(check (list string)) "client 2 replies byte-identical to sequential" seq2 inter2
+
+let test_server_pipelined_sessions () =
+  with_instance_file (IF.Links W.pigou) @@ fun pigou ->
+  with_instance_file (IF.Links W.fig456) @@ fun fig ->
+  with_server @@ fun socket ->
+  let c1 = Client.connect socket and c2 = Client.connect socket in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close c1;
+      Client.close c2)
+  @@ fun () ->
+  (* Both clients push their whole pipeline before reading anything:
+     replies still come back complete and in request order per
+     session. *)
+  let s1 = [ Printf.sprintf "load a %s" pigou; "solve a nash"; "ping" ] in
+  let s2 = [ Printf.sprintf "load b %s" fig; "optop b"; "ping" ] in
+  List.iter (fun r -> ignore (Client.send c1 r)) s1;
+  List.iter (fun r -> ignore (Client.send c2 r)) s2;
+  let r1 = List.map (fun _ -> Client.recv c1) s1 in
+  let r2 = List.map (fun _ -> Client.recv c2) s2 in
+  (match r1 with
+  | [ load; solve; pong ] ->
+      check_true "c1 load first" (starts_with load "ok load id=a");
+      Alcotest.(check string) "c1 solve second" "ok solve id=a obj=nash cost=1" solve;
+      Alcotest.(check string) "c1 ping last" "ok pong" pong
+  | _ -> Alcotest.failf "client 1 got %d replies, expected 3" (List.length r1));
+  match r2 with
+  | [ load; optop; pong ] ->
+      check_true "c2 load first" (starts_with load "ok load id=b");
+      check_true "c2 optop second" (starts_with optop "ok optop id=b");
+      Alcotest.(check string) "c2 ping last" "ok pong" pong
+  | _ -> Alcotest.failf "client 2 got %d replies, expected 3" (List.length r2)
+
+let test_server_busy () =
+  with_server @@ fun socket ->
+  let s2 =
+    Server.create ~socket_path:socket ~cache:(Cache.create ~capacity:2) ~log:(fun _ -> ())
+  in
+  match Server.run s2 with
+  | () -> Alcotest.fail "a second server must refuse a live socket"
+  | exception Server.Busy p -> Alcotest.(check string) "busy reports the path" socket p
 
 (* ---------------- batch determinism ---------------- *)
 
@@ -312,7 +548,14 @@ let suite =
     case "protocol: memo keys" test_memo_keys;
     case "engine: pigou golden replies" test_engine_pigou;
     case "engine: memoization and reload-after-evict" test_engine_memo_and_reload;
-    case "engine: post-hoc deadline" test_engine_timeout;
+    case "engine: pre-emptive deadline cancellation" test_engine_timeout;
+    case "lineio: many lines from one read" test_lineio_many_lines_one_read;
+    case "lineio: chunk boundaries and take_rest" test_lineio_chunk_boundaries;
+    case "session: pipelining and partial writes" test_session_pipelining;
+    case "session: quit, eof, abort" test_session_quit_eof_abort;
+    case "server: two concurrent clients match sequential" test_server_concurrent_clients;
+    case "server: pipelined sessions reply in order" test_server_pipelined_sessions;
+    case "server: refuses a live socket" test_server_busy;
     prop_batch_jobs_deterministic;
     case "metrics: reply framing" test_metrics_reply_framing;
     prop_metrics_counts_deterministic;

@@ -13,6 +13,7 @@ type ctx = {
   in_lib : bool;  (* under lib/: purity, failure and global-state rules *)
   numeric : bool;  (* lib/numerics or lib/network: tolerance discipline *)
   hot : bool;  (* lib/graph or lib/network: no quadratic list idioms *)
+  session : bool;  (* lib/serve session-layer modules: never block *)
 }
 
 let ctx_of_path path =
@@ -23,6 +24,11 @@ let ctx_of_path path =
     in_lib;
     numeric = in_lib && (has "numerics" || has "network");
     hot = in_lib && (has "graph" || has "network");
+    (* The event-loop state machines: these run on the server's single
+       serving thread, so one blocking call stalls every session. *)
+    session =
+      (in_lib && has "serve")
+      && List.mem (Filename.basename path) [ "session.ml"; "lineio.ml" ];
   }
 
 let rules =
@@ -40,7 +46,8 @@ let rules =
     ("lib-purity", "no direct stdout/stderr output from lib/; print from bin/ or an Obs sink");
     ( "no-blocking-in-pool",
       "blocking syscalls (Unix.sleep/select/read/..., Thread.delay/join) must not run \
-       inside closures handed to Pool.map/map_array" );
+       inside closures handed to Pool.map/map_array, nor anywhere in the serve \
+       session-layer modules (session.ml, lineio.ml) driven by the event loop" );
     ("no-untyped-failure", "failwith / assert false in lib/ needs an explicit allow");
     ( "quadratic-list",
       "List.mem/List.assoc/List.nth/(@) in lib/graph and lib/network hot paths" );
@@ -362,6 +369,16 @@ let collect ~path (str : structure) : Lint_diag.t list =
         | None -> ())
     | Pexp_ident { txt; _ } ->
         let p = flatten txt in
+        (if ctx.session then
+           match blocking_call p with
+           | Some what ->
+               emit ~rule:"no-blocking-in-pool" e.pexp_loc
+                 (Printf.sprintf
+                    "%s blocks inside a session state-machine module: the server's event \
+                     loop must never block (keep Session/Lineio pure; all I/O belongs to \
+                     Server)"
+                    what)
+           | None -> ());
         if ctx.in_lib && is_print p then
           emit ~rule:"lib-purity" e.pexp_loc
             (Printf.sprintf
