@@ -452,6 +452,106 @@ let run_t11 ~requests ~instances ~reuse () =
   in
   { entry; gate_failures }
 
+(* ---------------- T12: closed-form vs bisection water-filling ----------------
+
+   The closed-form affine engine against the bisection oracle on the
+   same instances: plain random affine games at each size plus
+   toll-shifted variants (marginal-cost tolls bump the intercepts and a
+   leader-flow [Latency.shift] wraps every latency in a Shifted kind,
+   which the engine reduces without leaving closed form). The headline
+   numbers are median ns per nash+opt solve pair for both engines and
+   the speedup, plus the [bisection.iterations] spent by the T1/T3-style
+   workloads under auto dispatch vs forced bisection — the quick gate
+   requires >= 10x on the mid size and a >= 90% iteration drop. *)
+
+type t12_result = {
+  entry : obs_entry;
+  min_speedup : float;
+  auto_iters : int;
+  bisect_iters : int;
+}
+
+(* [bisection.iterations] burned by a miniature T1 + T3 workload when the
+   ambient default engine is [engine] — the zero-call-site-change
+   inheritance the dispatch promises. *)
+let t12_iterations_with engine =
+  let prev = Links.default_engine () in
+  Links.set_default_engine engine;
+  Fun.protect ~finally:(fun () -> Links.set_default_engine prev) @@ fun () ->
+  let before = Obs.counters () in
+  List.iter
+    (fun m ->
+      let t = links_instance m in
+      ignore (Links.nash t);
+      ignore (Links.opt t))
+    [ 10; 100 ];
+  let t3 = W.random_common_slope_links (Prng.create 3008) ~m:8 ~demand:1.0 () in
+  let alpha = 0.7 *. Float.max 0.05 (Stackelberg.Optop.beta t3) in
+  ignore (Stackelberg.Linear_exact.solve t3 ~alpha);
+  match List.assoc_opt "bisection.iterations" (counter_delta before (Obs.counters ())) with
+  | Some v -> v
+  | None -> 0
+
+let run_t12 ~sizes ~repeats () =
+  let t0 = Obs.now () in
+  let counters = ref [] in
+  let min_speedup = ref Float.infinity in
+  let tolled_instance m =
+    let tolled = Stackelberg.Tolls.tolled_links (links_instance m) in
+    Links.make
+      (Array.map (Sgr_latency.Latency.shift 0.125) tolled.Links.latencies)
+      ~demand:tolled.Links.demand
+  in
+  let bench tag t =
+    let batch = Int.max 4 (1000 / Links.num_links t) in
+    let medians =
+      median_ns_interleaved ~repeats ~batch
+        [|
+          (fun () ->
+            ignore (Links.nash ~engine:`Closed_form t);
+            ignore (Links.opt ~engine:`Closed_form t));
+          (fun () ->
+            ignore (Links.nash ~engine:`Bisection t);
+            ignore (Links.opt ~engine:`Bisection t));
+        |]
+    in
+    let cf = medians.(0) and bi = medians.(1) in
+    let speedup = float_of_int bi /. float_of_int (Int.max 1 cf) in
+    min_speedup := Float.min !min_speedup speedup;
+    Format.printf "  %-28s %8.3f µs@."
+      (tag ^ "/closed-form")
+      (float_of_int cf /. 1e3);
+    Format.printf "  %-28s %8.3f µs  (%.1fx closed-form)@." (tag ^ "/bisection")
+      (float_of_int bi /. 1e3) speedup;
+    counters :=
+      (Printf.sprintf "t12.%s.bisection_ns" tag, bi)
+      :: (Printf.sprintf "t12.%s.closed_form_ns" tag, cf)
+      :: (Printf.sprintf "t12.%s.speedup_x10" tag, int_of_float (10.0 *. speedup))
+      :: !counters
+  in
+  List.iter
+    (fun m ->
+      bench (Printf.sprintf "affine/m=%d" m) (links_instance m);
+      bench (Printf.sprintf "tolled/m=%d" m) (tolled_instance m))
+    sizes;
+  let auto_iters = t12_iterations_with `Auto in
+  let bisect_iters = t12_iterations_with `Bisection in
+  Format.printf "  %-28s %8d  (auto dispatch, vs %d forced bisection)@."
+    "bisection.iterations" auto_iters bisect_iters;
+  counters :=
+    ("t12.auto.bisection_iterations", auto_iters)
+    :: ("t12.bisection.bisection_iterations", bisect_iters)
+    :: !counters;
+  let entry =
+    {
+      group = "T12 closed-form water-filling";
+      wall_s = Obs.now () -. t0;
+      counters = List.rev !counters;
+      spans = [];
+    }
+  in
+  { entry; min_speedup = !min_speedup; auto_iters; bisect_iters }
+
 let run_all () =
   Format.printf "@.=== Timing suite (bechamel, monotonic clock, OLS ns/run) ===@.";
   let instance = Toolkit.Instance.monotonic_clock in
@@ -507,6 +607,9 @@ let run_all () =
   Format.printf "@.=== T11 serving latency (synthetic load) ===@.";
   let t11 = run_t11 ~requests:2000 ~instances:12 ~reuse:0.6 () in
   entries := t11.entry :: !entries;
+  Format.printf "@.=== T12 closed-form water-filling (vs bisection oracle) ===@.";
+  let t12 = run_t12 ~sizes:[ 10; 100; 1000 ] ~repeats:9 () in
+  entries := t12.entry :: !entries;
   write_obs_json "BENCH_obs.json" (List.rev !entries);
   Format.printf "@.wrote BENCH_obs.json (per-experiment span totals + counter snapshots)@."
 
@@ -524,13 +627,24 @@ let run_quick () =
   let r10 = run_t10 ~grid_n:6 ~reqs:30 () in
   Format.printf "@.=== T11 quick smoke (serving latency gate) ===@.";
   let r11 = run_t11 ~requests:300 ~instances:6 ~reuse:0.6 () in
+  Format.printf "@.=== T12 quick smoke (closed-form vs bisection) ===@.";
+  let r12 = run_t12 ~sizes:[ 100 ] ~repeats:5 () in
   let sweep_ok = r1.sweep_identical && r2.sweep_identical in
   let cache_ok = r10.speedup >= 5.0 in
   let latency_ok = r11.gate_failures = [] in
+  let closed_form_ok = r12.min_speedup >= 10.0 in
+  let iters_ok = r12.auto_iters * 10 <= r12.bisect_iters in
   if not sweep_ok then
     Format.printf "FAIL: pooled alpha sweep diverged from the sequential curve@.";
   if not cache_ok then
     Format.printf "FAIL: warm serving-cache pass only %.2fx faster than cold (need 5x)@."
       r10.speedup;
   List.iter (fun m -> Format.printf "FAIL: T11 %s@." m) r11.gate_failures;
-  sweep_ok && cache_ok && latency_ok
+  if not closed_form_ok then
+    Format.printf "FAIL: closed-form engine only %.2fx faster than bisection (need 10x)@."
+      r12.min_speedup;
+  if not iters_ok then
+    Format.printf
+      "FAIL: auto dispatch still burned %d bisection iterations (forced bisection: %d; need >= 90%% drop)@."
+      r12.auto_iters r12.bisect_iters;
+  sweep_ok && cache_ok && latency_ok && closed_form_ok && iters_ok

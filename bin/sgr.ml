@@ -114,6 +114,20 @@ let solver_arg =
            scales to networks with exponentially many paths; $(b,exhaustive) enumerates every \
            simple path up front (oracle for small instances; capped at 20,000 paths).")
 
+let links_solver_arg =
+  let engine =
+    Arg.enum [ ("auto", `Auto); ("closed-form", `Closed_form); ("bisection", `Bisection) ]
+  in
+  Arg.(
+    value
+    & opt engine `Auto
+    & info [ "links-engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Parallel-links water-filling engine: $(b,auto) (default) solves instances whose \
+           latencies are all affine/constant in closed form (O(m log m), no bisection) and \
+           bisects on the common level otherwise; $(b,closed-form) and $(b,bisection) force one \
+           side (closed-form still falls back on links with no affine reduction).")
+
 let jobs_arg =
   Arg.(
     value
@@ -136,8 +150,9 @@ let fixed_clock_arg =
 
 let obs_term =
   Term.(
-    const (fun trace stats engine jobs fixed_clock ->
+    const (fun trace stats engine links_engine jobs fixed_clock ->
         Eq.set_default_engine engine;
+        Links.set_default_engine links_engine;
         Option.iter Sgr_par.Pool.set_default_jobs jobs;
         if fixed_clock then begin
           let ticks = ref 0.0 in
@@ -146,7 +161,7 @@ let obs_term =
               !ticks)
         end;
         (trace, stats))
-    $ trace_arg $ stats_arg $ solver_arg $ jobs_arg $ fixed_clock_arg)
+    $ trace_arg $ stats_arg $ solver_arg $ links_solver_arg $ jobs_arg $ fixed_clock_arg)
 
 (* ---------------- solve ---------------- *)
 
@@ -453,6 +468,36 @@ let tolls_cmd =
          "Compute marginal-cost (Pigouvian) tolls and the tolled equilibrium — the first-best \
           pricing benchmark the paper's introduction contrasts with Stackelberg control.")
     Term.(const run $ file_arg $ obs_term)
+
+(* ---------------- pricing ---------------- *)
+
+let pricing_cmd =
+  let rounds_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "rounds" ] ~docv:"N" ~doc:"Best-response round budget (default 64).")
+  in
+  let run path rounds (trace, stats) =
+    with_obs ~trace ~stats @@ fun () ->
+    let t = require_links (load_instance path) in
+    match Sgr_links.Pricing.best_response ~max_rounds:rounds t with
+    | r ->
+        Format.printf "%a@." Sgr_links.Pricing.pp r;
+        Format.printf "optimum C(O)    = %.9g@." (Links.cost t (Links.opt t).assignment);
+        Format.printf "price of pricing = %.6g@." (Sgr_links.Pricing.price_of_pricing t r)
+    | exception Invalid_argument m ->
+        Format.eprintf "error: %s@." m;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "pricing"
+       ~doc:
+         "Best-response toll pricing on parallel affine links: each link's profit-maximizing \
+          owner sets a toll, users route selfishly under latency + toll, and the dynamics run \
+          to a pricing equilibrium (Goldberg-Polpinit) — every payoff probe is one closed-form \
+          water-fill.")
+    Term.(const run $ file_arg $ rounds_arg $ obs_term)
 
 (* ---------------- bound ---------------- *)
 
@@ -885,6 +930,7 @@ let () =
        (Cmd.group info
           [
             solve_cmd; optop_cmd; mop_cmd; llf_cmd; scale_cmd; thm24_cmd; sweep_cmd; profile_cmd;
-            bound_cmd; tolls_cmd; info_cmd; catalog_cmd; random_cmd; batch_cmd; serve_cmd;
+            bound_cmd; tolls_cmd; pricing_cmd; info_cmd; catalog_cmd; random_cmd; batch_cmd;
+            serve_cmd;
             bench_cmd;
           ]))

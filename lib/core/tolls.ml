@@ -4,34 +4,13 @@ module Eq = Sgr_network.Equilibrate
 module Obj = Sgr_network.Objective
 module L = Sgr_latency.Latency
 
-let add_toll lat toll =
-  if toll <= 0.0 then lat
-  else
-    (* ℓ(x) + τ keeps derivative and shifts the primitive linearly; the
-       sum is again a valid latency value. *)
-    L.custom
-      ~label:(Format.asprintf "%a + toll %.4g" L.pp lat toll)
-      ~eval:(fun x -> L.eval lat x +. toll)
-      ~deriv:(L.deriv lat)
-      ~primitive:(fun x -> L.primitive lat x +. (toll *. x))
-      ()
-
-(* Adding a constant toll to an affine/constant/polynomial latency stays in
-   closed form; prefer that so solvers keep their fast inverses. *)
-let add_toll_exact lat toll =
-  if toll <= 0.0 then lat
-  else
-    match L.kind lat with
-    | L.Constant c -> L.constant (c +. toll)
-    | L.Affine { slope; intercept } -> L.affine ~slope ~intercept:(intercept +. toll)
-    | L.Polynomial coeffs ->
-        let coeffs = Array.copy coeffs in
-        if Array.length coeffs = 0 then L.constant toll
-        else begin
-          coeffs.(0) <- coeffs.(0) +. toll;
-          L.polynomial coeffs
-        end
-    | L.Mm1 _ | L.Bpr _ | L.Shifted _ | L.Custom _ -> add_toll lat toll
+(* Tolls are first-class constant latency shifts now: [L.shift_intercept]
+   keeps affine/constant/polynomial latencies in closed form (so the
+   solvers keep their fast inverses and the closed-form links engine its
+   reduction) and wraps the rest. Marginal-cost tolls are nonnegative by
+   construction, but guard anyway so a denormal negative product cannot
+   reach the constructor. *)
+let add_toll_exact lat toll = if toll <= 0.0 then lat else L.shift_intercept toll lat
 
 let links_tolls instance =
   let opt = (Links.opt instance).assignment in

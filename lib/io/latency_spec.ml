@@ -40,11 +40,25 @@ let parse_floats ws =
   in
   go [] ws
 
-let parse s =
+let rec parse s =
   let s = String.trim s in
   if s = "" then Error "empty latency specification"
   else
     match words (String.lowercase_ascii s) with
+    | "shifted" :: off :: (_ :: _ as rest) -> (
+        (* [shifted S SPEC] is x ↦ SPEC(S + x): the a-posteriori latency
+           of a link pre-loaded with S units of flow. The base is a full
+           recursive specification, so nesting parses — and [shift]
+           canonicalizes it by summing the offsets, so the round trip
+           through {!print_canonical} is still a fixed point. *)
+        match float_of_string_opt off with
+        | Some s when s >= 0.0 -> (
+            match parse (String.concat " " rest) with
+            | Ok base -> Ok (L.shift s base)
+            | Error m -> Error (Printf.sprintf "shifted: %s" m))
+        | _ -> Error "shifted expects 'shifted OFFSET SPEC' with a nonnegative offset")
+    | [ "shifted" ] | [ "shifted"; _ ] ->
+        Error "shifted expects 'shifted OFFSET SPEC' with a nonnegative offset"
     | "const" :: rest -> (
         match parse_floats rest with
         | Some [ c ] when c >= 0.0 -> Ok (L.constant c)
@@ -85,19 +99,21 @@ let print lat =
     let s = Printf.sprintf "%.12g" f in
     s
   in
-  match L.kind lat with
-  | L.Constant c -> num c
-  | L.Affine { slope; intercept } ->
-      (* Serializer cosmetics: exact zero decides whether the term shows. *)
-      if (intercept = 0.0) [@lint.allow "float-equality"] then Printf.sprintf "%sx" (num slope)
-      else Printf.sprintf "%sx + %s" (num slope) (num intercept)
-  | L.Polynomial coeffs ->
-      "poly " ^ String.concat " " (List.map num (Array.to_list coeffs))
-  | L.Mm1 { capacity } -> Printf.sprintf "mm1 %s" (num capacity)
-  | L.Bpr { free_flow; capacity; alpha; beta } ->
-      Printf.sprintf "bpr %s %s %s %s" (num free_flow) (num capacity) (num alpha) (num beta)
-  | L.Shifted _ -> invalid_arg "Latency_spec.print: shifted latencies are not serializable"
-  | L.Custom _ -> invalid_arg "Latency_spec.print: custom latencies are not serializable"
+  let rec go = function
+    | L.Constant c -> num c
+    | L.Affine { slope; intercept } ->
+        (* Serializer cosmetics: exact zero decides whether the term shows. *)
+        if (intercept = 0.0) [@lint.allow "float-equality"] then Printf.sprintf "%sx" (num slope)
+        else Printf.sprintf "%sx + %s" (num slope) (num intercept)
+    | L.Polynomial coeffs ->
+        "poly " ^ String.concat " " (List.map num (Array.to_list coeffs))
+    | L.Mm1 { capacity } -> Printf.sprintf "mm1 %s" (num capacity)
+    | L.Bpr { free_flow; capacity; alpha; beta } ->
+        Printf.sprintf "bpr %s %s %s %s" (num free_flow) (num capacity) (num alpha) (num beta)
+    | L.Shifted { offset; base } -> Printf.sprintf "shifted %s %s" (num offset) (go base)
+    | L.Custom _ -> invalid_arg "Latency_spec.print: custom latencies are not serializable"
+  in
+  go (L.kind lat)
 
 (* Canonical form: keyword head + hex float literals ([%h]), one fixed
    field order per kind. [float_of_string] reads hex literals back
@@ -108,15 +124,21 @@ let print lat =
    printing is also stable across one round trip. *)
 let print_canonical lat =
   let h = Printf.sprintf "%h" in
-  match L.kind lat with
-  | L.Constant c -> Printf.sprintf "const %s" (h c)
-  | L.Affine { slope; intercept } -> Printf.sprintf "affine %s %s" (h slope) (h intercept)
-  | L.Polynomial coeffs ->
-      "poly " ^ String.concat " " (List.map h (Array.to_list coeffs))
-  | L.Mm1 { capacity } -> Printf.sprintf "mm1 %s" (h capacity)
-  | L.Bpr { free_flow; capacity; alpha; beta } ->
-      Printf.sprintf "bpr %s %s %s %s" (h free_flow) (h capacity) (h alpha) (h beta)
-  | L.Shifted _ ->
-      invalid_arg "Latency_spec.print_canonical: shifted latencies are not serializable"
-  | L.Custom _ ->
-      invalid_arg "Latency_spec.print_canonical: custom latencies are not serializable"
+  let rec go = function
+    | L.Constant c -> Printf.sprintf "const %s" (h c)
+    | L.Affine { slope; intercept } -> Printf.sprintf "affine %s %s" (h slope) (h intercept)
+    | L.Polynomial coeffs ->
+        "poly " ^ String.concat " " (List.map h (Array.to_list coeffs))
+    | L.Mm1 { capacity } -> Printf.sprintf "mm1 %s" (h capacity)
+    | L.Bpr { free_flow; capacity; alpha; beta } ->
+        Printf.sprintf "bpr %s %s %s %s" (h free_flow) (h capacity) (h alpha) (h beta)
+    | L.Shifted { offset; base } ->
+        (* [shift] flattens nesting on construction, so the offset here
+           is the total and [base] is never itself [Shifted]: one round
+           trip reproduces the kind bit-exactly and the printer is a
+           fixed point of it. *)
+        Printf.sprintf "shifted %s %s" (h offset) (go base)
+    | L.Custom _ ->
+        invalid_arg "Latency_spec.print_canonical: custom latencies are not serializable"
+  in
+  go (L.kind lat)

@@ -10,7 +10,11 @@
     - ["poly C0 C1 C2 ..."] — polynomial coefficients by ascending degree;
     - ["affine A B"] — keyword form of [Ax + B]. Unlike the expression
       form, the numbers are whitespace-delimited tokens, so hex float
-      literals are accepted (the canonical printer uses them).
+      literals are accepted (the canonical printer uses them);
+    - ["shifted S SPEC"] — [x ↦ SPEC(S + x)], a link pre-loaded with
+      [S >= 0] units of flow; [SPEC] is any specification, recursively.
+      Nested shifts are canonicalized on construction (offsets sum), so
+      the parsed kind is never doubly shifted.
 *)
 
 val parse : string -> (Sgr_latency.Latency.t, string) result
@@ -21,13 +25,17 @@ val parse_exn : string -> Sgr_latency.Latency.t
 
 val print : Sgr_latency.Latency.t -> string
 (** Render a latency back into parseable form.
-    [parse (print l)] reproduces [l] for every non-[Custom], non-[Shifted]
-    latency. @raise Invalid_argument on [Custom]/[Shifted] kinds. *)
+    [parse (print l)] reproduces [l] for every non-[Custom] latency
+    (including [Shifted] ones, via the [shifted] keyword form).
+    @raise Invalid_argument on [Custom] kinds, including a [Shifted]
+    whose base is [Custom]. *)
 
 val print_canonical : Sgr_latency.Latency.t -> string
 (** Canonical serialization: fixed keyword head per kind, parameters as
     hex float literals ([%h]) in a fixed order. [parse (print_canonical l)]
     reproduces [l]'s kind and parameters {e bit-exactly}, and
     [print_canonical] is stable under that round trip — the foundation of
-    {!Sgr_serve.Fingerprint}. @raise Invalid_argument on
-    [Custom]/[Shifted] kinds. *)
+    {!Sgr_serve.Fingerprint}. [Shifted] kinds serialize as
+    [shifted OFFSET BASE]; construction flattens nesting, so the base is
+    never itself shifted. @raise Invalid_argument on [Custom] kinds,
+    including a [Shifted] whose base is [Custom]. *)

@@ -131,12 +131,102 @@ let shift s base =
      must build a [Shifted] node. *)
   if (s = 0.0) [@lint.allow "float-equality"] then base
   else
+    (* Canonical form: shifting a shifted latency sums the offsets instead
+       of nesting [Shifted] nodes, so structurally equal latencies built by
+       different shift sequences have equal kinds (and hence equal
+       canonical serializations and fingerprints). The evaluation closures
+       chain through [base] either way — ℓ((s₁+s₂)+x) = (ℓ∘(+s₂))(s₁+x). *)
+    let kind =
+      match base.kind with
+      | Shifted { offset; base = inner } -> Shifted { offset = s +. offset; base = inner }
+      | k -> Shifted { offset = s; base = k }
+    in
     {
-      kind = Shifted { offset = s; base = base.kind };
+      kind;
       eval = (fun x -> base.eval (s +. x));
       deriv = (fun x -> base.deriv (s +. x));
       primitive = (fun x -> base.primitive (s +. x) -. base.primitive s);
     }
+
+let rec pp_kind ppf = function
+  | Constant c -> Format.fprintf ppf "%.4g" c
+  | Affine { slope; intercept } ->
+      (* Printer cosmetics: exact zero decides whether the term shows. *)
+      if (intercept = 0.0) [@lint.allow "float-equality"] then Format.fprintf ppf "%.4gx" slope
+      else Format.fprintf ppf "%.4gx + %.4g" slope intercept
+  | Polynomial coeffs ->
+      let first = ref true in
+      Array.iteri
+        (fun i c ->
+          if (c <> 0.0) [@lint.allow "float-equality"] || (i = 0 && Array.length coeffs = 1)
+          then begin
+            if not !first then Format.pp_print_string ppf " + ";
+            first := false;
+            match i with
+            | 0 -> Format.fprintf ppf "%.4g" c
+            | 1 -> Format.fprintf ppf "%.4gx" c
+            | _ -> Format.fprintf ppf "%.4gx^%d" c i
+          end)
+        coeffs;
+      if !first then Format.pp_print_string ppf "0"
+  | Mm1 { capacity } -> Format.fprintf ppf "1/(%.4g - x)" capacity
+  | Bpr { free_flow; capacity; alpha; beta } ->
+      Format.fprintf ppf "%.4g(1 + %.4g(x/%.4g)^%.4g)" free_flow alpha capacity beta
+  | Shifted { offset; base } -> Format.fprintf ppf "(%a)∘(+%.4g)" pp_kind base offset
+  | Custom label -> Format.pp_print_string ppf label
+
+(* Rebuild a closed-form latency value from its kind; [None] for the
+   kinds that carry behaviour outside the kind ([Custom]'s closures,
+   [Shifted]'s base value). Used by [shift_intercept] to stay in closed
+   form under a [Shifted] node. *)
+let of_kind_opt = function
+  | Constant c -> Some (constant c)
+  | Affine { slope; intercept } -> Some (affine ~slope ~intercept)
+  | Polynomial coeffs -> Some (polynomial coeffs)
+  | Mm1 { capacity } -> Some (mm1 ~capacity)
+  | Bpr { free_flow; capacity; alpha; beta } ->
+      Some (bpr ~free_flow ~capacity ~alpha ~beta ())
+  | Shifted _ | Custom _ -> None
+
+(* Tolls enter latencies as constant intercept shifts: ℓ(x) + τ. The sum
+   keeps the derivative and shifts the primitive linearly, so it is again
+   a valid latency; the closed-form kinds absorb τ into their
+   coefficients so solvers keep their fast inverses (and the affine
+   closed-form engine its reduction). *)
+let rec shift_intercept tau t =
+  if tau < 0.0 then invalid_arg "Latency.shift_intercept: negative shift";
+  (* Exact test by design: a zero shift is the identity. *)
+  if (tau = 0.0) [@lint.allow "float-equality"] then t
+  else
+    match t.kind with
+    | Constant c -> constant (c +. tau)
+    | Affine { slope; intercept } -> affine ~slope ~intercept:(intercept +. tau)
+    | Polynomial coeffs ->
+        let coeffs = Array.copy coeffs in
+        if Array.length coeffs = 0 then constant tau
+        else begin
+          coeffs.(0) <- coeffs.(0) +. tau;
+          polynomial coeffs
+        end
+    | Shifted { offset; base } -> (
+        (* base(offset + x) + τ = (base + τ)(offset + x): push the shift
+           into the base when the base is reconstructible. *)
+        match of_kind_opt base with
+        | Some b -> shift offset (shift_intercept tau b)
+        | None ->
+            {
+              kind = Custom (Format.asprintf "%a + %.4g" pp_kind t.kind tau);
+              eval = (fun x -> t.eval x +. tau);
+              deriv = t.deriv;
+              primitive = (fun x -> t.primitive x +. (tau *. x));
+            })
+    | Mm1 _ | Bpr _ | Custom _ ->
+        {
+          kind = Custom (Format.asprintf "%a + %.4g" pp_kind t.kind tau);
+          eval = (fun x -> t.eval x +. tau);
+          deriv = t.deriv;
+          primitive = (fun x -> t.primitive x +. (tau *. x));
+        }
 
 let rec kind_constant_value = function
   | Constant c -> Some c
@@ -209,33 +299,6 @@ let inverse_marginal t y =
       (* marginal of x ↦ a(s+x)+b is a(s+x)+b + x·a = 2a·x + (a·s + b) *)
       Float.max 0.0 ((y -. intercept -. (slope *. offset)) /. (2.0 *. slope))
   | _ -> inverse_of marginal t y
-
-let rec pp_kind ppf = function
-  | Constant c -> Format.fprintf ppf "%.4g" c
-  | Affine { slope; intercept } ->
-      (* Printer cosmetics: exact zero decides whether the term shows. *)
-      if (intercept = 0.0) [@lint.allow "float-equality"] then Format.fprintf ppf "%.4gx" slope
-      else Format.fprintf ppf "%.4gx + %.4g" slope intercept
-  | Polynomial coeffs ->
-      let first = ref true in
-      Array.iteri
-        (fun i c ->
-          if (c <> 0.0) [@lint.allow "float-equality"] || (i = 0 && Array.length coeffs = 1)
-          then begin
-            if not !first then Format.pp_print_string ppf " + ";
-            first := false;
-            match i with
-            | 0 -> Format.fprintf ppf "%.4g" c
-            | 1 -> Format.fprintf ppf "%.4gx" c
-            | _ -> Format.fprintf ppf "%.4gx^%d" c i
-          end)
-        coeffs;
-      if !first then Format.pp_print_string ppf "0"
-  | Mm1 { capacity } -> Format.fprintf ppf "1/(%.4g - x)" capacity
-  | Bpr { free_flow; capacity; alpha; beta } ->
-      Format.fprintf ppf "%.4g(1 + %.4g(x/%.4g)^%.4g)" free_flow alpha capacity beta
-  | Shifted { offset; base } -> Format.fprintf ppf "(%a)∘(+%.4g)" pp_kind base offset
-  | Custom label -> Format.pp_print_string ppf label
 
 let pp ppf t = pp_kind ppf t.kind
 let to_string t = Format.asprintf "%a" pp t

@@ -68,7 +68,20 @@ val custom :
 
 val shift : float -> t -> t
 (** [shift s ℓ] is [x ↦ ℓ(s + x)]: the a-posteriori latency of a link
-    pre-loaded with Leader flow [s >= 0]. *)
+    pre-loaded with Leader flow [s >= 0]. Shifting an already-shifted
+    latency sums the offsets — the resulting {!kind} never nests
+    [Shifted] inside [Shifted], so structurally equal latencies have
+    equal kinds regardless of how the total shift was accumulated (the
+    canonical-serialization/fingerprint invariant rests on this). *)
+
+val shift_intercept : float -> t -> t
+(** [shift_intercept τ ℓ] is [x ↦ ℓ(x) + τ]: a constant additive delay —
+    the latency seen by users of a link charging toll [τ >= 0]. Constant,
+    affine and polynomial latencies (also under a [Shifted] node) absorb
+    [τ] into their coefficients, so the result keeps its closed-form kind
+    and fast inverses; other kinds fall back to an opaque [Custom] wrapper
+    with exact derivative and primitive.
+    @raise Invalid_argument if [τ < 0]. *)
 
 (** {1 Evaluation} *)
 

@@ -52,12 +52,28 @@ type solution = {
           (optimum). *)
 }
 
-val nash : t -> solution
+module Closed_form = Closed_form
+(** The O(m log m) affine fast engine; see {!Closed_form}. *)
+
+type engine = [ `Auto | `Closed_form | `Bisection ]
+(** Which water-filling engine {!nash}/{!opt} run. [`Auto] (the default)
+    dispatches to {!Closed_form} exactly when every link latency is
+    affine-reducible and bisects otherwise; [`Closed_form] and
+    [`Bisection] force one side ([`Closed_form] still falls back — and
+    counts [links.closed_form.fallbacks] — when a link does not
+    reduce). *)
+
+val set_default_engine : engine -> unit
+(** Set the ambient engine used when no [?engine] is passed. *)
+
+val default_engine : unit -> engine
+
+val nash : ?engine:engine -> t -> solution
 (** The Wardrop equilibrium of [(M, r)]. Unique for strictly increasing
     latencies; with constant-latency links, ties at the level are split
     evenly (the cost is invariant to the split). *)
 
-val opt : t -> solution
+val opt : ?engine:engine -> t -> solution
 (** The optimum assignment of [(M, r)]. *)
 
 val price_of_anarchy : t -> float

@@ -173,6 +173,36 @@ Marginal-cost tolls restore the optimum:
   latency cost    = 1.5
   optimum C(O)    = 1.5
 
+Best-response toll pricing on a two-owner affine duopoly converges to
+the analytic equilibrium (tolls 5/3 and 4/3, price of pricing 19/18);
+every payoff probe is one closed-form water-fill:
+
+  $ cat > duopoly.sgr << 'EOF'
+  > links
+  > demand 1
+  > link x
+  > link 2x
+  > EOF
+  $ sgr pricing duopoly.sgr
+  tolls     = ⟨1.66667, 1.33333⟩
+  flow      = ⟨0.555556, 0.444444⟩
+  revenues  = ⟨0.925926, 0.592593⟩
+  level     = 2.22222
+  user cost = 0.703704
+  rounds    = 48 (converged)
+  optimum C(O)    = 0.666666667
+  price of pricing = 1.05556
+
+The forced engines agree byte-for-byte on affine instances, and
+pricing rejects instances it cannot price:
+
+  $ sgr solve pigou.sgr --links-engine closed-form > cf.out
+  $ sgr solve pigou.sgr --links-engine bisection > bi.out
+  $ diff cf.out bi.out
+  $ sgr pricing pigou.sgr
+  error: Pricing.best_response: a constant-latency link has no best response (drop it)
+  [2]
+
 Random instances are reproducible from their seed:
 
   $ sgr random common-slope --seed 3 --size 3 > r1.sgr

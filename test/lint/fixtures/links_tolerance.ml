@@ -1,0 +1,12 @@
+(* Fixture: float-equality scoping for the links water-filling engine.
+   lib/links is a numeric module, so the bare polymorphic min/compare
+   forms fire there (they are silent outside the numeric scope); the
+   Tolerance-helper and Float.* idioms the engine actually uses do not. *)
+
+let at_bottom x = x = 0.0
+let at_level_ok b level = Tolerance.approx ~eps:1e-9 b level
+let lowest a b = min a b
+let lowest_ok a b = Float.min a b
+let ordered a b = compare a b
+let ordered_ok a b = (compare a b) [@lint.allow "float-equality"]
+let clamped x = Tolerance.clamp_nonneg x

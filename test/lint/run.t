@@ -4,11 +4,12 @@ fixtures are staged under a miniature source tree first. Every fixture
 carries one firing case per pattern plus one [@lint.allow]-suppressed
 case, and the suppressed case must be absent from the diagnostics.
 
-  $ mkdir -p lib/state lib/numerics lib/graph lib/serve
+  $ mkdir -p lib/state lib/numerics lib/links lib/graph lib/serve
   $ cp fixtures/mutable_global.ml fixtures/obs_discipline.ml lib/state/
   $ cp fixtures/lib_purity.ml fixtures/no_untyped_failure.ml lib/state/
   $ cp fixtures/bad_allow.ml fixtures/blocking_pool.ml lib/state/
   $ cp fixtures/float_equality.ml lib/numerics/
+  $ cp fixtures/links_tolerance.ml lib/links/
   $ cp fixtures/quadratic_list.ml lib/graph/
   $ cp fixtures/session_blocking.ml lib/serve/session.ml
 
@@ -31,6 +32,17 @@ compare/min/max in numeric modules; Float.max is fine:
   lib/numerics/float_equality.ml:7:15: [float-equality] bare polymorphic min in a numeric module; use Float.min / Int.min (or a tolerance helper) so the comparison semantics are explicit
   lib/numerics/float_equality.ml:9:18: [float-equality] bare polymorphic compare in a numeric module; use Float.compare / Int.compare (or a tolerance helper) so the comparison semantics are explicit
   4 findings
+  [1]
+
+float-equality, links scope: the water-filling engines under lib/links
+are numeric modules too — bare polymorphic min/compare fire there, and
+the Tolerance/Float.* idioms the engines actually use do not:
+
+  $ sgr-lint lib/links/links_tolerance.ml
+  lib/links/links_tolerance.ml:6:18: [float-equality] exact comparison against a float literal; use Tolerance.approx / approx_le / approx_ge (or annotate an intentional exact test)
+  lib/links/links_tolerance.ml:8:17: [float-equality] bare polymorphic min in a numeric module; use Float.min / Int.min (or a tolerance helper) so the comparison semantics are explicit
+  lib/links/links_tolerance.ml:10:18: [float-equality] bare polymorphic compare in a numeric module; use Float.compare / Int.compare (or a tolerance helper) so the comparison semantics are explicit
+  3 findings
   [1]
 
 no-blocking-in-pool: blocking syscalls inside Pool.map closures,
@@ -104,7 +116,7 @@ The whole staged tree in one run comes back sorted by file; a tree with
 only suppressed or conforming sites exits 0:
 
   $ sgr-lint lib | tail -n 1
-  24 findings
+  27 findings
 
   $ mkdir -p clean/lib && cp fixtures/bad_allow.ml clean/lib/ && rm clean/lib/bad_allow.ml
   $ cat > clean/lib/tidy.ml << 'EOF'

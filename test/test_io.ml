@@ -44,7 +44,11 @@ let test_bad_specs () =
   parse_err "const -1";
   parse_err "mm1 0";
   parse_err "poly";
-  parse_err "bpr 1"
+  parse_err "bpr 1";
+  parse_err "shifted";
+  parse_err "shifted 1";
+  parse_err "shifted -1 x";
+  parse_err "shifted 1 frogs"
 
 let test_spec_roundtrip () =
   List.iter
@@ -63,7 +67,26 @@ let test_spec_roundtrip () =
       L.mm1 ~capacity:2.0;
       L.bpr ~free_flow:1.0 ~capacity:2.0 ();
       L.polynomial [| 1.0; 0.0; 3.0 |];
+      L.shift 0.5 (L.affine ~slope:2.0 ~intercept:1.0);
+      L.shift 0.25 (L.shift 0.75 (L.mm1 ~capacity:4.0));
     ]
+
+let test_shifted_spec_canonicalizes () =
+  (* The [shifted] keyword form parses recursively, and nested shifts
+     collapse on construction: the parsed kind carries the summed offset
+     over an unshifted base. *)
+  let lat = parse_ok "shifted 0.5 shifted 1.5 affine 2 1" in
+  (match L.kind lat with
+  | L.Shifted { offset; base = L.Affine { slope; intercept } } ->
+      approx "offsets sum" 2.0 offset;
+      approx "slope" 2.0 slope;
+      approx "intercept" 1.0 intercept
+  | _ -> Alcotest.fail "expected a single Shifted-of-Affine kind");
+  approx "evaluates as base(offset + x)" 8.0 (L.eval lat 1.5);
+  (* Zero offset is the identity, not a [Shifted] node. *)
+  match L.kind (parse_ok "shifted 0 mm1 2") with
+  | L.Mm1 _ -> ()
+  | _ -> Alcotest.fail "zero shift must parse to the bare base"
 
 let test_spec_print_rejects_custom () =
   match LS.print (L.custom ~eval:(fun x -> x) ()) with
@@ -190,6 +213,9 @@ let canonical_latencies (a, b) =
     L.polynomial [| b; 0.0; a +. 0.1 |];
     L.mm1 ~capacity:(a +. b +. 1.0);
     L.bpr ~free_flow:(a +. 0.1) ~capacity:(b +. 1.0) ();
+    L.shift (a +. 0.1) (L.affine ~slope:(b +. 0.1) ~intercept:a);
+    L.shift (a +. 0.1) (L.shift (b +. 0.1) (L.mm1 ~capacity:(a +. b +. 1.0)));
+    L.shift (b +. 0.1) (L.polynomial [| a; 0.0; b +. 0.1 |]);
   ]
 
 let prop_canonical_spec_roundtrip =
@@ -231,6 +257,7 @@ let suite =
     case "latency specs: keyword forms" test_keyword_specs;
     case "latency specs: malformed" test_bad_specs;
     case "latency specs: print/parse roundtrip" test_spec_roundtrip;
+    case "latency specs: shifted keyword canonicalizes" test_shifted_spec_canonicalizes;
     case "latency specs: custom not serializable" test_spec_print_rejects_custom;
     case "instance files: links" test_links_file;
     case "instance files: network" test_network_file;

@@ -213,6 +213,176 @@ let prop_induced_is_wardrop_on_shifted =
       in
       Links.verify_nash shifted ind.assignment)
 
+(* ---------------- Closed-form engine vs the bisection oracle ---------------- *)
+
+module CF = Sgr_links.Closed_form
+module Pricing = Sgr_links.Pricing
+
+let counter_value name =
+  match List.assoc_opt name (Sgr_obs.Obs.counters ()) with Some v -> v | None -> 0
+
+(* Random games on which every latency reduces to a line: plain affine,
+   constants, [Shifted]-of-affine (leader flow via [L.shift]) and
+   toll-shifted affine ([L.shift_intercept]). *)
+let random_reducible_instance seed =
+  let rng = Prng.create (seed + 1) in
+  let m = 2 + Prng.int rng 8 in
+  let affine () =
+    L.affine
+      ~slope:(Prng.uniform rng ~lo:0.1 ~hi:3.0)
+      ~intercept:(Prng.uniform rng ~lo:0.0 ~hi:2.0)
+  in
+  let lats =
+    Array.init m (fun _ ->
+        match Prng.int rng 4 with
+        | 0 -> L.constant (Prng.uniform rng ~lo:0.5 ~hi:3.0)
+        | 1 -> affine ()
+        | 2 -> L.shift (Prng.uniform rng ~lo:0.0 ~hi:1.0) (affine ())
+        | _ -> L.shift_intercept (Prng.uniform rng ~lo:0.01 ~hi:1.0) (affine ()))
+  in
+  Links.make lats ~demand:(Prng.uniform rng ~lo:0.2 ~hi:4.0)
+
+let engines_agree t =
+  let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs b) in
+  let agree (cf : Links.solution) (bi : Links.solution) =
+    close cf.level bi.level
+    && Array.for_all2 (fun x y -> close x y) cf.assignment bi.assignment
+  in
+  agree (Links.nash ~engine:`Closed_form t) (Links.nash ~engine:`Bisection t)
+  && agree (Links.opt ~engine:`Closed_form t) (Links.opt ~engine:`Bisection t)
+
+let prop_closed_form_matches_oracle =
+  qcheck "closed form ≍ bisection oracle on reducible games" QCheck.small_nat (fun seed ->
+      let fallbacks = counter_value "links.closed_form.fallbacks" in
+      engines_agree (random_reducible_instance seed)
+      (* ... and the fast path really ran: nothing fell back. *)
+      && counter_value "links.closed_form.fallbacks" = fallbacks)
+
+let prop_shifted_reduce_exact =
+  qcheck "Shifted-of-affine reduction is exact" QCheck.small_nat (fun seed ->
+      let rng = Prng.create (seed + 11) in
+      let a = Prng.uniform rng ~lo:0.1 ~hi:5.0 and b = Prng.uniform rng ~lo:0.0 ~hi:5.0 in
+      let s = Prng.uniform rng ~lo:0.0 ~hi:3.0 in
+      match CF.reduce (L.shift s (L.affine ~slope:a ~intercept:b)) with
+      | Some (a', b') -> Float.equal a' a && Float.equal b' (b +. (a *. s))
+      | None -> false)
+
+let test_closed_form_ladder () =
+  (* Adversarial spread: geometrically growing intercepts leave the
+     fixed-point restriction only one or two survivors per pass; it must
+     still terminate on the oracle's answer and report its pruning. *)
+  let m = 24 in
+  let lats =
+    Array.init m (fun i ->
+        L.affine
+          ~slope:(0.01 +. (0.1 *. float_of_int i))
+          ~intercept:(1.5 ** float_of_int i))
+  in
+  let t = Links.make lats ~demand:0.5 in
+  let prunes = counter_value "links.closed_form.prunes" in
+  check_true "ladder agrees with oracle" (engines_agree t);
+  check_true "pruning was observed" (counter_value "links.closed_form.prunes" > prunes)
+
+let test_closed_form_edges () =
+  (* Zero demand: no flow, level at the cheapest empty link. *)
+  (match CF.solve `Nash [| L.linear 1.0; L.constant 2.0 |] ~demand:0.0 with
+  | Some (x, level) ->
+      approx_array "zero-demand flows" [| 0.0; 0.0 |] x;
+      approx "zero-demand level" 0.0 level
+  | None -> Alcotest.fail "affine instance must reduce");
+  (* Single link takes everything. *)
+  let t1 = Links.make [| L.affine ~slope:2.0 ~intercept:1.0 |] ~demand:3.0 in
+  let n1 = Links.nash ~engine:`Closed_form t1 in
+  approx "single-link flow" 3.0 n1.assignment.(0);
+  approx "single-link level" 7.0 n1.level;
+  (* All-constant: the reservoir semantics — cheapest constants split. *)
+  let tc = Links.make [| L.constant 1.0; L.constant 1.0; L.constant 2.0 |] ~demand:3.0 in
+  let nc = Links.nash ~engine:`Closed_form tc in
+  approx_array "constants split evenly" [| 1.5; 1.5; 0.0 |] nc.assignment;
+  approx "level pinned at the reservoir" 1.0 nc.level
+
+let test_closed_form_fallback () =
+  (* A forced closed-form engine on an M/M/1 game cannot reduce: it must
+     fall back to bisection, count the fallback, and agree with it. *)
+  let t = W.mm1_links ~capacities:[| 2.0; 3.0 |] ~demand:1.0 in
+  let before = counter_value "links.closed_form.fallbacks" in
+  let forced = Links.nash ~engine:`Closed_form t in
+  check_true "fallback counted" (counter_value "links.closed_form.fallbacks" > before);
+  approx_array "fallback result is the bisection result"
+    (Links.nash ~engine:`Bisection t).assignment forced.assignment
+
+(* ---------------- Best-response toll pricing ---------------- *)
+
+let test_pricing_duopoly_analytic () =
+  (* ℓ₁ = x, ℓ₂ = 2x, r = 1: revenue FOCs 2 - 2τ₁ + τ₂ = 0 and
+     1 + τ₁ - 2τ₂ = 0 give τ = (5/3, 4/3), flow (5/9, 4/9), user cost
+     19/27 against C(O) = 2/3 — price of pricing 19/18. *)
+  let t = Links.make [| L.linear 1.0; L.linear 2.0 |] ~demand:1.0 in
+  let r = Pricing.best_response t in
+  check_true "converged" r.Pricing.converged;
+  approx ~eps:1e-3 "toll 1 = 5/3" (5.0 /. 3.0) r.Pricing.tolls.(0);
+  approx ~eps:1e-3 "toll 2 = 4/3" (4.0 /. 3.0) r.Pricing.tolls.(1);
+  approx ~eps:1e-3 "flow 1 = 5/9" (5.0 /. 9.0) r.Pricing.flow.(0);
+  approx ~eps:1e-3 "flow 2 = 4/9" (4.0 /. 9.0) r.Pricing.flow.(1);
+  approx ~eps:1e-3 "user cost 19/27" (19.0 /. 27.0) r.Pricing.user_cost;
+  approx ~eps:1e-3 "price of pricing 19/18" (19.0 /. 18.0) (Pricing.price_of_pricing t r)
+
+let test_pricing_validation () =
+  (match Pricing.best_response (Links.make [| L.linear 1.0 |] ~demand:1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "monopoly rejected");
+  (match Pricing.best_response (Links.make [| L.linear 1.0; L.constant 1.0 |] ~demand:1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "constant-latency link rejected");
+  match Pricing.best_response (W.mm1_links ~capacities:[| 2.0; 3.0 |] ~demand:1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-affine latencies rejected"
+
+let prop_pricing_fixed_point =
+  qcheck ~count:25 "pricing: converged tolls are mutual best responses" QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create (seed + 3) in
+      let m = 2 + Prng.int rng 3 in
+      let lats =
+        Array.init m (fun _ ->
+            L.affine
+              ~slope:(Prng.uniform rng ~lo:0.2 ~hi:2.0)
+              ~intercept:(Prng.uniform rng ~lo:0.0 ~hi:1.0))
+      in
+      let t = Links.make lats ~demand:(Prng.uniform rng ~lo:0.5 ~hi:2.0) in
+      let res = Pricing.best_response t in
+      let feasible =
+        Float.abs (Vec.sum res.Pricing.flow -. t.Links.demand)
+        <= 1e-6 *. Float.max 1.0 t.Links.demand
+        && Array.for_all (fun x -> x >= -1e-9) res.Pricing.flow
+        && Array.for_all (fun tau -> tau >= 0.0) res.Pricing.tolls
+      in
+      (* Unilateral ±10% toll deviations must not beat the fixed point
+         (up to the search resolution). *)
+      let revenue i tau =
+        let lats' =
+          Array.mapi
+            (fun j lat ->
+              let tj = if j = i then tau else res.Pricing.tolls.(j) in
+              if tj > 0.0 then L.shift_intercept tj lat else lat)
+            lats
+        in
+        let x = (Links.nash (Links.make lats' ~demand:t.Links.demand)).Links.assignment in
+        tau *. x.(i)
+      in
+      let best = ref true in
+      if res.Pricing.converged then
+        Array.iteri
+          (fun i tau ->
+            let r0 = revenue i tau in
+            List.iter
+              (fun f ->
+                if revenue i ((tau *. f) +. 0.001) > r0 +. (1e-3 *. Float.max 1.0 r0) then
+                  best := false)
+              [ 0.9; 1.1 ])
+          res.Pricing.tolls;
+      feasible && !best)
+
 let suite =
   [
     case "make: validation" test_make_validation;
@@ -239,4 +409,12 @@ let suite =
     prop_poa_at_least_one;
     prop_linear_poa_bound;
     prop_induced_is_wardrop_on_shifted;
+    case "closed form: ladder pruning" test_closed_form_ladder;
+    case "closed form: edge cases" test_closed_form_edges;
+    case "closed form: non-affine fallback" test_closed_form_fallback;
+    case "pricing: duopoly analytic equilibrium" test_pricing_duopoly_analytic;
+    case "pricing: validation" test_pricing_validation;
+    prop_closed_form_matches_oracle;
+    prop_shifted_reduce_exact;
+    prop_pricing_fixed_point;
   ]

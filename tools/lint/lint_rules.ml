@@ -11,7 +11,7 @@ open Parsetree
 (* Where a file sits decides which rules apply to it. *)
 type ctx = {
   in_lib : bool;  (* under lib/: purity, failure and global-state rules *)
-  numeric : bool;  (* lib/numerics or lib/network: tolerance discipline *)
+  numeric : bool;  (* lib/numerics, lib/links or lib/network: tolerance discipline *)
   hot : bool;  (* lib/graph or lib/network: no quadratic list idioms *)
   session : bool;  (* lib/serve session-layer modules: never block *)
 }
@@ -22,7 +22,7 @@ let ctx_of_path path =
   let in_lib = has "lib" in
   {
     in_lib;
-    numeric = in_lib && (has "numerics" || has "network");
+    numeric = in_lib && (has "numerics" || has "links" || has "network");
     hot = in_lib && (has "graph" || has "network");
     (* The event-loop state machines: these run on the server's single
        serving thread, so one blocking call stalls every session. *)
