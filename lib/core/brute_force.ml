@@ -15,6 +15,9 @@ let optimal_strategy ?(resolution = 40) instance ~alpha =
   let strategy = Array.make m 0.0 in
   (* Enumerate compositions of [resolution] chunks into m parts. *)
   let rec place link remaining =
+    (* The composition count grows as C(resolution + m - 1, m - 1); a
+       serving deadline must be able to cut the enumeration short. *)
+    Sgr_obs.Cancel.check ();
     if link = m - 1 then begin
       strategy.(link) <- float_of_int remaining *. chunk;
       incr evaluated;

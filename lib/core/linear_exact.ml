@@ -100,6 +100,10 @@ let solve ?(grid = 64) instance ~alpha =
   let candidates =
     List.filter_map
       (fun i0 ->
+        (* Each candidate prefix runs a golden-section search over full
+           water-filling solves; checkpoint between candidates so a
+           deadline cuts the sweep, not just the inner loops. *)
+        Sgr_obs.Cancel.check ();
         match feasible_interval i0 with
         | None -> None
         | Some (lo, hi) ->

@@ -35,6 +35,9 @@ let run ?(eps = 1e-8) instance =
   let rec loop active r =
     if Array.length active = 0 || r <= eps *. scale then ()
     else begin
+      (* Each freeze round solves a Nash subproblem; a request deadline
+         must be able to pre-empt the round loop between them. *)
+      Sgr_obs.Cancel.check ();
       Obs.incr c_rounds;
       let keep = Array.make m false in
       Array.iter (fun i -> keep.(i) <- true) active;

@@ -59,6 +59,10 @@ let rec reduce_into kind (slopes : float array) (intercepts : float array) i =
            true
          end
   | L.Mm1 _ | L.Bpr _ | L.Custom _ -> false
+(* why: structural recursion on the [Shifted] nesting of one latency
+   kind — depth is fixed by the instance description, not the demand,
+   so the recursion terminates in a handful of frames. *)
+[@@lint.allow "cancel-coverage"]
 
 (* [reduce_kind k] is [Some (a, b)] when [k] reduces to the line
    a·x + b, [None] otherwise. *)
@@ -194,6 +198,10 @@ let solve_lines ~slopes ~intercepts ~demand:r =
         let candidate = ref ((r +. !weighted_sum) /. !inv_sum) in
         let settled = ref (!nc = nr) in
         while not !settled do
+          (* Each restriction pass is O(n) and the active set only
+             shrinks, but n passes over 10^5 links is real time — let an
+             armed deadline pre-empt the active-set iteration. *)
+          Sgr_obs.Cancel.check ();
           let nc2 = ref 0 and inv2 = ref 0.0 and w2 = ref 0.0 in
           for k = 0 to !active - 1 do
             let i = idxs.(k) in
@@ -248,10 +256,13 @@ let solve criterion lats ~demand =
   let slopes = Array.make n 0.0 and intercepts = Array.make n 0.0 in
   let ok = ref true in
   let i = ref 0 in
-  while !ok && !i < n do
-    ok := reduce_into (L.kind lats.(!i)) slopes intercepts !i;
-    incr i
-  done;
+  (* why: one early-exiting pass over the n links, constant work per
+     link — bounded by the instance size before any solving starts. *)
+  (while !ok && !i < n do
+     ok := reduce_into (L.kind lats.(!i)) slopes intercepts !i;
+     incr i
+   done)
+  [@lint.allow "cancel-coverage"];
   if not !ok then None
   else begin
     (* The optimum equalizes marginal costs: d(x·(a·x+b))/dx = 2a·x + b —

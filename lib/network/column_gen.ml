@@ -38,12 +38,15 @@ let diff_edges a b =
       let mem e =
         let lo = ref 0 and hi = ref (Array.length in_b - 1) in
         let found = ref false in
-        while (not !found) && !lo <= !hi do
-          let mid = (!lo + !hi) / 2 in
-          if in_b.(mid) = e then found := true
-          else if in_b.(mid) < e then lo := mid + 1
-          else hi := mid - 1
-        done;
+        (* why: binary search — the lo/hi window halves every pass, so
+           the loop runs at most log2 |b| times. *)
+        (while (not !found) && !lo <= !hi do
+           let mid = (!lo + !hi) / 2 in
+           if in_b.(mid) = e then found := true
+           else if in_b.(mid) < e then lo := mid + 1
+           else hi := mid - 1
+         done)
+        [@lint.allow "cancel-coverage"];
         !found
       in
       List.filter (fun e -> not (mem e)) a
@@ -191,6 +194,9 @@ let solve ?(tol = 1e-9) ?(max_sweeps = 200_000) ?(max_rounds = 1_000) obj net =
   let flows = Array.make k [||] in
   Array.iteri
     (fun i (c : Network.commodity) ->
+      (* One Dijkstra per commodity; check between them so seeding a
+         large instance cannot outlive the request deadline. *)
+      Sgr_obs.Cancel.check ();
       match
         G.Dijkstra.shortest_path ~workspace:(Domain.DLS.get ws_key) g ~weights:(weights ())
           ~src:c.Network.src ~dst:c.Network.dst
@@ -229,6 +235,10 @@ let solve ?(tol = 1e-9) ?(max_sweeps = 200_000) ?(max_rounds = 1_000) obj net =
     let priced =
       Sgr_par.Pool.map
         (fun (c : Network.commodity) ->
+          (* Per-item checkpoint: free on a disarmed worker domain, and
+             on the sequential in-batch fallback it keeps the pricing
+             sweep pre-emptible between Dijkstras. *)
+          Sgr_obs.Cancel.check ();
           G.Dijkstra.shortest_path ~workspace:(Domain.DLS.get ws_key) g ~weights:w
             ~src:c.Network.src ~dst:c.Network.dst)
         net.Network.commodities

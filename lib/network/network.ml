@@ -21,6 +21,9 @@ let make graph ~latencies ~commodities =
   if Array.length commodities = 0 then invalid_arg "Network.make: no commodities";
   Array.iter
     (fun c ->
+      (* [reachable] is a full Dijkstra per commodity; check between
+         them so validating a large instance respects the deadline. *)
+      Sgr_obs.Cancel.check ();
       if c.demand < 0.0 then invalid_arg "Network.make: negative demand";
       if c.src = c.dst then invalid_arg "Network.make: source equals destination";
       if not (reachable graph ~src:c.src ~dst:c.dst) then
@@ -71,7 +74,13 @@ let with_demands t demands =
   { t with commodities }
 
 let paths t =
-  Array.map (fun c -> Array.of_list (G.Paths.enumerate t.graph ~src:c.src ~dst:c.dst)) t.commodities
+  Array.map
+    (fun c ->
+      (* [Paths.enumerate] is exponential in the graph; at minimum the
+         deadline must be honoured between commodities. *)
+      Sgr_obs.Cancel.check ();
+      Array.of_list (G.Paths.enumerate t.graph ~src:c.src ~dst:c.dst))
+    t.commodities
 
 let path_flows_to_edges t per_commodity =
   let all_paths = paths t in

@@ -8,6 +8,9 @@ let golden ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
   let f1 = ref (f !x1) and f2 = ref (f !x2) in
   let iter = ref 0 in
   while !b -. !a > tol *. Float.max 1.0 (hi -. lo) && !iter < max_iter do
+    (* [f] is caller-supplied and can hide a full equilibrium solve per
+       probe; check the deadline between probes like Bisection does. *)
+    Sgr_obs.Cancel.check ();
     if !f1 <= !f2 then begin
       b := !x2;
       x2 := !x1;

@@ -139,9 +139,14 @@ type reg = {
 
 (* Guarded by [reg_registry_mutex] on every access; same discipline as
    the counter registry in obs.ml. *)
-let reg_registry : (string, reg) Hashtbl.t = Hashtbl.create 16 [@@lint.allow "mutable-global"]
+let reg_registry : (string, reg) Hashtbl.t =
+  Hashtbl.create 16
+[@@lint.allow "mutable-global"] [@@lint.allow "lock-discipline"]
 let reg_registry_mutex = Mutex.create ()
 
+(* why: the registry mutex guards an O(1) table hit and is only ever
+   held for that lookup — a worker blocking here is bounded by the other
+   domains' lookups, not by I/O, and callers memoize the handle. *)
 let histogram ?alpha ?lo ?hi name =
   Mutex.lock reg_registry_mutex;
   let r =
@@ -161,6 +166,7 @@ let histogram ?alpha ?lo ?hi name =
   in
   Mutex.unlock reg_registry_mutex;
   r
+[@@lint.allow "no-blocking-in-pool"]
 
 let reg_name r = r.reg_name
 
@@ -171,30 +177,44 @@ let reg_name r = r.reg_name
 let shard_key : (string, t) Hashtbl.t Domain.DLS.key =
   (Domain.DLS.new_key (fun () -> Hashtbl.create 8) [@lint.allow "mutable-global"])
 
+(* why (no-blocking-in-pool): [reg_mutex] is taken once per domain per
+   histogram — the first-observe shard link — and guards two cons cells;
+   every later observe is lock-free on the domain-local shard.
+   why (lock-discipline): [geometry] is immutable after [histogram]
+   builds the handle; only its alpha/lo/hi configuration is read here,
+   never the mutable counters, so the read needs no lock. *)
 let shard_for r =
   let tbl = Domain.DLS.get shard_key in
   match Hashtbl.find_opt tbl r.reg_name with
   | Some s -> s
   | None ->
-      let g = r.geometry in
+      let g = (r.geometry [@lint.allow "lock-discipline"]) in
       let s = create ~alpha:g.h_alpha ~lo:g.lo ~hi:g.hi () in
       Hashtbl.add tbl r.reg_name s;
       Mutex.lock r.reg_mutex;
       r.shards <- ((Domain.self () :> int), s) :: r.shards;
       Mutex.unlock r.reg_mutex;
       s
+[@@lint.allow "no-blocking-in-pool"]
 
 let observe r v = record (shard_for r) v
 
+(* why ([snapshot]/[snapshots]): rendering metrics *is* the request's
+   work; both mutexes are held for list/table reads only (the merge runs
+   after unlock), so a worker serving /metrics parks behind O(registry)
+   pointer copies, never behind I/O or a solve. *)
 let snapshot r =
   Mutex.lock r.reg_mutex;
   let shards = r.shards in
   Mutex.unlock r.reg_mutex;
   let slot_order = List.sort (fun (a, _) (b, _) -> compare (a : int) b) shards in
-  let g = r.geometry in
+  (* why: same as [shard_for] — geometry is write-once at registration,
+     and only the immutable configuration fields are read. *)
+  let g = (r.geometry [@lint.allow "lock-discipline"]) in
   let acc = create ~alpha:g.h_alpha ~lo:g.lo ~hi:g.hi () in
   List.iter (fun (_, s) -> merge_into ~into:acc s) slot_order;
   acc
+[@@lint.allow "no-blocking-in-pool"]
 
 let snapshots () =
   Mutex.lock reg_registry_mutex;
@@ -203,6 +223,7 @@ let snapshots () =
   regs
   |> List.map (fun r -> (r.reg_name, snapshot r))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+[@@lint.allow "no-blocking-in-pool"]
 
 let reset () =
   Mutex.lock reg_registry_mutex;

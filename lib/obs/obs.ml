@@ -21,9 +21,15 @@ type event =
 type counter = { name : string; count : int Atomic.t }
 
 (* Guarded by [registry_mutex] below on every access. *)
-let registry : (string, counter) Hashtbl.t = Hashtbl.create 32 [@@lint.allow "mutable-global"]
+let registry : (string, counter) Hashtbl.t =
+  Hashtbl.create 32
+[@@lint.allow "mutable-global"] [@@lint.allow "lock-discipline"]
+
 let registry_mutex = Mutex.create ()
 
+(* why: the registry mutex guards an O(1) table hit; [counter] is called
+   at module-initialization time in practice and callers keep the handle,
+   so a pool worker landing here parks for a lookup, not for I/O. *)
 let counter name =
   Mutex.lock registry_mutex;
   let c =
@@ -36,16 +42,21 @@ let counter name =
   in
   Mutex.unlock registry_mutex;
   c
+[@@lint.allow "no-blocking-in-pool"]
 
 let incr c = Atomic.incr c.count
 let add c n = ignore (Atomic.fetch_and_add c.count n)
 let value c = Atomic.get c.count
 
+(* why: rendering metrics is the request's own work; the lock covers one
+   fold over the counter table (atomic loads, no I/O), then is dropped
+   before sorting. *)
 let counters () =
   Mutex.lock registry_mutex;
   let snapshot = Hashtbl.fold (fun _ c acc -> (c.name, Atomic.get c.count) :: acc) registry [] in
   Mutex.unlock registry_mutex;
   List.sort (fun (a, _) (b, _) -> String.compare a b) snapshot
+[@@lint.allow "no-blocking-in-pool"]
 
 let reset_counters () =
   Mutex.lock registry_mutex;
@@ -58,7 +69,7 @@ let default_clock = Unix.gettimeofday
 
 (* Sink-domain-only state (see the discipline note below): mutated from
    the domain that installs the sink, never from pool workers. *)
-let clock = ref default_clock [@@lint.allow "mutable-global"]
+let clock = ref default_clock [@@lint.allow "mutable-global"] [@@lint.allow "lock-discipline"]
 let set_clock f = clock := f
 let now () = !clock ()
 
@@ -69,8 +80,11 @@ let now () = !clock ()
    domain that installed the sink (the main domain in every current
    use). Worker domains run spans as plain calls and skip trace points;
    counters (atomic, above) remain exact everywhere. *)
-let sink : (event -> unit) option ref = ref None [@@lint.allow "mutable-global"]
-let sink_domain = ref (-1) [@@lint.allow "mutable-global"]
+let sink : (event -> unit) option ref =
+  ref None
+[@@lint.allow "mutable-global"] [@@lint.allow "lock-discipline"]
+
+let sink_domain = ref (-1) [@@lint.allow "mutable-global"] [@@lint.allow "lock-discipline"]
 let on_sink_domain () = (Domain.self () :> int) = !sink_domain
 
 let set_sink f =
@@ -80,7 +94,7 @@ let set_sink f =
 let enabled () = Option.is_some !sink && on_sink_domain ()
 
 (* Only touched by [span] after the [on_sink_domain] gate. *)
-let depth = ref 0 [@@lint.allow "mutable-global"]
+let depth = ref 0 [@@lint.allow "mutable-global"] [@@lint.allow "lock-discipline"]
 
 let span name f =
   match !sink with

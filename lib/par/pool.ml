@@ -68,7 +68,11 @@ let create ~jobs =
       domains = [];
     }
   in
-  pool.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  (* why: the pool is not yet published — no other domain holds it until
+     [create] returns, and the workers spawned here never read
+     [domains] — so this pre-publication write cannot race. *)
+  (pool.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker pool)))
+  [@lint.allow "lock-discipline"];
   pool
 
 let jobs pool = pool.jobs
@@ -77,12 +81,21 @@ let shutdown pool =
   Mutex.lock pool.mutex;
   pool.stop <- true;
   Condition.broadcast pool.ready;
+  (* Take the domain list while still holding the mutex: a concurrent
+     [shutdown] caller must not join (or double-join) the same domains.
+     The join itself happens after unlock — exiting workers briefly
+     retake the mutex on their way out. *)
+  let domains = pool.domains in
+  pool.domains <- [];
   Mutex.unlock pool.mutex;
-  List.iter Domain.join pool.domains;
-  pool.domains <- []
+  List.iter Domain.join domains
 
 (* Run [body] on every worker and on the caller, returning when all
-   have finished. [body] must be safe to run concurrently with itself. *)
+   have finished. [body] must be safe to run concurrently with itself.
+   why: the rendezvous *is* the point — the caller must block until its
+   own batch drains. A worker can never park here: [map]/[map_array]
+   take the sequential [in_batch] fallback inside a batch, so this wait
+   only ever runs on the domain that owns the batch. *)
 let run_batch pool body =
   Mutex.lock pool.mutex;
   pool.batch <- Some body;
@@ -97,6 +110,7 @@ let run_batch pool body =
   done;
   pool.batch <- None;
   Mutex.unlock pool.mutex
+[@@lint.allow "no-blocking-in-pool"]
 
 let map_array pool f arr =
   let n = Array.length arr in
@@ -158,8 +172,14 @@ let default_jobs () = Atomic.get ambient
    resized (shutdown + respawn) when the requested job count changes.
    Only the main domain manages it; calls from inside a batch never
    reach it (they take the sequential fallback in [map_array]). *)
-let shared : t option ref = ref None [@@lint.allow "mutable-global"]
+let shared : t option ref =
+  ref None
+[@@lint.allow "mutable-global"] [@@lint.allow "lock-discipline"]
 
+(* why: pool management (spawn, shutdown/join, resize) blocks by
+   nature, and the [in_batch] test in [map]/[map_array] keeps this path
+   off worker domains — a task body that calls [map] takes the
+   sequential fallback before it can reach the shared-pool machinery. *)
 let shared_pool jobs =
   match !shared with
   | Some pool when pool.jobs = jobs -> pool
@@ -168,6 +188,7 @@ let shared_pool jobs =
       let pool = create ~jobs in
       shared := Some pool;
       pool
+[@@lint.allow "no-blocking-in-pool"]
 
 let map ?jobs f arr =
   let jobs = clamp_jobs (match jobs with Some j -> j | None -> Atomic.get ambient) in

@@ -41,16 +41,24 @@ let create ~capacity =
     memo_misses = Atomic.make 0;
   }
 
+(* why: the cache mutex guards hashtable/LRU probes only — parsing and
+   solving happen outside it (see [entry_of_file]) — so a worker parked
+   here waits on other workers' O(1) probes, never on I/O. *)
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+[@@lint.allow "no-blocking-in-pool"]
 
 let bump local obs =
   Atomic.incr local;
   Obs.incr obs
 
 (* Parse [path] into a fresh entry. Runs outside the lock: parsing and
-   freezing a big instance must not serialize unrelated requests. *)
+   freezing a big instance must not serialize unrelated requests.
+   why (no-blocking-in-pool): the file read *is* the request's work on a
+   cold load — the instance must come off disk exactly once before the
+   solve, and doing it on the worker beats serializing every cold load
+   through the accept domain. Local file, read once, memoized after. *)
 let entry_of_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error m -> Error (Io m)
@@ -60,6 +68,7 @@ let entry_of_file path =
       | Ok instance ->
           let fingerprint = Fingerprint.of_instance instance in
           Ok { fingerprint; instance; memo = Hashtbl.create 16 })
+[@@lint.allow "no-blocking-in-pool"]
 
 (* Insert under the lock, preferring an already-cached entry with the
    same fingerprint (its memo table is warm). *)

@@ -1,0 +1,9 @@
+(* Mini bisection: the iteration loop carries a deadline checkpoint,
+   mirroring lib/numerics/bisection.ml. *)
+let solve f lo hi =
+  let x = ref lo in
+  while f !x && !x < hi do
+    Cancel.check ();
+    x := !x +. 1.0
+  done;
+  !x

@@ -1,0 +1,3 @@
+(* Stand-in for Sgr_obs.Cancel: the rule matches the [Cancel.check]
+   suffix on canonical names, so the stub exercises the same paths. *)
+let check () = ()

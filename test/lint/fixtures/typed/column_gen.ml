@@ -1,0 +1,11 @@
+(* Mini column-generation pricing loop, mirroring
+   lib/network/column_gen.ml: each round runs a sub-solver. *)
+let price cost =
+  let best = ref 0.0 in
+  let round = ref 0 in
+  while !round < 10 do
+    Cancel.check ();
+    best := !best +. Bisection.solve cost 0.0 1.0;
+    incr round
+  done;
+  !best

@@ -1,0 +1,4 @@
+(* Mini serving dispatch: everything it references becomes
+   deadline-relevant for cancel-coverage. *)
+let dispatch q =
+  Column_gen.price (fun x -> x < q) +. Mop.water_fill q +. float_of_int (Mop.bounded ())

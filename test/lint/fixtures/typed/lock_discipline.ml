@@ -1,0 +1,28 @@
+(* Typed-phase lock-discipline: [t] pairs a Mutex.t with mutable state,
+   so accessing [count] without holding the mutex fires; the locked path
+   and the annotated read do not. The mutable global swept from a pool
+   closure fires at its definition unless annotated. *)
+
+type t = { mutex : Mutex.t; mutable count : int }
+
+let bad t = t.count <- t.count + 1
+
+let good t =
+  Mutex.lock t.mutex;
+  t.count <- t.count + 1;
+  Mutex.unlock t.mutex
+
+(* why: fixture — stands in for a single-domain reader. *)
+let vouched t = (t.count [@lint.allow "lock-discipline"])
+
+module Pool = struct
+  let map f a = Array.map f a
+end
+
+(* why (mutable-global): fixture — the typed rule is the one under test. *)
+let total = ref 0 [@@lint.allow "mutable-global"]
+let sweep a = Pool.map (fun x -> total := !total + x; x) a
+
+(* why: fixture — stands in for single-domain state. *)
+let quiet = ref 0 [@@lint.allow "mutable-global"] [@@lint.allow "lock-discipline"]
+let sweep_quiet a = Pool.map (fun x -> quiet := !quiet + x; x) a

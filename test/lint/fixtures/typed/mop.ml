@@ -1,0 +1,18 @@
+(* Mini MOP water-filling round loop, mirroring lib/core/mop.ml. *)
+let water_fill demand =
+  let level = ref 0.0 in
+  while !level < demand do
+    Cancel.check ();
+    level := !level +. 0.5
+  done;
+  !level
+
+(* why: three passes by construction — annotated bounded loops stay
+   silent even when reachable from dispatch. *)
+let bounded () =
+  let i = ref 0 in
+  (while !i < 3 do
+     incr i
+   done)
+  [@lint.allow "cancel-coverage"];
+  !i

@@ -1,0 +1,3 @@
+(* A file the compiler's parser rejects must surface as a non-zero-exit
+   [parse-error] diagnostic, never be skipped silently. *)
+let broken = (

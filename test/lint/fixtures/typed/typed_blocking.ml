@@ -1,0 +1,19 @@
+(* Typed-phase no-blocking-in-pool: the blocking call is two hops below
+   the closure, where the old one-level name taint was blind. The
+   [Pool]/[Mutex] names are what the rule matches on; the stub keeps the
+   fixture self-contained. *)
+
+module Pool = struct
+  let map f a = Array.map f a
+end
+
+let m = Mutex.create ()
+let deep () = Mutex.lock m
+let work x = deep (); x
+let run a = Pool.map (fun x -> work x) a
+
+(* why: fixture — stands in for a vouched-for bounded critical section;
+   the allow on the definition is a taint barrier. *)
+let vouched () = Mutex.lock m [@@lint.allow "no-blocking-in-pool"]
+let ok x = vouched (); x
+let run_ok a = Pool.map (fun x -> ok x) a

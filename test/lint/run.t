@@ -51,9 +51,12 @@ Unix.sleepf is absent:
 
   $ sgr-lint lib/state/blocking_pool.ml
   lib/state/blocking_pool.ml:4:35: [no-blocking-in-pool] Unix.sleep blocks inside a closure passed to Pool.map: a parked worker domain stalls every task queued behind it
-  lib/state/blocking_pool.ml:6:35: [no-blocking-in-pool] fetch performs blocking calls and is passed to Pool.map: a parked worker domain stalls every task queued behind it
-  2 findings
+  1 finding
   [1]
+
+(The helper passed by name no longer fires here: interprocedural
+blocking is the typed phase's job now — see the call-graph sections
+below, where the same shape is caught through two levels of calls.)
 
 no-blocking-in-pool, session scope: inside the serve session-layer
 modules (session.ml, lineio.ml) any blocking call fires, Pool.map or
@@ -116,7 +119,50 @@ The whole staged tree in one run comes back sorted by file; a tree with
 only suppressed or conforming sites exits 0:
 
   $ sgr-lint lib | tail -n 1
-  27 findings
+  26 findings
+
+Diagnostic order is deterministic — sorted by (file, line, col, rule) —
+and overlapping roots are deduplicated, so repeating a path (or naming a
+subdirectory of another root) changes nothing, byte for byte:
+
+  $ sgr-lint lib > once.txt
+  [1]
+  $ sgr-lint lib lib/state lib > twice.txt
+  [1]
+  $ cmp once.txt twice.txt
+
+--format json emits one object per finding with the allow id a
+suppression would need; diagnostics that cannot be suppressed
+([parse-error], [bad-allow], [cmt-error]) carry null:
+
+  $ sgr-lint --format json lib/state/bad_allow.ml
+  [
+    {"file":"lib/state/bad_allow.ml","line":4,"col":14,"rule":"no-untyped-failure","msg":"failwith in lib/ raises an untyped Failure; use invalid_arg, a typed exception, or annotate the documented contract","allow":"no-untyped-failure"},
+    {"file":"lib/state/bad_allow.ml","line":4,"col":29,"rule":"bad-allow","msg":"unknown rule \"no-such-rule\" in [@lint.allow]","allow":null}
+  ]
+  [1]
+
+--allow-census counts allow regions per rule (the CI baseline check
+diffs this against lint-baseline.txt, so a new suppression is a visible
+review item, not a silent hole):
+
+  $ sgr-lint --allow-census lib
+  float-equality         3
+  lib-purity             1
+  mutable-global         1
+  no-blocking-in-pool    2
+  no-untyped-failure     1
+  obs-domain-discipline  1
+  quadratic-list         1
+
+A file the parser rejects is a finding with the failure location, and
+the exit stays non-zero — a syntax error must never un-lint a file:
+
+  $ mkdir -p broken/lib && cp fixtures/typed/parse_error.ml broken/lib/oops.ml
+  $ sgr-lint broken/lib
+  broken/lib/oops.ml:4:0: [parse-error] Syntax error: operator expected.
+  1 finding
+  [1]
 
   $ mkdir -p clean/lib && cp fixtures/bad_allow.ml clean/lib/ && rm clean/lib/bad_allow.ml
   $ cat > clean/lib/tidy.ml << 'EOF'
@@ -135,3 +181,77 @@ The rule catalogue is self-describing:
   no-blocking-in-pool
   no-untyped-failure
   quadratic-list
+  lock-discipline
+  cancel-coverage
+
+---- typed phase ----
+
+The interprocedural rules read .cmt files (dune's @lint alias depends
+on @check). Fixtures are compiled with ocamlc -bin-annot from the
+staged tree root, so the recorded source paths line up with the
+Parsetree phase's and one allow table filters both. First the taint
+and lock rules:
+
+  $ mkdir -p typed/lib/state typed/lib/serve typed/lib/core
+  $ mkdir -p typed/lib/network typed/lib/numerics
+  $ cp fixtures/typed/typed_blocking.ml fixtures/typed/lock_discipline.ml typed/lib/state/
+  $ (cd typed && ocamlc -c -bin-annot -w -a lib/state/typed_blocking.ml lib/state/lock_discipline.ml)
+
+no-blocking-in-pool (typed): the Mutex.lock sits two calls below the
+Pool.map closure — the Parsetree phase cannot see it; the fixed-point
+taint reports the root with its witness chain. The allow on [vouched]'s
+definition is a taint barrier, so the second closure is clean.
+lock-discipline: the unguarded write and read of the mutex-paired field
+fire; the locked path and the annotated read do not; the mutable global
+swept from a pool closure fires at its definition unless annotated:
+
+  $ (cd typed && sgr-lint lib)
+  lib/state/lock_discipline.ml:8:12: [lock-discipline] write of mutex-guarded field Lock_discipline.t.count without holding the mutex; take the lock (or a lock-wrapper) on every path, or annotate why this access is race-free
+  lib/state/lock_discipline.ml:8:23: [lock-discipline] read of mutex-guarded field Lock_discipline.t.count without holding the mutex; take the lock (or a lock-wrapper) on every path, or annotate why this access is race-free
+  lib/state/lock_discipline.ml:23:0: [lock-discipline] non-atomic mutable global Lock_discipline.total (ref) is reachable from a Pool closure; worker domains race on it — use Atomic, a mutex, Domain.DLS, or annotate why access is single-domain
+  lib/state/typed_blocking.ml:13:31: [no-blocking-in-pool] Typed_blocking.work reaches blocking call Mutex.lock (Typed_blocking.work -> Typed_blocking.deep -> Mutex.lock) from a Pool closure: a parked worker domain stalls every task queued behind it
+  4 findings
+  [1]
+
+cancel-coverage guards the deadline checkpoints: a miniature of the
+serving stack — dispatch in lib/serve, the column-generation pricing
+loop, the MOP water-filling loop, and the bisection iteration — passes
+while every loop carries its Cancel.check (the annotated bounded loop
+in mop.ml needs none):
+
+  $ rm typed/lib/state/*.ml typed/lib/state/*.cm*
+  $ cp fixtures/typed/cancel.ml fixtures/typed/bisection.ml typed/lib/numerics/
+  $ cp fixtures/typed/mop.ml typed/lib/core/
+  $ cp fixtures/typed/column_gen.ml typed/lib/network/
+  $ cp fixtures/typed/engine.ml typed/lib/serve/
+  $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/numerics/cancel.ml lib/numerics/bisection.ml)
+  $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/core/mop.ml)
+  $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/network/column_gen.ml)
+  $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/core -I lib/network -I lib/numerics lib/serve/engine.ml)
+  $ (cd typed && sgr-lint lib)
+
+The call graph behind the rules is inspectable; loop-bearing and
+checkpointed nodes are labelled:
+
+  $ (cd typed && sgr-lint --dump-callgraph dot lib) | grep -E '"(Engine\.dispatch|Column_gen\.price)"'
+    "Column_gen.price" [label="Column_gen.price (loops,cancel)"];
+    "Column_gen.price" -> "Bisection.solve";
+    "Column_gen.price" -> "Cancel.check";
+    "Engine.dispatch" -> "Column_gen.price";
+    "Engine.dispatch" -> "Mop.bounded";
+    "Engine.dispatch" -> "Mop.water_fill";
+
+Deleting any checkpoint is caught — this is the regression guard for
+the real tree's checkpoint sites (column-generation pricing rounds,
+MOP water-filling, bisection iterations):
+
+  $ sed -i '/Cancel.check/d' typed/lib/numerics/bisection.ml typed/lib/core/mop.ml typed/lib/network/column_gen.ml
+  $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/numerics/cancel.ml lib/numerics/bisection.ml)
+  $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/core/mop.ml)
+  $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/network/column_gen.ml)
+  $ (cd typed && sgr-lint lib)
+  lib/core/mop.ml:4:2: [cancel-coverage] while loop in Mop.water_fill is reachable from serving dispatch but has no Sgr_obs.Cancel.check in its body; an @MS deadline cannot pre-empt it (add a checkpoint, or annotate why the loop is bounded)
+  lib/network/column_gen.ml:6:2: [cancel-coverage] while loop in Column_gen.price is reachable from serving dispatch but has no Sgr_obs.Cancel.check in its body; an @MS deadline cannot pre-empt it (add a checkpoint, or annotate why the loop is bounded)
+  lib/numerics/bisection.ml:5:2: [cancel-coverage] while loop in Bisection.solve is reachable from serving dispatch but has no Sgr_obs.Cancel.check in its body; an @MS deadline cannot pre-empt it (add a checkpoint, or annotate why the loop is bounded)
+  3 findings
+  [1]

@@ -1,0 +1,158 @@
+(* Property tests for the [@lint.allow] machinery: generated sources are
+   fed through the compiler's own parser and [Lint_allow.collect], so
+   the round trip (print source -> parse -> regions -> suppression)
+   exercises exactly the code path sgr-lint runs. *)
+
+let known = [ "alpha"; "beta"; "gamma" ]
+
+let parse src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf "gen.ml";
+  Parse.implementation lexbuf
+
+let collect src = Lint_allow.collect ~known (parse src)
+
+(* A diagnostic at byte offset [cnum] for [rule]; only rule and cnum
+   participate in suppression. *)
+let diag_at ~rule cnum =
+  { Lint_diag.file = "gen.ml"; line = 1; col = 0; cnum; rule; msg = "t" }
+
+(* ---------------- generators ---------------- *)
+
+(* One toplevel binding, optionally carrying an allow for [rule]. The
+   body is long enough that offsets inside it are distinct. *)
+let binding ~name ~allow =
+  match allow with
+  | None -> Printf.sprintf "let %s () = ignore (1 + 2)\n" name
+  | Some rule -> Printf.sprintf "let %s () = ignore (1 + 2) [@@lint.allow %S]\n" name rule
+
+let gen_rule = QCheck.Gen.oneofl known
+let gen_allow = QCheck.Gen.(opt gen_rule)
+
+let gen_bindings =
+  QCheck.Gen.(
+    list_size (int_range 1 8) gen_allow
+    >|= List.mapi (fun i allow -> (Printf.sprintf "f%d" i, allow)))
+
+let arb_bindings =
+  QCheck.make gen_bindings
+    ~print:(fun bs ->
+      String.concat "" (List.map (fun (n, a) -> binding ~name:n ~allow:a) bs))
+
+(* ---------------- properties ---------------- *)
+
+(* Round trip: each binding suppresses exactly the rule its allow names,
+   at offsets inside its own span, and nothing else. *)
+let prop_binding_roundtrip =
+  QCheck.Test.make ~name:"binding allows suppress their own span only" ~count:200
+    arb_bindings (fun bs ->
+      let src = String.concat "" (List.map (fun (n, a) -> binding ~name:n ~allow:a) bs) in
+      let regions, bad = collect src in
+      (* Reconstruct each binding's span from the source layout. *)
+      let spans =
+        let pos = ref 0 in
+        List.map
+          (fun (n, a) ->
+            let text = binding ~name:n ~allow:a in
+            let lo = !pos in
+            pos := !pos + String.length text;
+            (a, lo, !pos - 1))
+          bs
+      in
+      bad = []
+      && List.for_all
+           (fun (allow, lo, hi) ->
+             let mid = (lo + hi) / 2 in
+             List.for_all
+               (fun rule ->
+                 let expect = allow = Some rule in
+                 (* Both ends and the middle of the span agree... *)
+                 Lint_allow.suppressed regions (diag_at ~rule lo) = expect
+                 && Lint_allow.suppressed regions (diag_at ~rule mid) = expect
+                 (* ...and other rules never leak in. *)
+                 && (expect || not (Lint_allow.suppressed regions (diag_at ~rule lo))))
+               known)
+           spans)
+
+(* Floating [@@@lint.allow] scopes to the rest of the file: offsets
+   before the attribute stay unsuppressed, offsets after are covered. *)
+let prop_floating_scope =
+  QCheck.Test.make ~name:"floating allow covers the rest of the file" ~count:200
+    QCheck.(pair (make gen_rule ~print:Fun.id) (int_range 1 6))
+    (fun (rule, before) ->
+      let pre = List.init before (fun i -> binding ~name:(Printf.sprintf "p%d" i) ~allow:None) in
+      let pre_src = String.concat "" pre in
+      let attr = Printf.sprintf "[@@@lint.allow %S]\n" rule in
+      let post = binding ~name:"after" ~allow:None in
+      let src = pre_src ^ attr ^ post in
+      let regions, bad = collect src in
+      let attr_lo = String.length pre_src in
+      bad = []
+      && (not (Lint_allow.suppressed regions (diag_at ~rule 0)))
+      && (not (Lint_allow.suppressed regions (diag_at ~rule (attr_lo - 1))))
+      && Lint_allow.suppressed regions (diag_at ~rule attr_lo)
+      && Lint_allow.suppressed regions (diag_at ~rule (String.length src - 2))
+      && not (Lint_allow.suppressed regions (diag_at ~rule:"beta" (attr_lo + 1)) && rule <> "beta"))
+
+(* Nested scopes: an expression allow inside a binding allow — the inner
+   region is contained in the outer, and each suppresses only its rule. *)
+let prop_nested_scopes =
+  QCheck.Test.make ~name:"nested expression/binding allows stay independent" ~count:200
+    QCheck.(pair (make gen_rule ~print:Fun.id) (make gen_rule ~print:Fun.id))
+    (fun (outer, inner) ->
+      let src =
+        Printf.sprintf "let f () = ignore ((1 + 2) [@lint.allow %S]) [@@lint.allow %S]\n" inner
+          outer
+      in
+      let regions, bad = collect src in
+      (* "let f () = ignore ((1 + 2) ..." — the inner expression "1 + 2"
+         occupies bytes 20-24 of the fixed-format source. *)
+      let inside_inner = 22 in
+      bad = []
+      && Lint_allow.suppressed regions (diag_at ~rule:outer 0)
+      && Lint_allow.suppressed regions (diag_at ~rule:inner inside_inner)
+      && (inner = outer || not (Lint_allow.suppressed regions (diag_at ~rule:inner 0))))
+
+(* Typo'd ids: every unknown rule id becomes one [bad-allow] finding and
+   silences nothing. *)
+let prop_typod_ids =
+  QCheck.Test.make ~name:"unknown ids produce bad-allow and no region" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 5) (make Gen.(oneofl [ "alhpa"; "betaa"; "nope"; "" ]) ~print:Fun.id))
+    (fun ids ->
+      let src =
+        String.concat ""
+          (List.mapi
+             (fun i id -> Printf.sprintf "let g%d () = ignore 1 [@@lint.allow %S]\n" i id)
+             ids)
+      in
+      let regions, bad = collect src in
+      regions = []
+      && List.length bad = List.length ids
+      && List.for_all (fun (d : Lint_diag.t) -> d.rule = "bad-allow") bad)
+
+(* Payload edge cases: non-string payloads are [bad-allow], never a
+   crash and never a region; a known id in a *different* payload shape
+   still does not suppress. *)
+let prop_payload_shapes =
+  QCheck.Test.make ~name:"non-string payloads are bad-allow" ~count:50
+    (QCheck.make
+       QCheck.Gen.(oneofl [ "[@@lint.allow]"; "[@@lint.allow 42]"; "[@@lint.allow alpha]"; "[@@lint.allow (\"alpha\", \"beta\")]" ])
+       ~print:Fun.id)
+    (fun payload ->
+      let src = Printf.sprintf "let h () = ignore 1 %s\n" payload in
+      let regions, bad = collect src in
+      regions = [] && List.length bad = 1
+      && (List.hd bad).Lint_diag.rule = "bad-allow")
+
+let () =
+  let suite =
+    List.map (fun t -> QCheck_alcotest.to_alcotest t)
+      [
+        prop_binding_roundtrip;
+        prop_floating_scope;
+        prop_nested_scopes;
+        prop_typod_ids;
+        prop_payload_shapes;
+      ]
+  in
+  Alcotest.run "lint_allow" [ ("properties", suite) ]

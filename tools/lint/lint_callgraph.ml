@@ -1,0 +1,506 @@
+(* Whole-program call graph over the Typedtree.
+
+   One node per named value binding (top-level, nested-module-level,
+   and local [let]-bound functions, keyed as [Unit.sub.fn]); facts per
+   node record what the interprocedural rules need: referenced globals,
+   loop sites, iteration-HOF closures, [Pool.map] spawn points and
+   [Cancel] checkpoints. Identifier paths are canonicalized so the
+   dune-mangled unit spelling ([Sgr_serve__Cache.load]), the wrapper
+   spelling ([Sgr_serve.Cache.load]) and local module aliases
+   ([module C = Cache] ... [C.load]) all land on one key; [Stdlib.] is
+   stripped so rules can match [Hashtbl.create] either way it appears.
+
+   Known blind spots (documented in docs/static-analysis.md): functor
+   bodies and first-class modules contribute no nodes or edges, and
+   calls through function-typed values other than let-bound names
+   (records of closures, function arguments) are invisible. *)
+
+type loop = { l_loc : Location.t; l_cancel : bool }
+
+type hof = {
+  h_loc : Location.t;
+  h_callees : string list;  (* canonical refs inside the closure *)
+  h_cancel : bool;
+}
+
+type node = {
+  key : string;
+  src : string;
+  def_loc : Location.t;
+  is_fun : bool;
+  toplevel : bool;
+  ty_head : string option;  (* head type constructor of a non-function binding *)
+  refs : (string, Location.t) Hashtbl.t;  (* canonical name -> first ref site *)
+  mutable ref_order : string list;  (* insertion order, for determinism *)
+  mutable loops : loop list;
+  mutable hofs : hof list;
+  mutable spawns : (string * Location.t) list;  (* pool-closure root refs *)
+  mutable direct_cancel : bool;
+}
+
+type field_info = { f_name : string; f_mutable : bool; f_head : string option }
+type type_info = { t_key : string; t_fields : field_info list }
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  mutable node_order : string list;
+  types : (string, type_info) Hashtbl.t;
+  units : Lint_cmt.unit_info list;
+  (* Per-unit canonicalizer (closed over that unit's ident tables), so
+     later passes can re-walk a unit's Typedtree and resolve paths the
+     same way the graph build did. Keyed by source path. *)
+  canons : (string, Path.t -> string option) Hashtbl.t;
+}
+
+(* ---------------- canonical names ---------------- *)
+
+let join = String.concat "."
+
+let strip_stdlib name =
+  if String.length name > 7 && String.sub name 0 7 = "Stdlib." then
+    String.sub name 7 (String.length name - 7)
+  else name
+
+(* [name] ends with [suffix] on a module-path boundary. *)
+let has_suffix name suffix =
+  let n = String.length name and s = String.length suffix in
+  n >= s
+  && String.sub name (n - s) s = suffix
+  && (n = s || name.[n - s - 1] = '.')
+
+type tables = {
+  (* Ident.unique_name -> canonical name; modules and types share the
+     namespace with values harmlessly (stamps make keys unique). *)
+  idents : (string, string) Hashtbl.t;
+}
+
+let canon_path tables p =
+  let rec go = function
+    | Path.Pident id ->
+        if Ident.persistent id then Some (join (Lint_cmt.expand_unit (Ident.name id)))
+        else Hashtbl.find_opt tables.idents (Ident.unique_name id)
+    | Path.Pdot (p, s) -> (
+        match go p with Some base -> Some (base ^ "." ^ s) | None -> None)
+    | Path.Papply _ -> None  (* functor application: documented blind spot *)
+    | _ -> None
+  in
+  Option.map strip_stdlib (go p)
+
+(* Label declarations wrap the field type in [Tpoly] (even monomorphic
+   ones), so unwrap before looking for the head constructor. *)
+let rec head_of_type tables (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> canon_path tables p
+  | Types.Tpoly (ty, _) -> head_of_type tables ty
+  | _ -> None
+
+(* ---------------- graph construction ---------------- *)
+
+let is_cancel name = has_suffix name "Cancel.check" || has_suffix name "Cancel.check_handle"
+
+let iteration_hofs =
+  [ "Array.init"; "Array.iter"; "Array.iteri"; "Array.map"; "Array.mapi"; "Array.map2";
+    "Array.fold_left"; "Array.fold_right"; "List.iter"; "List.iteri"; "List.map";
+    "List.mapi"; "List.rev_map"; "List.fold_left"; "List.fold_right"; "List.concat_map";
+    "List.filter_map"; "List.init"; "Pool.map"; "Pool.map_array" ]
+
+let is_iteration_hof name = List.exists (has_suffix name) iteration_hofs
+let is_pool_spawn name = has_suffix name "Pool.map" || has_suffix name "Pool.map_array"
+
+(* Spawn primitives whose function argument runs on a *new* domain or
+   thread: the body is asynchronous, so nothing it does is the caller's
+   synchronous work and it must not contribute call edges. *)
+let is_async_spawn name =
+  has_suffix name "Domain.spawn" || has_suffix name "Thread.create"
+
+let new_node ~key ~src ~def_loc ~is_fun ~toplevel ~ty_head =
+  {
+    key; src; def_loc; is_fun; toplevel; ty_head;
+    refs = Hashtbl.create 16; ref_order = []; loops = []; hofs = []; spawns = [];
+    direct_cancel = false;
+  }
+
+let build (units : Lint_cmt.unit_info list) : t =
+  let g =
+    { nodes = Hashtbl.create 256; node_order = []; types = Hashtbl.create 64; units;
+      canons = Hashtbl.create 64 }
+  in
+  let add_node n =
+    match Hashtbl.find_opt g.nodes n.key with
+    | Some _ ->
+        (* Shadowed name (two [let go] in one function): merge facts
+           under one key; precision loss is acceptable for a linter. *)
+        ()
+    | None ->
+        Hashtbl.add g.nodes n.key n;
+        g.node_order <- n.key :: g.node_order
+  in
+  List.iter
+    (fun (u : Lint_cmt.unit_info) ->
+      let tables = { idents = Hashtbl.create 64 } in
+      let canon p = canon_path tables p in
+      Hashtbl.replace g.canons u.src canon;
+      (* Collect every canonical reference (with first location) under
+         [e], for closure bodies and loop bodies. *)
+      let refs_in e =
+        let acc = ref [] and seen = Hashtbl.create 8 in
+        let default = Tast_iterator.default_iterator in
+        let iter =
+          {
+            default with
+            expr =
+              (fun self ex ->
+                (match ex.Typedtree.exp_desc with
+                | Typedtree.Texp_ident (p, _, _) -> (
+                    match canon p with
+                    | Some name when not (Hashtbl.mem seen name) ->
+                        Hashtbl.add seen name ();
+                        acc := (name, ex.exp_loc) :: !acc
+                    | _ -> ())
+                | _ -> ());
+                default.expr self ex);
+          }
+        in
+        iter.expr iter e;
+        List.rev !acc
+      in
+      let cancel_in e = List.exists (fun (n, _) -> is_cancel n) (refs_in e) in
+      (* The node whose body is currently being walked. *)
+      let current = ref None in
+      let record_ref name loc =
+        match !current with
+        | None -> ()
+        | Some node ->
+            if not (Hashtbl.mem node.refs name) then begin
+              Hashtbl.add node.refs name loc;
+              node.ref_order <- name :: node.ref_order
+            end
+      in
+      let default = Tast_iterator.default_iterator in
+      let is_function_expr (e : Typedtree.expression) =
+        match e.exp_desc with Typedtree.Texp_function _ -> true | _ -> false
+      in
+      let is_arrow (e : Typedtree.expression) =
+        match Types.get_desc e.exp_type with Types.Tarrow _ -> true | _ -> false
+      in
+      let rec walk_structure prefix (str : Typedtree.structure) iter =
+        List.iter (walk_item prefix iter) str.str_items
+      and walk_item prefix iter (si : Typedtree.structure_item) =
+        match si.str_desc with
+        | Typedtree.Tstr_value (_, vbs) ->
+            List.iter (register_binding ~prefix ~toplevel:true) vbs;
+            List.iter (walk_binding ~prefix iter) vbs
+        | Typedtree.Tstr_module mb -> walk_module prefix iter mb
+        | Typedtree.Tstr_recmodule mbs -> List.iter (walk_module prefix iter) mbs
+        | Typedtree.Tstr_type (_, decls) ->
+            List.iter
+              (fun (td : Typedtree.type_declaration) ->
+                let name = td.typ_name.txt in
+                let key = join (prefix @ [ name ]) in
+                Hashtbl.replace tables.idents (Ident.unique_name td.typ_id) key;
+                match td.typ_kind with
+                | Typedtree.Ttype_record lds ->
+                    let fields =
+                      List.map
+                        (fun (ld : Typedtree.label_declaration) ->
+                          {
+                            f_name = ld.ld_name.txt;
+                            f_mutable = ld.ld_mutable = Asttypes.Mutable;
+                            f_head = head_of_type tables ld.ld_type.ctyp_type;
+                          })
+                        lds
+                    in
+                    Hashtbl.replace g.types key { t_key = key; t_fields = fields }
+                | _ -> ())
+              decls
+        | _ -> ()
+      and walk_module prefix iter (mb : Typedtree.module_binding) =
+        match mb.mb_id with
+        | None -> ()
+        | Some id -> (
+            let rec unwrap (me : Typedtree.module_expr) =
+              match me.mod_desc with
+              | Typedtree.Tmod_constraint (me, _, _, _) -> unwrap me
+              | d -> d
+            in
+            match unwrap mb.mb_expr with
+            | Typedtree.Tmod_ident (p, _) -> (
+                (* [module C = Cache]: references through the alias must
+                   land on the aliased module's canonical name. *)
+                match canon p with
+                | Some target -> Hashtbl.replace tables.idents (Ident.unique_name id) target
+                | None -> ())
+            | Typedtree.Tmod_structure str ->
+                let sub = prefix @ [ Ident.name id ] in
+                Hashtbl.replace tables.idents (Ident.unique_name id) (join sub);
+                walk_structure sub str iter
+            | _ -> ()  (* functors, unpack: documented blind spot *))
+      and binding_ident (vb : Typedtree.value_binding) =
+        (* [let x : t = e] typechecks the constrained pattern to
+           [Tpat_alias (_, x, _)]; both shapes bind exactly one name. *)
+        match vb.vb_pat.pat_desc with
+        | Typedtree.Tpat_var (id, _) -> Some id
+        | Typedtree.Tpat_alias (_, id, _) -> Some id
+        | _ -> None
+      and register_binding ~prefix ~toplevel (vb : Typedtree.value_binding) =
+        match binding_ident vb with
+        | Some id ->
+            let key = join (prefix @ [ Ident.name id ]) in
+            let is_fun = is_function_expr vb.vb_expr in
+            (* Local non-function lets fold into the enclosing node. *)
+            if toplevel || is_fun then begin
+              Hashtbl.replace tables.idents (Ident.unique_name id) key;
+              add_node
+                (new_node ~key ~src:u.src ~def_loc:vb.vb_loc ~is_fun ~toplevel
+                   ~ty_head:
+                     (if is_fun then None else head_of_type tables vb.vb_expr.exp_type))
+            end
+        | None -> ()
+      and walk_binding ~prefix iter (vb : Typedtree.value_binding) =
+        match binding_ident vb with
+        | Some id when Hashtbl.mem g.nodes (join (prefix @ [ Ident.name id ])) ->
+            let key = join (prefix @ [ Ident.name id ]) in
+            let saved = !current in
+            current := Hashtbl.find_opt g.nodes key;
+            iter.Tast_iterator.expr iter vb.vb_expr;
+            current := saved
+        | _ -> iter.Tast_iterator.expr iter vb.vb_expr
+      in
+      let expr self (e : Typedtree.expression) =
+        (match e.Typedtree.exp_desc with
+        | Typedtree.Texp_ident (p, _, _) -> (
+            match canon p with
+            | Some name ->
+                record_ref name e.exp_loc;
+                if is_cancel name then
+                  Option.iter (fun n -> n.direct_cancel <- true) !current
+            | None -> ())
+        | Typedtree.Texp_while (_, body) ->
+            Option.iter
+              (fun n -> n.loops <- { l_loc = e.exp_loc; l_cancel = cancel_in body } :: n.loops)
+              !current
+        | Typedtree.Texp_apply (f, args) -> (
+            match f.Typedtree.exp_desc with
+            | Typedtree.Texp_ident (p, _, _) -> (
+                match canon p with
+                | Some fname ->
+                    let fn_args =
+                      List.filter_map
+                        (function
+                          | (Asttypes.Nolabel, Some a) when is_arrow a -> Some a
+                          | _ -> None)
+                        args
+                    in
+                    if is_pool_spawn fname then
+                      Option.iter
+                        (fun n ->
+                          List.iter
+                            (fun (a : Typedtree.expression) ->
+                              let roots =
+                                match a.exp_desc with
+                                | Typedtree.Texp_ident (ap, _, _) -> (
+                                    match canon ap with
+                                    | Some an -> [ (an, a.exp_loc) ]
+                                    | None -> [])
+                                | _ -> refs_in a
+                              in
+                              n.spawns <- n.spawns @ roots)
+                            fn_args)
+                        !current;
+                    if is_iteration_hof fname then
+                      Option.iter
+                        (fun n ->
+                          List.iter
+                            (fun (a : Typedtree.expression) ->
+                              if is_function_expr a then
+                                n.hofs <-
+                                  {
+                                    h_loc = a.exp_loc;
+                                    h_callees = List.map fst (refs_in a);
+                                    h_cancel = cancel_in a;
+                                  }
+                                  :: n.hofs)
+                            fn_args)
+                        !current
+                | None -> ())
+            | _ -> ())
+        | _ -> ());
+        match e.Typedtree.exp_desc with
+        | Typedtree.Texp_apply (f, args)
+          when (match f.Typedtree.exp_desc with
+               | Typedtree.Texp_ident (p, _, _) -> (
+                   match canon p with Some n -> is_async_spawn n | None -> false)
+               | _ -> false) ->
+            (* [Domain.spawn body]: [body] executes on its own domain, so
+               its references are not edges out of the caller — walking
+               it would blame the spawner for blocking that by design
+               happens elsewhere (e.g. a worker parking between batches). *)
+            self.Tast_iterator.expr self f;
+            List.iter
+              (function
+                | _, Some (a : Typedtree.expression) when not (is_arrow a) ->
+                    self.Tast_iterator.expr self a
+                | _ -> ())
+              args
+        | Typedtree.Texp_let (_, vbs, body) ->
+            (* Local [let]-bound functions become child nodes under the
+               enclosing key ([Mod.fn.loop]), walked with attribution
+               switched to them — that is what turns a tail-recursive
+               local loop into a visible cycle. *)
+            let prefix =
+              match !current with Some n -> [ n.key ] | None -> u.prefix
+            in
+            List.iter (register_binding ~prefix ~toplevel:false) vbs;
+            List.iter (walk_binding ~prefix self) vbs;
+            self.Tast_iterator.expr self body
+        | _ -> default.expr self e
+      in
+      let iter = { default with expr } in
+      walk_structure u.prefix u.str iter)
+    units;
+  g.node_order <- List.rev g.node_order;
+  g
+
+(* ---------------- queries ---------------- *)
+
+let node g key = Hashtbl.find_opt g.nodes key
+let nodes_sorted g = List.sort String.compare g.node_order
+
+let callees g n =
+  List.rev n.ref_order |> List.filter (fun k -> Hashtbl.mem g.nodes k)
+
+let ref_loc n name = Hashtbl.find_opt n.refs name
+
+(* Keys reachable from [roots] through node-to-node edges (the roots
+   themselves included). *)
+let reachable g roots =
+  let seen = Hashtbl.create 256 in
+  let rec go key =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      match node g key with Some n -> List.iter go (callees g n) | None -> ()
+    end
+  in
+  List.iter go roots;
+  seen
+
+(* Bottom-up witness propagation: [seed n] names a fact established
+   directly inside [n]; a node inherits the fact from its callees with
+   the (deterministically shortest-first-found) call chain recorded.
+   Nodes for which [barrier] holds neither seed nor relay the fact —
+   that is how an [@lint.allow]-annotated definition vouches for its
+   whole subtree. *)
+type witness = { what : string; what_loc : Location.t option; chain : string list }
+
+let propagate g ~seed ~barrier =
+  let facts : (string, witness) Hashtbl.t = Hashtbl.create 64 in
+  let keys = nodes_sorted g in
+  List.iter
+    (fun key ->
+      let n = Hashtbl.find g.nodes key in
+      if not (barrier n) then
+        match seed n with
+        | Some (what, loc) ->
+            Hashtbl.replace facts key { what; what_loc = Some loc; chain = [] }
+        | None -> ())
+    keys;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun key ->
+        if not (Hashtbl.mem facts key) then
+          let n = Hashtbl.find g.nodes key in
+          if not (barrier n) then
+            match
+              List.find_opt (fun c -> Hashtbl.mem facts c) (List.sort String.compare (callees g n))
+            with
+            | Some c ->
+                let w = Hashtbl.find facts c in
+                Hashtbl.replace facts key { w with chain = c :: w.chain };
+                changed := true
+            | None -> ())
+      keys
+  done;
+  facts
+
+let describe_chain root w =
+  let hops = root :: w.chain @ [ w.what ] in
+  let hops =
+    if List.length hops <= 6 then hops
+    else
+      let rec take k = function
+        | x :: tl when k > 0 -> x :: take (k - 1) tl
+        | _ -> [ "…"; w.what ]
+      in
+      take 4 hops
+  in
+  String.concat " -> " hops
+
+(* Strongly connected components (Tarjan), for recursive-cycle
+   detection; returns the component key set for every node that sits on
+   a cycle (self-recursive or mutual). *)
+let cycle_members g =
+  let index = Hashtbl.create 256 and low = Hashtbl.create 256 in
+  let on_stack = Hashtbl.create 256 in
+  let stack = ref [] and counter = ref 0 in
+  let in_cycle = Hashtbl.create 64 in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace low v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    let n = Hashtbl.find g.nodes v in
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find low w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (callees g n);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: tl ->
+            stack := tl;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      let comp = pop [] in
+      let self_loop k = List.mem k (callees g (Hashtbl.find g.nodes k)) in
+      match comp with
+      | [ only ] when not (self_loop only) -> ()
+      | _ -> List.iter (fun k -> Hashtbl.replace in_cycle k comp) comp
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) (nodes_sorted g);
+  in_cycle
+
+(* ---------------- debug dump ---------------- *)
+
+let dump_dot g out =
+  Printf.fprintf out "digraph sgr_lint_callgraph {\n";
+  List.iter
+    (fun key ->
+      let n = Hashtbl.find g.nodes key in
+      let attrs =
+        (if n.loops <> [] then [ "loops" ] else [])
+        @ (if n.direct_cancel then [ "cancel" ] else [])
+        @ if n.spawns <> [] then [ "pool-spawn" ] else []
+      in
+      if attrs <> [] then
+        Printf.fprintf out "  %S [label=%S];\n" key
+          (key ^ " (" ^ String.concat "," attrs ^ ")"))
+    (nodes_sorted g);
+  List.iter
+    (fun key ->
+      let n = Hashtbl.find g.nodes key in
+      List.iter
+        (fun c -> Printf.fprintf out "  %S -> %S;\n" key c)
+        (List.sort_uniq String.compare (callees g n)))
+    (nodes_sorted g);
+  Printf.fprintf out "}\n"

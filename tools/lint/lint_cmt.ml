@@ -1,0 +1,85 @@
+(* Typed-phase input: discovering and loading .cmt files.
+
+   dune drops a .cmt next to every compiled module (under
+   [.<lib>.objs/byte/]); the [@lint] alias depends on [@check] so they
+   exist before analysis runs. A unit is keyed by its *source* path
+   (the same path the Parsetree phase reports), so findings from both
+   phases share one coordinate system and one [@lint.allow] region
+   table. Generated wrapper modules ([foo.ml-gen]) are skipped: they
+   only contain module aliases. *)
+
+type unit_info = {
+  src : string;  (* source path as compiled, e.g. lib/serve/engine.ml *)
+  modname : string;  (* compilation unit name, e.g. Sgr_serve__Engine *)
+  prefix : string list;  (* canonical module path, e.g. [Sgr_serve; Engine] *)
+  str : Typedtree.structure;
+}
+
+(* dune mangles wrapped-library units as [Lib__Module]; both spellings
+   reach us (the unit name on definitions, the wrapper path on
+   references), so split the mangling back out to one canonical form. *)
+let expand_unit name =
+  let parts = ref [] and buf = Buffer.create (String.length name) in
+  let n = String.length name in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && name.[!i] = '_' && name.[!i + 1] = '_' && Buffer.length buf > 0 then begin
+      parts := Buffer.contents buf :: !parts;
+      Buffer.clear buf;
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf name.[!i];
+      incr i
+    end
+  done;
+  if Buffer.length buf > 0 then parts := Buffer.contents buf :: !parts;
+  List.rev_map String.capitalize_ascii !parts
+
+let rec find_cmts acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if List.mem name [ ".git"; "_opam"; "node_modules" ] then acc
+           else find_cmts acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+(* Load every unit under [roots]. Returns the units sorted by source
+   path plus a [cmt-error] diagnostic per unreadable file (a stale or
+   cross-compiler .cmt must not silently shrink the call graph). *)
+let load roots : unit_info list * Lint_diag.t list =
+  let files = List.fold_left find_cmts [] roots |> List.sort_uniq String.compare in
+  let units = ref [] and diags = ref [] in
+  List.iter
+    (fun file ->
+      match Cmt_format.read_cmt file with
+      | exception _ ->
+          diags :=
+            { Lint_diag.file; line = 1; col = 0; cnum = 0; rule = "cmt-error";
+              msg = "unreadable .cmt (stale build or compiler mismatch); rerun dune build @check" }
+            :: !diags
+      | cmt -> (
+          match (cmt.cmt_sourcefile, cmt.cmt_annots) with
+          | Some src, Cmt_format.Implementation str
+            when Filename.check_suffix src ".ml" ->
+              units :=
+                { src; modname = cmt.cmt_modname; prefix = expand_unit cmt.cmt_modname; str }
+                :: !units
+          | _ -> ()))
+    files;
+  (* Two .cmt copies of one source (e.g. byte + native rules) must not
+     double every finding: keep the first in path order. *)
+  let seen = Hashtbl.create 64 in
+  let units =
+    List.sort (fun a b -> String.compare a.src b.src) !units
+    |> List.filter (fun u ->
+           if Hashtbl.mem seen u.src then false
+           else begin
+             Hashtbl.add seen u.src ();
+             true
+           end)
+  in
+  (units, !diags)

@@ -38,3 +38,38 @@ let compare a b =
         if c <> 0 then c else String.compare a.msg b.msg
 
 let print d = Printf.printf "%s:%d:%d: [%s] %s\n" d.file d.line d.col d.rule d.msg
+
+(* --format json: one object per finding, newline-separated inside a
+   top-level array, for the CI problem matcher and other tooling. The
+   [allow] field is the id to put in a [@lint.allow "..."] to suppress
+   the finding (diagnostics about the lint run itself — parse-error,
+   bad-allow, cmt-error — are not suppressible, rendered as null). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unsuppressible = [ "parse-error"; "bad-allow"; "cmt-error" ]
+
+let print_json_list ds =
+  print_string "[";
+  List.iteri
+    (fun i d ->
+      let allow =
+        if List.mem d.rule unsuppressible then "null"
+        else Printf.sprintf "\"%s\"" (json_escape d.rule)
+      in
+      Printf.printf "%s\n  {\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"msg\":\"%s\",\"allow\":%s}"
+        (if i = 0 then "" else ",")
+        (json_escape d.file) d.line d.col (json_escape d.rule) (json_escape d.msg) allow)
+    ds;
+  print_string (if ds = [] then "]\n" else "\n]\n")

@@ -45,12 +45,21 @@ let rules =
        single-domain — use Hist.observe)" );
     ("lib-purity", "no direct stdout/stderr output from lib/; print from bin/ or an Obs sink");
     ( "no-blocking-in-pool",
-      "blocking syscalls (Unix.sleep/select/read/..., Thread.delay/join) must not run \
-       inside closures handed to Pool.map/map_array, nor anywhere in the serve \
-       session-layer modules (session.ml, lineio.ml) driven by the event loop" );
+      "blocking calls (Unix.*, Thread.delay/join, Mutex.lock, channel I/O) must not be \
+       reachable — directly or through the call graph (typed phase) — from closures \
+       handed to Pool.map/map_array or from the serve session-layer modules \
+       (session.ml, lineio.ml) driven by the event loop" );
     ("no-untyped-failure", "failwith / assert false in lib/ needs an explicit allow");
     ( "quadratic-list",
       "List.mem/List.assoc/List.nth/(@) in lib/graph and lib/network hot paths" );
+    ( "lock-discipline",
+      "typed phase: fields of a record that pairs a Mutex.t with mutable state must \
+       only be touched while the mutex is held, and non-atomic mutable globals must \
+       not be reachable from Pool closures" );
+    ( "cancel-coverage",
+      "typed phase: while loops, recursive cycles and loop-driving closures in solver \
+       modules reachable from lib/serve dispatch must contain Sgr_obs.Cancel.check so \
+       @MS deadlines can pre-empt them" );
   ]
 
 let known = List.map fst rules
@@ -248,12 +257,13 @@ let blocking_call_in e =
   iter.expr iter e;
   !found
 
-(* Names let-bound (at any level) to a body that emits spans/points or
-   performs blocking calls, so passing the name to Pool.map is caught
-   too. One level only: a helper calling another tainted helper is a
-   documented blind spot. *)
+(* Names let-bound (at any level) to a body that emits spans/points, so
+   passing the name to Pool.map is caught too. One level only: a helper
+   calling another tainted helper is a documented blind spot. (The
+   blocking equivalent used to live here; the typed phase's fixed-point
+   taint in [Lint_typed] replaced it and has no hop limit.) *)
 let tainted_bindings str =
-  let obs_tainted = Hashtbl.create 8 and blocking_tainted = Hashtbl.create 8 in
+  let obs_tainted = Hashtbl.create 8 in
   let default = Ast_iterator.default_iterator in
   let iter =
     {
@@ -261,19 +271,16 @@ let tainted_bindings str =
       value_binding =
         (fun self vb ->
           (match vb.pvb_pat.ppat_desc with
-          | Ppat_var { txt; _ } ->
-              (match obs_call_in vb.pvb_expr with
+          | Ppat_var { txt; _ } -> (
+              match obs_call_in vb.pvb_expr with
               | Some _ -> Hashtbl.replace obs_tainted txt ()
-              | None -> ());
-              (match blocking_call_in vb.pvb_expr with
-              | Some _ -> Hashtbl.replace blocking_tainted txt ()
               | None -> ())
           | _ -> ());
           default.value_binding self vb);
     }
   in
   iter.structure iter str;
-  (obs_tainted, blocking_tainted)
+  obs_tainted
 
 let print_idents =
   [
@@ -312,7 +319,7 @@ let collect ~path (str : structure) : Lint_diag.t list =
     scan_mutable_global ~emit:(fun loc msg -> emit ~rule:"mutable-global" loc msg)
       ~mutable_fields str
   end;
-  let obs_tainted, blocking_tainted = tainted_bindings str in
+  let obs_tainted = tainted_bindings str in
   let default = Ast_iterator.default_iterator in
   let expr self e =
     (match e.pexp_desc with
@@ -357,12 +364,6 @@ let collect ~path (str : structure) : Lint_diag.t list =
                              "%s emits Obs spans/points or records a plain histogram and is \
                               passed to Pool.map: worker domains drop events and race on \
                               histograms, so telemetry depends on the job count"
-                             n);
-                      if Hashtbl.mem blocking_tainted n then
-                        emit ~rule:"no-blocking-in-pool" a.pexp_loc
-                          (Printf.sprintf
-                             "%s performs blocking calls and is passed to Pool.map: a parked \
-                              worker domain stalls every task queued behind it"
                              n)
                   | _ -> ())
                 args

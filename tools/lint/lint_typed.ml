@@ -1,0 +1,545 @@
+(* Typed interprocedural rules over the Lint_callgraph.
+
+   Three rules run here; each reports with the same diagnostic shape as
+   the Parsetree phase and honours the same [@lint.allow] regions (the
+   driver filters by source span, and passes [barrier] so an allow on a
+   *definition* also stops taint from propagating out of it — the way
+   [Cache.locked] vouches for its deliberately-blocking critical
+   section).
+
+   - no-blocking-in-pool (v2): fixed-point blocking taint. A node seeds
+     if it directly references a blocking identifier; taint flows up the
+     call graph; a [Pool.map]/[Pool.map_array] closure root or a
+     [session.ml]/[lineio.ml] function that carries taint is reported
+     with its witness call chain. Direct blocking inside a closure or a
+     session module is still the Parsetree phase's job; this rule owns
+     everything deeper than one hop.
+
+   - lock-discipline: for record types declaring a [Mutex.t] alongside
+     mutable state, an abstract lock-state walk flags field access not
+     dominated by [Mutex.lock]/[Mutex.protect] (or a lock-wrapper such
+     as [Cache.locked]); separately, non-atomic mutable globals
+     reachable from pool closures are flagged at their definition.
+
+   - cancel-coverage: every [while] loop, recursive cycle, and
+     loop-driving iteration-HOF closure in solver code ([lib/core],
+     [lib/network], [lib/links], [lib/numerics]) that is transitively
+     reachable from [lib/serve] must syntactically contain a
+     [Sgr_obs.Cancel.check] — transitive reachability of a checkpoint is
+     not enough, so deleting any one checkpoint fires the rule. *)
+
+module G = Lint_callgraph
+
+let rule_blocking = "no-blocking-in-pool"
+let rule_lock = "lock-discipline"
+let rule_cancel = "cancel-coverage"
+
+(* ---------------- blocking taint ---------------- *)
+
+let blocking_unix =
+  [ "sleep"; "sleepf"; "select"; "accept"; "connect"; "read"; "write";
+    "single_write"; "recv"; "send"; "recvfrom"; "sendto"; "wait"; "waitpid";
+    "system"; "open_process"; "open_process_in" ]
+
+let blocking_bare =
+  [ "input_line"; "really_input"; "really_input_string"; "input_value";
+    "output_value"; "read_line"; "read_int"; "read_float" ]
+
+let is_blocking name =
+  List.exists (fun b -> G.has_suffix name ("Unix." ^ b)) blocking_unix
+  || G.has_suffix name "Thread.delay"
+  || G.has_suffix name "Thread.join"
+  || G.has_suffix name "Mutex.lock"
+  || G.has_suffix name "Mutex.protect"
+  || G.has_suffix name "Condition.wait"
+  || String.length name > 11 && String.sub name 0 11 = "In_channel."
+  || String.length name > 12 && String.sub name 0 12 = "Out_channel."
+  || List.mem name blocking_bare
+
+let sorted_refs (n : G.node) =
+  Hashtbl.fold (fun k loc acc -> (k, loc) :: acc) n.refs []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let blocking_seed (n : G.node) =
+  List.find_opt (fun (name, _) -> is_blocking name) (sorted_refs n)
+
+let is_session_src src =
+  List.mem (Filename.basename src) [ "session.ml"; "lineio.ml" ]
+
+let blocking_findings g ~barrier =
+  let witnesses =
+    G.propagate g
+      ~seed:(fun n -> blocking_seed n)
+      ~barrier:(fun n -> barrier ~rule:rule_blocking n)
+  in
+  let out = ref [] in
+  (* Pool closure roots that transitively block. *)
+  List.iter
+    (fun key ->
+      match G.node g key with
+      | None -> ()
+      | Some n ->
+          List.iter
+            (fun (root, loc) ->
+              match Hashtbl.find_opt witnesses root with
+              | Some w when Hashtbl.mem g.G.nodes root ->
+                  out :=
+                    Lint_diag.of_loc ~rule:rule_blocking
+                      ~msg:
+                        (Printf.sprintf
+                           "%s reaches blocking call %s (%s) from a Pool closure: a \
+                            parked worker domain stalls every task queued behind it"
+                           root w.what (G.describe_chain root w))
+                      loc
+                    :: !out
+              | _ -> ())
+            n.spawns)
+    (G.nodes_sorted g);
+  (* Session/lineio functions that block through a callee: the direct
+     case is the Parsetree rule's. *)
+  List.iter
+    (fun key ->
+      match G.node g key with
+      | Some n when is_session_src n.src -> (
+          match Hashtbl.find_opt witnesses key with
+          | Some w when w.chain <> [] ->
+              let hop = List.hd w.chain in
+              let loc =
+                match G.ref_loc n hop with Some l -> l | None -> n.def_loc
+              in
+              out :=
+                Lint_diag.of_loc ~rule:rule_blocking
+                  ~msg:
+                    (Printf.sprintf
+                       "%s blocks through %s (%s) inside a session state-machine \
+                        module: the server's event loop must never block (keep \
+                        Session/Lineio pure; all I/O belongs to Server)"
+                       key hop (G.describe_chain key w))
+                  loc
+                :: !out
+          | _ -> ())
+      | _ -> ())
+    (G.nodes_sorted g);
+  !out
+
+(* ---------------- lock discipline ---------------- *)
+
+let base_mutable_heads =
+  [ "ref"; "Hashtbl.t"; "Buffer.t"; "Queue.t"; "Stack.t"; "Bytes.t"; "Dynarray.t" ]
+
+let exempt_heads =
+  [ "Mutex.t"; "Condition.t"; "Atomic.t"; "Semaphore.Counting.t";
+    "Semaphore.Binary.t"; "Domain.DLS.key" ]
+
+(* Project record types that are themselves mutable (directly, or via a
+   field whose head type is mutable), by fixpoint. *)
+let mutable_heads g =
+  let heads = Hashtbl.create 32 in
+  List.iter (fun h -> Hashtbl.replace heads h ()) base_mutable_heads;
+  let field_mutable (f : G.field_info) =
+    f.f_mutable
+    || (match f.f_head with
+       | Some h -> Hashtbl.mem heads h && not (List.mem h exempt_heads)
+       | None -> false)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun key (ti : G.type_info) ->
+        if (not (Hashtbl.mem heads key)) && List.exists field_mutable ti.t_fields
+        then begin
+          Hashtbl.replace heads key ();
+          changed := true
+        end)
+      g.G.types
+  done;
+  heads
+
+(* Guarded types: a Mutex.t field next to stateful fields. Returns
+   type key -> set of field names that demand the lock. *)
+let guarded_types g heads =
+  let out = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun key (ti : G.type_info) ->
+      let has_mutex =
+        List.exists (fun f -> f.G.f_head = Some "Mutex.t") ti.t_fields
+      in
+      if has_mutex then begin
+        let stateful =
+          List.filter
+            (fun (f : G.field_info) ->
+              (match f.f_head with
+              | Some h when List.mem h exempt_heads -> false
+              | _ -> true)
+              && (f.f_mutable
+                 || match f.f_head with
+                    | Some h -> Hashtbl.mem heads h
+                    | None -> false))
+            ti.t_fields
+        in
+        if stateful <> [] then
+          Hashtbl.replace out key
+            (List.map (fun f -> f.G.f_name) stateful)
+      end)
+    g.G.types;
+  out
+
+(* Lock-state walk over one unit. [locked] is threaded through
+   sequencing and joined with (&&) across branches; [Mutex.lock] /
+   [Mutex.protect] / calls to lock-wrapper nodes establish it; field
+   patterns are a documented blind spot (the project uses dot access
+   for guarded state). *)
+let lock_walk (g : G.t) guarded (u : Lint_cmt.unit_info) =
+  let canon =
+    match Hashtbl.find_opt g.G.canons u.src with
+    | Some c -> c
+    | None -> fun _ -> None
+  in
+  let out = ref [] in
+  let is_lock_wrapper name =
+    match G.node g name with
+    | Some n ->
+        Hashtbl.fold
+          (fun r _ acc ->
+            acc || G.has_suffix r "Mutex.lock" || G.has_suffix r "Mutex.protect")
+          n.refs false
+    | None -> false
+  in
+  let guarded_field (ld : Types.label_description) =
+    match Types.get_desc ld.lbl_res with
+    | Types.Tconstr (p, _, _) -> (
+        match canon p with
+        | Some tkey -> (
+            match Hashtbl.find_opt guarded tkey with
+            | Some fields when List.mem ld.lbl_name fields -> Some tkey
+            | _ -> None)
+        | None -> None)
+    | _ -> None
+  in
+  let check locked (e : Typedtree.expression) (ld : Types.label_description) ~write =
+    if not locked then
+      match guarded_field ld with
+      | Some tkey ->
+          out :=
+            Lint_diag.of_loc ~rule:rule_lock
+              ~msg:
+                (Printf.sprintf
+                   "%s of mutex-guarded field %s.%s without holding the mutex; \
+                    take the lock (or a lock-wrapper) on every path, or annotate \
+                    why this access is race-free"
+                   (if write then "write" else "read")
+                   tkey ld.lbl_name)
+              e.exp_loc
+            :: !out
+      | None -> ()
+  in
+  let rec head_callee (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> canon p
+    | Typedtree.Texp_apply (f, _) -> head_callee f
+    | _ -> None
+  in
+  let is_arrow (e : Typedtree.expression) =
+    match Types.get_desc e.exp_type with Types.Tarrow _ -> true | _ -> false
+  in
+  let default = Tast_iterator.default_iterator in
+  let rec walk locked (e : Typedtree.expression) : bool =
+    match e.exp_desc with
+    | Typedtree.Texp_sequence (a, b) ->
+        let s = walk locked a in
+        walk s b
+    | Typedtree.Texp_let (_, vbs, body) ->
+        let s =
+          List.fold_left
+            (fun s (vb : Typedtree.value_binding) -> walk s vb.vb_expr)
+            locked vbs
+        in
+        walk s body
+    | Typedtree.Texp_ifthenelse (c, t, eo) ->
+        let s = walk locked c in
+        let st = walk s t in
+        let se = match eo with Some el -> walk s el | None -> s in
+        st && se
+    | Typedtree.Texp_match (scrut, cases, _) ->
+        let s = walk locked scrut in
+        walk_cases s cases
+    | Typedtree.Texp_try (body, cases) ->
+        let s = walk locked body in
+        let h = walk_cases locked cases in
+        s && h
+    | Typedtree.Texp_while (c, b) ->
+        ignore (walk locked c);
+        ignore (walk locked b);
+        locked
+    | Typedtree.Texp_for (_, _, lo, hi, _, b) ->
+        ignore (walk locked lo);
+        ignore (walk locked hi);
+        ignore (walk locked b);
+        locked
+    | Typedtree.Texp_function _ ->
+        (* A bare closure may run anywhere, later: analyze its body cold.
+           Closure arguments to lock wrappers are handled at apply. *)
+        walk_function false e;
+        locked
+    | Typedtree.Texp_field (r, _, ld) ->
+        check locked e ld ~write:false;
+        ignore (walk locked r);
+        locked
+    | Typedtree.Texp_setfield (r, _, ld, v) ->
+        check locked e ld ~write:true;
+        ignore (walk locked r);
+        ignore (walk locked v);
+        locked
+    | Typedtree.Texp_apply (f, args) -> walk_apply locked f args
+    | _ ->
+        (* Generic constructs don't change lock state; walk children. *)
+        let self =
+          { default with expr = (fun _ child -> ignore (walk locked child)) }
+        in
+        default.expr self e;
+        locked
+  and walk_function locked (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_function { cases; _ } ->
+        List.iter (fun (c : _ Typedtree.case) -> ignore (walk locked c.c_rhs)) cases
+    | _ -> ignore (walk locked e)
+  and walk_cases : 'k. bool -> 'k Typedtree.case list -> bool =
+    fun locked cases ->
+    List.fold_left
+      (fun acc (c : _ Typedtree.case) ->
+        Option.iter (fun gd -> ignore (walk locked gd)) c.c_guard;
+        (* Evaluate before (&&): every case must be walked even once
+           the join is already known to be unlocked. *)
+        let case_exit = walk locked c.c_rhs in
+        acc && case_exit)
+      true cases
+  and walk_apply locked f args =
+    let callee = head_callee f in
+    match callee with
+    (* Pipeline operators: re-associate so the real callee is seen. *)
+    | Some "@@" -> (
+        match List.filter_map (function (_, Some a) -> Some a | _ -> None) args with
+        | [ fn; arg ] -> walk_apply locked fn [ (Asttypes.Nolabel, Some arg) ]
+        | other ->
+            List.iter (fun a -> ignore (walk locked a)) other;
+            locked)
+    | Some "|>" -> (
+        match List.filter_map (function (_, Some a) -> Some a | _ -> None) args with
+        | [ arg; fn ] -> walk_apply locked fn [ (Asttypes.Nolabel, Some arg) ]
+        | other ->
+            List.iter (fun a -> ignore (walk locked a)) other;
+            locked)
+    | Some name when G.has_suffix name "Mutex.lock" ->
+        List.iter (fun (_, a) -> Option.iter (fun a -> ignore (walk locked a)) a) args;
+        true
+    | Some name when G.has_suffix name "Mutex.unlock" ->
+        List.iter (fun (_, a) -> Option.iter (fun a -> ignore (walk locked a)) a) args;
+        false
+    | Some name when G.has_suffix name "Mutex.protect" || is_lock_wrapper name ->
+        (* The wrapper acquires the lock before running its function
+           arguments; other arguments evaluate in the caller's state. *)
+        List.iter
+          (fun (_, a) ->
+            Option.iter
+              (fun (a : Typedtree.expression) ->
+                if is_arrow a then walk_function true a else ignore (walk locked a))
+              a)
+          args;
+        locked
+    | _ ->
+        ignore (walk locked f);
+        List.iter (fun (_, a) -> Option.iter (fun a -> ignore (walk locked a)) a) args;
+        locked
+  in
+  let rec walk_str (str : Typedtree.structure) =
+    List.iter
+      (fun (si : Typedtree.structure_item) ->
+        match si.str_desc with
+        | Typedtree.Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Typedtree.value_binding) -> ignore (walk false vb.vb_expr))
+              vbs
+        | Typedtree.Tstr_module mb -> walk_mod mb
+        | Typedtree.Tstr_recmodule mbs -> List.iter walk_mod mbs
+        | _ -> ())
+      str.str_items
+  and walk_mod (mb : Typedtree.module_binding) =
+    let rec unwrap (me : Typedtree.module_expr) =
+      match me.mod_desc with
+      | Typedtree.Tmod_constraint (me, _, _, _) -> unwrap me
+      | d -> d
+    in
+    match unwrap mb.mb_expr with
+    | Typedtree.Tmod_structure str -> walk_str str
+    | _ -> ()
+  in
+  walk_str u.str;
+  !out
+
+let lock_findings g =
+  let heads = mutable_heads g in
+  let guarded = guarded_types g heads in
+  let walk_diags = List.concat_map (lock_walk g guarded) g.G.units in
+  (* Part B: non-atomic mutable globals reachable from pool closures. *)
+  let spawn_roots =
+    List.concat_map
+      (fun key ->
+        match G.node g key with
+        | Some n -> List.map fst n.spawns
+        | None -> [])
+      (G.nodes_sorted g)
+    |> List.filter (Hashtbl.mem g.G.nodes)
+  in
+  let reach = G.reachable g spawn_roots in
+  let globals =
+    List.filter_map
+      (fun key ->
+        match G.node g key with
+        | Some n when n.toplevel && (not n.is_fun) && Hashtbl.mem reach key -> (
+            match n.ty_head with
+            | Some h
+              when Hashtbl.mem heads h && not (List.mem h exempt_heads)
+                   (* A global whose type pairs its state with its own
+                      [Mutex.t] is internally synchronized; part A polices
+                      accesses to its guarded fields instead. *)
+                   && not (Hashtbl.mem guarded h) ->
+                Some
+                  (Lint_diag.of_loc ~rule:rule_lock
+                     ~msg:
+                       (Printf.sprintf
+                          "non-atomic mutable global %s (%s) is reachable from a \
+                           Pool closure; worker domains race on it — use Atomic, \
+                           a mutex, Domain.DLS, or annotate why access is \
+                           single-domain"
+                          key h)
+                     n.def_loc)
+            | _ -> None)
+        | _ -> None)
+      (G.nodes_sorted g)
+  in
+  walk_diags @ globals
+
+(* ---------------- cancellation coverage ---------------- *)
+
+let solver_src src =
+  List.exists
+    (fun p ->
+      String.length src > String.length p && String.sub src 0 (String.length p) = p)
+    [ "lib/core/"; "lib/network/"; "lib/links/"; "lib/numerics/" ]
+
+let serve_src src =
+  String.length src > 10 && String.sub src 0 10 = "lib/serve/"
+
+let cancel_findings g =
+  let serve_roots =
+    List.filter
+      (fun key ->
+        match G.node g key with Some n -> serve_src n.src | None -> false)
+      (G.nodes_sorted g)
+  in
+  if serve_roots = [] then []
+  else begin
+    let reach = G.reachable g serve_roots in
+    let cycles = G.cycle_members g in
+    (* "Loop-bearing" for the HOF subrule means *unchecked* loops: work
+       whose own loops (or cycle) already checkpoint is pre-emptible
+       from the inside, so sweeping it needs no per-item check. *)
+    let loopy =
+      G.propagate g
+        ~seed:(fun n ->
+          let unchecked_loop =
+            List.exists (fun (l : G.loop) -> not l.l_cancel) n.loops
+          in
+          let unchecked_cycle =
+            match Hashtbl.find_opt cycles n.key with
+            | Some comp ->
+                not
+                  (List.exists
+                     (fun k ->
+                       match G.node g k with
+                       | Some m -> m.direct_cancel
+                       | None -> false)
+                     comp)
+            | None -> false
+          in
+          if unchecked_loop || unchecked_cycle then Some ("loop", n.def_loc)
+          else None)
+        ~barrier:(fun _ -> false)
+    in
+    let out = ref [] in
+    List.iter
+      (fun key ->
+        match G.node g key with
+        | Some n when solver_src n.src && Hashtbl.mem reach key ->
+            List.iter
+              (fun (l : G.loop) ->
+                if not l.l_cancel then
+                  out :=
+                    Lint_diag.of_loc ~rule:rule_cancel
+                      ~msg:
+                        (Printf.sprintf
+                           "while loop in %s is reachable from serving dispatch but \
+                            has no Sgr_obs.Cancel.check in its body; an @MS deadline \
+                            cannot pre-empt it (add a checkpoint, or annotate why \
+                            the loop is bounded)"
+                           key)
+                      l.l_loc
+                    :: !out)
+              n.loops;
+            (match Hashtbl.find_opt cycles key with
+            | Some comp ->
+                let covered =
+                  List.exists
+                    (fun k ->
+                      match G.node g k with
+                      | Some m -> m.direct_cancel
+                      | None -> false)
+                    comp
+                in
+                (* One finding per cycle, reported at its smallest key. *)
+                if (not covered) && key = List.fold_left min (List.hd comp) comp
+                then
+                  out :=
+                    Lint_diag.of_loc ~rule:rule_cancel
+                      ~msg:
+                        (Printf.sprintf
+                           "recursive cycle {%s} is reachable from serving dispatch \
+                            but no function in the cycle calls Sgr_obs.Cancel.check; \
+                            an @MS deadline cannot pre-empt it (add a checkpoint, or \
+                            annotate why the recursion is bounded)"
+                           (String.concat ", " (List.sort String.compare comp)))
+                      n.def_loc
+                    :: !out
+            | None -> ());
+            List.iter
+              (fun (h : G.hof) ->
+                if not h.h_cancel then
+                  match
+                    List.find_opt
+                      (fun c -> Hashtbl.mem loopy c)
+                      (List.sort String.compare h.h_callees)
+                  with
+                  | Some c ->
+                      out :=
+                        Lint_diag.of_loc ~rule:rule_cancel
+                          ~msg:
+                            (Printf.sprintf
+                               "closure in %s iterates loop-bearing work (%s) with \
+                                no per-item Sgr_obs.Cancel.check; an @MS deadline \
+                                cannot pre-empt the sweep (add a checkpoint, or \
+                                annotate why each item is cheap)"
+                               key c)
+                          h.h_loc
+                        :: !out
+                  | None -> ())
+              n.hofs
+        | _ -> ())
+      (G.nodes_sorted g);
+    !out
+  end
+
+(* ---------------- entry point ---------------- *)
+
+let analyze g ~barrier : Lint_diag.t list =
+  blocking_findings g ~barrier @ lock_findings g @ cancel_findings g

@@ -1,14 +1,23 @@
 (* sgr-lint — project-rule static analysis on compiler-libs.
 
-   Usage: sgr-lint [PATH ...]           (default: lib bin bench tools)
-          sgr-lint --rules              (list rule ids)
+   Usage: sgr-lint [OPTIONS] [PATH ...]      (default: lib bin bench tools)
+          sgr-lint --rules                   (list rule ids)
+          sgr-lint --format json [PATH ...]  (machine-readable findings)
+          sgr-lint --dump-callgraph dot [..] (typed-phase call graph)
+          sgr-lint --allow-census [PATH ...] (allow-region count per rule)
 
-   Parses every .ml/.mli under the given paths with the compiler's own
-   parser and walks the Parsetree with the rules in [Lint_rules]. Rule
+   Phase 1 parses every .ml/.mli under the given paths with the
+   compiler's own parser and walks the Parsetree with the rules in
+   [Lint_rules]. Phase 2 loads every .cmt found under the same paths
+   (dune's @lint alias depends on @check so they exist), builds a
+   whole-program call graph ([Lint_callgraph]) and runs the
+   interprocedural rules ([Lint_typed]). Both phases report in source
+   coordinates, so one [@lint.allow] region table filters both; an
+   allow on a *definition* additionally acts as a taint barrier. Rule
    applicability is derived from the path (lib/, lib/numerics, ...), so
    fixtures laid out under a mimicking directory tree exercise the same
    scoping as the real tree. Exit status is non-zero iff any finding
-   survives its [@lint.allow] filter. *)
+   survives its filter. *)
 
 let skip_dirs = [ "_build"; ".git"; "_opam"; "node_modules" ]
 
@@ -33,43 +42,157 @@ let parse_error_findings file exn =
       [ { Lint_diag.file; line = 1; col = 0; cnum = 0; rule = "parse-error";
           msg = Printexc.to_string exn } ]
 
+(* Phase 1 on one file. Returns the surviving findings plus the file's
+   allow regions (phase 2 filters against the same table). A file that
+   cannot be read or parsed is itself a non-zero-exit [parse-error]
+   finding — silently skipping it would un-lint whatever it contains. *)
 let check_file file =
-  let ic = open_in_bin file in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let lexbuf = Lexing.from_channel ic in
-      Lexing.set_filename lexbuf file;
-      if Filename.check_suffix file ".mli" then
-        (* Interfaces carry no expressions; parsing still catches syntax
-           rot in files dune might not currently build. *)
-        match Parse.interface lexbuf with
-        | _ -> []
-        | exception exn -> parse_error_findings file exn
-      else
-        match Parse.implementation lexbuf with
-        | str ->
-            let findings = Lint_rules.collect ~path:file str in
-            let regions, bad = Lint_allow.collect ~known:Lint_rules.known str in
-            bad @ List.filter (fun d -> not (Lint_allow.suppressed regions d)) findings
-        | exception exn -> parse_error_findings file exn)
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let lexbuf = Lexing.from_channel ic in
+        Lexing.set_filename lexbuf file;
+        if Filename.check_suffix file ".mli" then
+          (* Interfaces carry no expressions; parsing still catches syntax
+             rot in files dune might not currently build. *)
+          match Parse.interface lexbuf with
+          | _ -> ([], [])
+          | exception exn -> (parse_error_findings file exn, [])
+        else
+          match Parse.implementation lexbuf with
+          | str ->
+              let findings = Lint_rules.collect ~path:file str in
+              let regions, bad = Lint_allow.collect ~known:Lint_rules.known str in
+              ( bad @ List.filter (fun d -> not (Lint_allow.suppressed regions d)) findings,
+                regions )
+          | exception exn -> (parse_error_findings file exn, []))
+  with
+  | result -> result
+  | exception Sys_error msg ->
+      ( [ { Lint_diag.file; line = 1; col = 0; cnum = 0; rule = "parse-error"; msg } ],
+        [] )
+
+type format = Text | Json
+
+let usage () =
+  print_endline
+    "usage: sgr-lint [--rules] [--format text|json] [--dump-callgraph dot] \
+     [--allow-census] [PATH ...]   (default paths: lib bin bench tools)"
 
 let () =
+  (* The lexer can emit alerts (e.g. ISO-Latin1 characters) on the
+     compiler's formatter; lint output must stay machine-parseable. *)
+  Location.formatter_for_warnings := Format.make_formatter (fun _ _ _ -> ()) (fun () -> ());
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [ ("--rules" | "-rules") ] ->
-      List.iter (fun (id, doc) -> Printf.printf "%-22s %s\n" id doc) Lint_rules.rules
-  | [ ("--help" | "-help" | "-h") ] ->
-      print_endline "usage: sgr-lint [--rules] [PATH ...]   (default paths: lib bin bench tools)"
-  | _ ->
-      let roots = if args = [] then [ "lib"; "bin"; "bench"; "tools" ] else args in
-      let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
-      if missing <> [] then begin
-        List.iter (Printf.eprintf "sgr-lint: no such path: %s\n") missing;
+  let format = ref Text in
+  let dump_callgraph = ref false in
+  let allow_census = ref false in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | ("--rules" | "-rules") :: _ ->
+        List.iter (fun (id, doc) -> Printf.printf "%-22s %s\n" id doc) Lint_rules.rules;
+        exit 0
+    | ("--help" | "-help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | "--format" :: fmt :: rest ->
+        (match fmt with
+        | "text" -> format := Text
+        | "json" -> format := Json
+        | other ->
+            Printf.eprintf "sgr-lint: unknown format %S (expected text or json)\n" other;
+            exit 2);
+        parse_args acc rest
+    | "--dump-callgraph" :: "dot" :: rest ->
+        dump_callgraph := true;
+        parse_args acc rest
+    | "--dump-callgraph" :: _ ->
+        Printf.eprintf "sgr-lint: --dump-callgraph expects the format \"dot\"\n";
         exit 2
+    | "--allow-census" :: rest ->
+        allow_census := true;
+        parse_args acc rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        Printf.eprintf "sgr-lint: unknown option %s\n" arg;
+        usage ();
+        exit 2
+    | path :: rest -> parse_args (path :: acc) rest
+  in
+  let roots =
+    match parse_args [] args with [] -> [ "lib"; "bin"; "bench"; "tools" ] | l -> l
+  in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  if missing <> [] then begin
+    List.iter (Printf.eprintf "sgr-lint: no such path: %s\n") missing;
+    exit 2
+  end;
+  (* Overlapping roots (sgr-lint lib lib/serve) must not double-report. *)
+  let files = List.fold_left source_files [] roots |> List.sort_uniq String.compare in
+  let regions_by_file : (string, Lint_allow.region list) Hashtbl.t = Hashtbl.create 64 in
+  let phase1 =
+    List.concat_map
+      (fun file ->
+        let findings, regions = check_file file in
+        Hashtbl.replace regions_by_file file regions;
+        findings)
+      files
+  in
+  if !allow_census then begin
+    (* Allow-regions per rule across the tree, for lint-baseline.txt:
+       a new suppression shows up as a visible diff in CI. *)
+    let census = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _ regions ->
+        List.iter
+          (fun (r : Lint_allow.region) ->
+            Hashtbl.replace census r.rule (1 + Option.value ~default:0 (Hashtbl.find_opt census r.rule)))
+          regions)
+      regions_by_file;
+    Hashtbl.fold (fun rule n acc -> (rule, n) :: acc) census []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.iter (fun (rule, n) -> Printf.printf "%-22s %d\n" rule n);
+    exit 0
+  end;
+  (* Phase 2: typed analysis over whatever .cmt files exist under the
+     same roots. No cmts (fixture trees that are never compiled) means
+     no typed findings — the Parsetree phase stands alone. *)
+  let units, cmt_diags = Lint_cmt.load roots in
+  let typed =
+    if units = [] then []
+    else begin
+      let g = Lint_callgraph.build units in
+      if !dump_callgraph then begin
+        Lint_callgraph.dump_dot g stdout;
+        exit 0
       end;
-      let files = List.fold_left source_files [] roots |> List.sort String.compare in
-      let findings = List.concat_map check_file files |> List.sort Lint_diag.compare in
+      let regions_of file = Option.value ~default:[] (Hashtbl.find_opt regions_by_file file) in
+      let barrier ~rule (n : Lint_callgraph.node) =
+        let p = n.def_loc.loc_start in
+        Lint_allow.suppressed (regions_of n.src)
+          { Lint_diag.file = n.src; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol;
+            cnum = p.pos_cnum; rule; msg = "" }
+      in
+      Lint_typed.analyze g ~barrier
+      |> List.filter (fun (d : Lint_diag.t) ->
+             not (Lint_allow.suppressed (regions_of d.file) d))
+    end
+  in
+  if !dump_callgraph then begin
+    (* Reachable only when no unit was loaded: nothing to dump. *)
+    Printf.eprintf "sgr-lint: --dump-callgraph found no .cmt files under the given paths \
+                    (run dune build @check first)\n";
+    exit 2
+  end;
+  let findings =
+    phase1 @ cmt_diags @ typed |> List.sort_uniq Lint_diag.compare
+  in
+  match !format with
+  | Json ->
+      Lint_diag.print_json_list findings;
+      if findings <> [] then exit 1
+  | Text ->
       List.iter Lint_diag.print findings;
       if findings <> [] then begin
         Printf.printf "%d finding%s\n" (List.length findings)
