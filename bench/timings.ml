@@ -552,6 +552,75 @@ let run_t12 ~sizes ~repeats () =
   in
   { entry; min_speedup = !min_speedup; auto_iters; bisect_iters }
 
+(* ---------------- T13: city-scale edge-flow assignment ----------------
+
+   The edge-flow Frank–Wolfe core (lib/assign) on synthetic ring+radial
+   cities at the 10^3 / 10^4 / 10^5-edge tiers: convergence wall-clock,
+   iteration count and final gap per tier, plus the determinism check —
+   the jobs=1 and jobs=4 solves must agree bitwise. The quick gate runs
+   the 10^4-edge tier and fails unless it converges to gap <= 1e-4 with
+   byte-identical flows (docs/assignment.md). *)
+
+type t13_result = { entry : obs_entry; gate_failures : string list }
+
+let t13_flows_identical a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float b.(i))) then ok := false)
+    a;
+  !ok
+
+let run_t13 ~tiers () =
+  let t0 = Obs.now () in
+  let counters = ref [] in
+  let failures = ref [] in
+  List.iter
+    (fun (tag, rings, radials) ->
+      let net =
+        W.synthetic_city (Prng.create (13_000 + rings)) ~rings ~radials ~commodities:32 ()
+      in
+      let m = Sgr_graph.Digraph.num_edges net.Sgr_network.Network.graph in
+      let solve jobs = Sgr_assign.Solver.solve ~tol:1e-4 ~jobs Obj.Wardrop net in
+      let t_solve = Obs.now () in
+      let s1 = solve 1 in
+      let wall_s = Obs.now () -. t_solve in
+      let s4 = solve 4 in
+      let identical =
+        t13_flows_identical s1.Sgr_assign.Solver.edge_flow s4.Sgr_assign.Solver.edge_flow
+      in
+      Format.printf "  %-28s %8.3f ms  (%d edges, %d iters, gap %.3g, jobs 1=4: %b)@."
+        (tag ^ "/frank-wolfe")
+        (wall_s *. 1e3) m s1.Sgr_assign.Solver.iterations s1.Sgr_assign.Solver.relative_gap
+        identical;
+      if s1.Sgr_assign.Solver.relative_gap > 1e-4 then
+        failures :=
+          Printf.sprintf "%s: gap %.3g did not reach 1e-4" tag
+            s1.Sgr_assign.Solver.relative_gap
+          :: !failures;
+      if not identical then
+        failures := Printf.sprintf "%s: jobs=1 and jobs=4 flows differ" tag :: !failures;
+      counters :=
+        (Printf.sprintf "t13.%s.gap_x1e9" tag,
+         int_of_float (s1.Sgr_assign.Solver.relative_gap *. 1e9))
+        :: (Printf.sprintf "t13.%s.jobs_identical" tag, if identical then 1 else 0)
+        :: (Printf.sprintf "t13.%s.iterations" tag, s1.Sgr_assign.Solver.iterations)
+        :: (Printf.sprintf "t13.%s.wall_us" tag, int_of_float (wall_s *. 1e6))
+        :: (Printf.sprintf "t13.%s.edges" tag, m)
+        :: !counters)
+    tiers;
+  let entry =
+    {
+      group = "T13 edge-flow assignment";
+      wall_s = Obs.now () -. t0;
+      counters = List.rev !counters;
+      spans = [];
+    }
+  in
+  { entry; gate_failures = List.rev !failures }
+
 let run_all () =
   Format.printf "@.=== Timing suite (bechamel, monotonic clock, OLS ns/run) ===@.";
   let instance = Toolkit.Instance.monotonic_clock in
@@ -610,15 +679,23 @@ let run_all () =
   Format.printf "@.=== T12 closed-form water-filling (vs bisection oracle) ===@.";
   let t12 = run_t12 ~sizes:[ 10; 100; 1000 ] ~repeats:9 () in
   entries := t12.entry :: !entries;
+  Format.printf "@.=== T13 edge-flow assignment (synthetic cities) ===@.";
+  let t13 =
+    run_t13 ~tiers:[ ("city/1e3", 8, 32); ("city/1e4", 25, 100); ("city/1e5", 100, 250) ] ()
+  in
+  List.iter (fun m -> Format.printf "WARN: T13 %s@." m) t13.gate_failures;
+  entries := t13.entry :: !entries;
   write_obs_json "BENCH_obs.json" (List.rev !entries);
   Format.printf "@.wrote BENCH_obs.json (per-experiment span totals + counter snapshots)@."
 
 (* CI smoke: a scaled-down T9 at jobs=1 (trivially identical) and
-   jobs=2, plus scaled-down T10 and T11. Returns false — a nonzero exit
-   for the workflow — when the pooled sweep is not byte-identical to
-   the sequential one, the warm serving cache is not at least 5x faster
-   than the cold pass, or the T11 latency/throughput/hit-rate gate
-   fails. *)
+   jobs=2, plus scaled-down T10, T11, T12 and the T13 10^4-edge tier.
+   Returns false — a nonzero exit for the workflow — when the pooled
+   sweep is not byte-identical to the sequential one, the warm serving
+   cache is not at least 5x faster than the cold pass, the T11
+   latency/throughput/hit-rate gate fails, the closed-form engine loses
+   its T12 speedup, or the T13 city assignment misses gap <= 1e-4 /
+   jobs-identity. *)
 let run_quick () =
   Format.printf "@.=== T9 quick smoke (jobs=1 and jobs=2) ===@.";
   let r1 = run_t9 ~grid_n:6 ~repeats:5 ~sweep_samples:9 ~jobs:1 () in
@@ -629,6 +706,8 @@ let run_quick () =
   let r11 = run_t11 ~requests:300 ~instances:6 ~reuse:0.6 () in
   Format.printf "@.=== T12 quick smoke (closed-form vs bisection) ===@.";
   let r12 = run_t12 ~sizes:[ 100 ] ~repeats:5 () in
+  Format.printf "@.=== T13 quick smoke (10^4-edge city assignment gate) ===@.";
+  let r13 = run_t13 ~tiers:[ ("city/1e4", 25, 100) ] () in
   let sweep_ok = r1.sweep_identical && r2.sweep_identical in
   let cache_ok = r10.speedup >= 5.0 in
   let latency_ok = r11.gate_failures = [] in
@@ -647,4 +726,6 @@ let run_quick () =
     Format.printf
       "FAIL: auto dispatch still burned %d bisection iterations (forced bisection: %d; need >= 90%% drop)@."
       r12.auto_iters r12.bisect_iters;
-  sweep_ok && cache_ok && latency_ok && closed_form_ok && iters_ok
+  let assign_ok = r13.gate_failures = [] in
+  List.iter (fun m -> Format.printf "FAIL: T13 %s@." m) r13.gate_failures;
+  sweep_ok && cache_ok && latency_ok && closed_form_ok && iters_ok && assign_ok

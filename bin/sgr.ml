@@ -205,6 +205,134 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Compute the Nash equilibrium, the optimum and the price of anarchy.")
     Term.(const run $ file_arg $ obs_term)
 
+(* ---------------- assign ---------------- *)
+
+let assign_cmd =
+  let run path obj method_ tol max_iter paths_k (trace, stats) =
+    with_obs ~trace ~stats @@ fun () ->
+    let net = require_network (load_instance path) in
+    let o = match obj with `Nash -> Obj.Wardrop | `Opt -> Obj.System_optimum in
+    diag "instance: %d nodes, %d edges, %d commodities, r = %g@."
+      (Sgr_graph.Digraph.num_nodes net.Net.graph)
+      (Sgr_graph.Digraph.num_edges net.Net.graph)
+      (Array.length net.Net.commodities) (Net.total_demand net);
+    let sol, flows =
+      (* Per-commodity flow tracking costs k extra arrays; only pay for
+         it when a path decomposition was asked for. Either way the
+         aggregate solution is byte-identical. *)
+      if paths_k > 0 then
+        let sol, flows = Sgr_assign.Solver.solve_flows ~tol ~max_iter ~method_ o net in
+        (sol, Some flows)
+      else (Sgr_assign.Solver.solve ~tol ~max_iter ~method_ o net, None)
+    in
+    Format.printf "method     = %s@." (Sgr_assign.Solver.method_name method_);
+    Format.printf "objective  = %s@." (match obj with `Nash -> "nash" | `Opt -> "opt");
+    Format.printf "iterations = %d@." sol.Sgr_assign.Solver.iterations;
+    Format.printf "gap        = %.9g@." sol.relative_gap;
+    Format.printf "value      = %.9g@." sol.objective;
+    Format.printf "cost       = %.9g@." (Net.cost net sol.edge_flow);
+    if paths_k > 0 then begin
+      (* Paths exist only on demand: decompose the edge flow and show
+         the largest path flows. *)
+      let d = Sgr_assign.Decompose.run ?flows net ~edge_flow:sol.edge_flow in
+      let flows =
+        List.stable_sort
+          (fun (a : Sgr_assign.Decompose.path_flow) b -> Float.compare b.amount a.amount)
+          d.Sgr_assign.Decompose.path_flows
+      in
+      Format.printf "paths      = %d  (max residual %.3g)@." (List.length flows)
+        (Sgr_assign.Decompose.max_residual d);
+      List.iteri
+        (fun i (pf : Sgr_assign.Decompose.path_flow) ->
+          if i < paths_k then
+            Format.printf "  k%d  %.6g  %a@." pf.commodity pf.amount
+              (Sgr_graph.Paths.pp net.Net.graph) pf.path)
+        flows
+    end
+  in
+  let obj =
+    Arg.(
+      value
+      & opt (enum [ ("nash", `Nash); ("opt", `Opt) ]) `Nash
+      & info [ "objective"; "o" ] ~docv:"OBJ"
+          ~doc:"$(b,nash) (Wardrop equilibrium, default) or $(b,opt) (system optimum).")
+  in
+  let method_ =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("fw", Sgr_assign.Solver.Frank_wolfe); ("msa", Sgr_assign.Solver.Msa) ])
+          Sgr_assign.Solver.Frank_wolfe
+      & info [ "method" ] ~docv:"M"
+          ~doc:
+            "$(b,fw) (Frank–Wolfe with exact line search, default) or $(b,msa) (method of \
+             successive averages).")
+  in
+  let tol =
+    Arg.(
+      value
+      & opt float 1e-4
+      & info [ "tol" ] ~docv:"EPS" ~doc:"Relative-gap convergence threshold (default 1e-4).")
+  in
+  let max_iter =
+    Arg.(
+      value
+      & opt int 10_000
+      & info [ "max-iter" ] ~docv:"N" ~doc:"Iteration budget (default 10000).")
+  in
+  let paths_k =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "paths" ] ~docv:"K"
+          ~doc:
+            "Decompose the edge flow into path flows (Dijkstra-tree peeling) and print the \
+             $(docv) largest.")
+  in
+  Cmd.v
+    (Cmd.info "assign"
+       ~doc:
+         "City-scale traffic assignment over per-edge flows (no path enumeration): Frank–Wolfe \
+          or MSA to the Wardrop equilibrium or the system optimum, deterministic at any \
+          $(b,--jobs).")
+    Term.(const run $ file_arg $ obj $ method_ $ tol $ max_iter $ paths_k $ obs_term)
+
+(* ---------------- tntp ---------------- *)
+
+let tntp_cmd =
+  let run net_path trips_path (trace, stats) =
+    with_obs ~trace ~stats @@ fun () ->
+    let slurp p =
+      match In_channel.with_open_text p In_channel.input_all with
+      | s -> s
+      | exception Sys_error m ->
+          Format.eprintf "error: %s@." m;
+          exit 2
+    in
+    match Sgr_workloads.Tntp.parse ~net:(slurp net_path) ~trips:(slurp trips_path) with
+    | Ok net -> print_string (IF.print_network net)
+    | Error m ->
+        Format.eprintf "error: %s@." m;
+        exit 2
+  in
+  let net_file =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"NET" ~doc:"TNTP link table (_net.tntp).")
+  in
+  let trips_file =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"TRIPS" ~doc:"TNTP origin–destination matrix (_trips.tntp).")
+  in
+  Cmd.v
+    (Cmd.info "tntp"
+       ~doc:
+         "Import a TNTP-style instance (link table + trips matrix) and print it in the native \
+          instance-file format, ready for $(b,sgr assign) or the serving layer.")
+    Term.(const run $ net_file $ trips_file $ obs_term)
+
 (* ---------------- optop ---------------- *)
 
 let optop_cmd =
@@ -426,14 +554,17 @@ let info_cmd =
         Format.printf "acyclic: %b@." (Sgr_graph.Topology.is_dag g);
         Array.iteri
           (fun i c ->
-            match Sgr_graph.Paths.enumerate g ~src:c.Net.src ~dst:c.Net.dst with
-            | paths ->
+            (* Saturating count (no path lists are materialized), so the
+               report stays exact far past the enumeration cap and never
+               overflows on city-scale grids. *)
+            match Sgr_graph.Paths.count g ~src:c.Net.src ~dst:c.Net.dst with
+            | `Exact n ->
                 Format.printf "commodity %d: %d -> %d, demand %g, %d simple paths@." i c.Net.src
-                  c.Net.dst c.Net.demand (List.length paths)
-            | exception Failure _ ->
+                  c.Net.dst c.Net.demand n
+            | `At_least n ->
                 Format.printf
-                  "commodity %d: %d -> %d, demand %g, > 20000 simple paths (enumeration capped)@."
-                  i c.Net.src c.Net.dst c.Net.demand)
+                  "commodity %d: %d -> %d, demand %g, >= %d simple paths (count capped)@." i
+                  c.Net.src c.Net.dst c.Net.demand n)
           net.Net.commodities
   in
   Cmd.v
@@ -581,16 +712,20 @@ let random_cmd =
     | "grid" -> print_string (IF.print_network (W.grid_network rng ~rows:m ~cols:m ()))
     | "layered" ->
         print_string (IF.print_network (W.random_layered_network rng ~layers:m ~width:m ()))
+    | "city" ->
+        (* rings = m, radials = 4m: 16·m² edges, so --size 25 is the
+           10^4-edge benchmark tier and --size 79 is ~10^5. *)
+        print_string (IF.print_network (W.synthetic_city rng ~rings:m ~radials:(4 * m) ()))
     | k ->
         Format.eprintf
-          "error: unknown kind %S (links|common-slope|poly|mm1|grid|layered)@." k;
+          "error: unknown kind %S (links|common-slope|poly|mm1|grid|layered|city)@." k;
         exit 2
   in
   let kind =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"KIND" ~doc:"links | common-slope | poly | mm1 | grid | layered")
+      & info [] ~docv:"KIND" ~doc:"links | common-slope | poly | mm1 | grid | layered | city")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
   let size = Arg.(value & opt int 5 & info [ "size"; "m" ] ~docv:"M" ~doc:"Instance size.") in
@@ -929,7 +1064,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            solve_cmd; optop_cmd; mop_cmd; llf_cmd; scale_cmd; thm24_cmd; sweep_cmd; profile_cmd;
+            solve_cmd; assign_cmd; tntp_cmd; optop_cmd; mop_cmd; llf_cmd; scale_cmd; thm24_cmd;
+            sweep_cmd; profile_cmd;
             bound_cmd; tolls_cmd; pricing_cmd; info_cmd; catalog_cmd; random_cmd; batch_cmd;
             serve_cmd;
             bench_cmd;

@@ -1,0 +1,170 @@
+module G = Sgr_graph
+module Network = Sgr_network.Network
+module Obs = Sgr_obs.Obs
+
+let c_paths = Obs.counter "decompose.paths"
+let c_walks = Obs.counter "decompose.dijkstra_walks"
+
+type path_flow = { commodity : int; path : G.Paths.t; amount : float }
+type t = { path_flows : path_flow list; residual : float array }
+
+(* Divergence of [flow] at every node: out minus in. *)
+let divergence g flow =
+  let div = Array.make (G.Digraph.num_nodes g) 0.0 in
+  let src = G.Digraph.edge_sources g and dst = G.Digraph.edge_targets g in
+  Array.iteri
+    (fun e fe ->
+      div.(src.(e)) <- div.(src.(e)) +. fe;
+      div.(dst.(e)) <- div.(dst.(e)) -. fe)
+    flow;
+  div
+
+(* Per-commodity conservation: commodity [i]'s split must carry exactly
+   its own demand from its source to its sink. *)
+let check_conservation (net : Network.t) i flow =
+  let g = net.Network.graph in
+  let div = divergence g flow in
+  let c = net.Network.commodities.(i) in
+  div.(c.Network.src) <- div.(c.Network.src) -. c.Network.demand;
+  div.(c.Network.dst) <- div.(c.Network.dst) +. c.Network.demand;
+  let scale = Float.max 1.0 (Network.total_demand net) in
+  Array.iteri
+    (fun v d ->
+      if Float.abs d > 1e-6 *. scale then
+        invalid_arg
+          (Printf.sprintf
+             "Decompose.run: commodity %d's flow does not conserve its demand at node %d \
+              (imbalance %.3g)" i v d))
+    div
+
+let run ?(eps = 1e-9) ?flows (net : Network.t) ~edge_flow =
+  Obs.span "assign.decompose" @@ fun () ->
+  let g = net.Network.graph in
+  let m = G.Digraph.num_edges g in
+  let k = Array.length net.Network.commodities in
+  if Array.length edge_flow <> m then
+    invalid_arg "Decompose.run: flow array has the wrong length";
+  Array.iter
+    (fun fe ->
+      if fe < 0.0 || not (Float.is_finite fe) then
+        invalid_arg "Decompose.run: flow entries must be finite and nonnegative")
+    edge_flow;
+  (* An aggregate multi-commodity flow does not determine its commodity
+     split — greedy peeling from the aggregate can strand a later
+     commodity behind an earlier one's peel. The split must come from
+     the caller ([Solver.solve_flows] tracks it); a single commodity
+     owns the whole aggregate. *)
+  let flows =
+    match flows with
+    | Some xs ->
+        if Array.length xs <> k then
+          invalid_arg "Decompose.run: flows must have one array per commodity";
+        Array.iter
+          (fun x ->
+            if Array.length x <> m then
+              invalid_arg "Decompose.run: per-commodity flow array has the wrong length")
+          xs;
+        xs
+    | None ->
+        if k = 1 then [| edge_flow |]
+        else
+          invalid_arg
+            "Decompose.run: a multi-commodity edge flow needs its per-commodity split \
+             (~flows, from Solver.solve_flows)"
+  in
+  Array.iteri (fun i x -> check_conservation net i x) flows;
+  let workspace = G.Dijkstra.workspace () in
+  (* Unit weight on edges that still carry the commodity's flow,
+     unreachable otherwise: the Dijkstra tree walk below then recovers a
+     fewest-edges path through the positive-remainder subgraph. *)
+  let weights = Array.make m 0.0 in
+  let floor = 1e-12 *. Float.max 1.0 (Network.total_demand net) in
+  let acc = ref [] in
+  let cancel = Sgr_obs.Cancel.handle () in
+  Array.iteri
+    (fun i (c : Network.commodity) ->
+      let remaining = Array.copy flows.(i) in
+      let refresh_weights () =
+        for e = 0 to m - 1 do
+          weights.(e) <- (if remaining.(e) > floor then 1.0 else Float.infinity)
+        done
+      in
+      let left = ref c.Network.demand in
+      let lo = eps *. Float.max 1.0 c.Network.demand in
+      while !left > lo do
+        Sgr_obs.Cancel.check_handle cancel;
+        Obs.incr c_walks;
+        refresh_weights ();
+        match
+          G.Dijkstra.shortest_path ~workspace g ~weights ~src:c.Network.src ~dst:c.Network.dst
+        with
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Decompose.run: commodity %d has %.3g undecomposed demand but no remaining \
+                  path" i !left)
+        | Some path ->
+            let bottleneck =
+              List.fold_left (fun b e -> Float.min b remaining.(e)) Float.infinity path
+            in
+            let amount = Float.min bottleneck !left in
+            if amount <= 0.0 then
+              invalid_arg
+                (Printf.sprintf "Decompose.run: empty bottleneck for commodity %d" i);
+            List.iter (fun e -> remaining.(e) <- remaining.(e) -. amount) path;
+            left := !left -. amount;
+            Obs.incr c_paths;
+            acc := { commodity = i; path; amount } :: !acc
+      done)
+    net.Network.commodities;
+  let path_flows = List.rev !acc in
+  (* Residual: the exact gap between the input flow and the replayed
+     sum. Replay here must match [recompose] operation for operation so
+     the identity below transfers. *)
+  let replayed = Array.make m 0.0 in
+  List.iter
+    (fun pf -> List.iter (fun e -> replayed.(e) <- replayed.(e) +. pf.amount) pf.path)
+    path_flows;
+  let residual = Array.make m 0.0 in
+  for e = 0 to m - 1 do
+    let s = replayed.(e) and f = edge_flow.(e) in
+    (* Sterbenz: s is within 2x of f after a clean peel, so f -. s is
+       exact and s +. (f -. s) == f bitwise. Guard the measure-zero
+       escape hatch with one-ulp nudges before giving up. *)
+    let r = ref (f -. s) in
+    if (s +. !r <> f) [@lint.allow "float-equality"] then begin
+      let candidates = [ Float.succ !r; Float.pred !r ] in
+      match List.find_opt (fun r' -> (s +. r' = f) [@lint.allow "float-equality"]) candidates with
+      | Some r' -> r := r'
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Decompose.run: cannot establish bitwise recomposition on edge %d \
+                (flow %h, replayed %h)" e f s)
+    end;
+    residual.(e) <- !r
+  done;
+  { path_flows; residual }
+
+let recompose (net : Network.t) d =
+  let m = G.Digraph.num_edges net.Network.graph in
+  let out = Array.make m 0.0 in
+  List.iter
+    (fun pf -> List.iter (fun e -> out.(e) <- out.(e) +. pf.amount) pf.path)
+    d.path_flows;
+  for e = 0 to m - 1 do
+    out.(e) <- out.(e) +. d.residual.(e)
+  done;
+  out
+
+let max_residual d = Array.fold_left (fun acc r -> Float.max acc (Float.abs r)) 0.0 d.residual
+
+let demand_error (net : Network.t) d =
+  let sums = Array.make (Array.length net.Network.commodities) 0.0 in
+  List.iter (fun pf -> sums.(pf.commodity) <- sums.(pf.commodity) +. pf.amount) d.path_flows;
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i (c : Network.commodity) ->
+      worst := Float.max !worst (Float.abs (c.Network.demand -. sums.(i))))
+    net.Network.commodities;
+  !worst

@@ -1,0 +1,61 @@
+(** On-demand flow decomposition: materialize a path-flow view of an
+    edge flow produced by the edge-based solver.
+
+    Paths are recovered by repeated Dijkstra-tree walks restricted to
+    the positive-remainder subgraph: for each commodity in order, peel
+    bottleneck-bounded amounts along shortest remaining paths until the
+    commodity's demand is exhausted. Each commodity peels from its own
+    flow split (an aggregate multi-commodity flow does not determine
+    one — see {!run}). The decomposition is conservation-checked
+    against the commodities' demands before peeling.
+
+    Bitwise recomposition contract: [recompose] replays the peeled
+    amounts in peel order into a fresh array and then adds the stored
+    per-edge [residual]. The residual is computed as the floating-point
+    difference between the input flow and the replayed sum — by
+    Sterbenz's lemma this difference is exact whenever the replayed sum
+    is within a factor of two of the input (always the case after a
+    conservation-checked peel), so [recompose d] reproduces the input
+    edge flow bit for bit. [run] verifies the identity and refuses the
+    decomposition otherwise. *)
+
+type path_flow = {
+  commodity : int;
+  path : Sgr_graph.Paths.t;
+  amount : float;  (** strictly positive *)
+}
+
+type t = {
+  path_flows : path_flow list;  (** in peel order *)
+  residual : float array;  (** per-edge peeling dust; tiny after a clean peel *)
+}
+
+val run :
+  ?eps:float ->
+  ?flows:float array array ->
+  Sgr_network.Network.t ->
+  edge_flow:float array ->
+  t
+(** Decompose [edge_flow]. [eps] (default [1e-9], relative to each
+    commodity's demand) bounds the undecomposed demand per commodity.
+    [flows] is the per-commodity split of [edge_flow]
+    ({!Solver.solve_flows} tracks it); it is required for
+    multi-commodity networks — greedy peeling from the aggregate can
+    strand a later commodity behind an earlier one's peel — and
+    defaults to [[| edge_flow |]] on single-commodity ones.
+    @raise Invalid_argument when a commodity's flow does not conserve
+    its demand (relative tolerance [1e-6]), when a commodity cannot be
+    routed through its positive-remainder subgraph, when [flows] is
+    missing on a multi-commodity network, or when the bitwise
+    recomposition identity cannot be established. *)
+
+val recompose : Sgr_network.Network.t -> t -> float array
+(** Replay: sum of [amount] over each path's edges in peel order, plus
+    [residual]. Equals the [edge_flow] passed to {!run}, bitwise. *)
+
+val max_residual : t -> float
+(** Largest [|residual|] entry — the decomposition's peeling dust. *)
+
+val demand_error : Sgr_network.Network.t -> t -> float
+(** Largest absolute gap between a commodity's demand and the sum of its
+    peeled amounts. *)

@@ -1,0 +1,54 @@
+(** Edge-flow traffic assignment: Frank–Wolfe and MSA over flat
+    per-edge [float array]s, with the all-or-nothing subproblem batched
+    into pool-parallel Dijkstra trees ({!Aon}).
+
+    Unlike [Sgr_network.Frank_wolfe]/[Msa], which walk one shortest path
+    per commodity per iteration, this solver scales to networks with
+    10^4–10^5 edges: no path is ever enumerated, and the per-iteration
+    cost is a handful of Dijkstra trees plus O(m) vector work. Results
+    are byte-identical at any [--jobs]. Inner loops checkpoint the
+    per-domain deadline ([Sgr_obs.Cancel]), so serving-side requests
+    stay pre-emptible. *)
+
+type method_ = Frank_wolfe | Msa
+
+val method_name : method_ -> string
+(** ["frank-wolfe"] / ["msa"] — stable labels for CLI and protocol. *)
+
+type solution = Sgr_network.Solver_types.solution = {
+  edge_flow : float array;
+  iterations : int;
+  relative_gap : float;
+  objective : float;
+  trace : Sgr_network.Solver_types.trace_point list;
+}
+
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?method_:method_ ->
+  ?jobs:int ->
+  Sgr_network.Objective.t ->
+  Sgr_network.Network.t ->
+  solution
+(** [solve obj net] minimizes the Beckmann potential ([Wardrop]) or the
+    total cost ([System_optimum]) to relative duality gap [tol] (default
+    [1e-4]) within [max_iter] iterations (default [10_000]).
+    [Frank_wolfe] (default) takes an exact convex line-search step; [Msa]
+    uses the 1/(k+1) schedule. [jobs] bounds the Dijkstra-tree fan-out
+    (default: ambient pool width). *)
+
+val solve_flows :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?method_:method_ ->
+  ?jobs:int ->
+  Sgr_network.Objective.t ->
+  Sgr_network.Network.t ->
+  solution * float array array
+(** Like {!solve}, additionally returning the per-commodity split of
+    [edge_flow] that {!Decompose.run} needs on multi-commodity
+    networks: every AON step routes a commodity down one tree path, so
+    the split evolves by the same convex combinations as the aggregate
+    (x_i sums to [edge_flow] up to rounding). The [solution] — and in
+    particular its [edge_flow] — is byte-identical to {!solve}'s. *)

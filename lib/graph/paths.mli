@@ -24,6 +24,24 @@ val enumerate : ?limit:int -> Digraph.t -> src:int -> dst:int -> t list
 (** All simple [src]–[dst] paths by DFS, in lexicographic edge-id order.
     @raise Failure when more than [limit] (default [20_000]) paths exist. *)
 
+val count :
+  ?cap:int ->
+  ?max_steps:int ->
+  Digraph.t ->
+  src:int ->
+  dst:int ->
+  [ `Exact of int | `At_least of int ]
+(** Number of simple [src]–[dst] paths, without materializing them.
+    Saturates at [cap] (default [10^12]) instead of overflowing: on DAGs
+    the count is a saturating dynamic program over the topological order
+    (always O(nodes + edges)), on cyclic graphs a DFS that stops as soon
+    as [cap] paths have been seen. The DFS also carries a work budget of
+    [max_steps] edge traversals (default [2·10^7]) — a large cyclic
+    graph would take astronomically long to reach any reasonable [cap] —
+    and bails with the lower bound counted so far. [`At_least n] means
+    the true count is [>= n].
+    @raise Invalid_argument when [cap < 1] or [max_steps < 1]. *)
+
 val cost : t -> float array -> float
 (** Sum of per-edge costs along the path. *)
 

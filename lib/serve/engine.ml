@@ -15,7 +15,8 @@ let fs = P.float_str
 let request_hists =
   List.map
     (fun kind -> (kind, Hist.histogram ("serve.request_seconds." ^ kind)))
-    [ "load"; "solve"; "optop"; "mop"; "induced"; "sweep"; "stats"; "metrics"; "ping"; "quit" ]
+    [ "load"; "solve"; "assign"; "optop"; "mop"; "induced"; "sweep"; "stats"; "metrics";
+      "ping"; "quit" ]
 
 let request_hist kind =
   match List.assoc_opt kind request_hists with
@@ -54,6 +55,24 @@ let payload (entry : Cache.entry) (req : P.request) =
             Net.cost net (Eq.solve o net).Eq.edge_flow
       in
       Printf.sprintf "obj=%s cost=%s" name (fs cost)
+  | P.Assign { obj; method_; _ }, IF.Network net ->
+      let o = match obj with `Nash -> Obj.Wardrop | `Opt -> Obj.System_optimum in
+      let m =
+        match method_ with
+        | `Fw -> Sgr_assign.Solver.Frank_wolfe
+        | `Msa -> Sgr_assign.Solver.Msa
+      in
+      (* Fixed tolerance so the reply is a deterministic function of
+         (instance, request) and can be memoized under [memo_key]; runs
+         sequentially inside a batch group (jobs=1), identical bytes to
+         a parallel run by the solver's determinism contract. *)
+      let sol = Sgr_assign.Solver.solve ~tol:1e-4 ~method_:m ~jobs:1 o net in
+      Printf.sprintf "obj=%s method=%s cost=%s gap=%s iterations=%d"
+        (match obj with `Nash -> "nash" | `Opt -> "opt")
+        (Sgr_assign.Solver.method_name m)
+        (fs (Net.cost net sol.Sgr_assign.Solver.edge_flow))
+        (fs sol.relative_gap) sol.iterations
+  | P.Assign _, IF.Links _ -> wrong_kind "assign" "network instance"
   | P.Optop _, IF.Links t ->
       let r = Stackelberg.Optop.run t in
       Printf.sprintf "beta=%s nash_cost=%s opt_cost=%s induced_cost=%s" (fs r.Stackelberg.Optop.beta)

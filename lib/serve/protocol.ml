@@ -1,6 +1,7 @@
 type request =
   | Load of { id : string; path : string }
   | Solve of { id : string; obj : [ `Nash | `Opt ] }
+  | Assign of { id : string; obj : [ `Nash | `Opt ]; method_ : [ `Fw | `Msa ] }
   | Optop of { id : string }
   | Mop of { id : string }
   | Induced of { id : string; alpha : float }
@@ -23,6 +24,24 @@ let parse_request = function
   | [ "solve"; id; "nash" ] -> Ok (Solve { id; obj = `Nash })
   | [ "solve"; id; "opt" ] -> Ok (Solve { id; obj = `Opt })
   | [ "solve"; _; obj ] -> Error (Printf.sprintf "solve expects nash|opt, got %S" obj)
+  | "assign" :: id :: rest -> (
+      let obj_of = function
+        | "nash" -> Some `Nash
+        | "opt" -> Some `Opt
+        | _ -> None
+      in
+      let method_of = function "fw" -> Some `Fw | "msa" -> Some `Msa | _ -> None in
+      match rest with
+      | [ o ] -> (
+          match obj_of o with
+          | Some obj -> Ok (Assign { id; obj; method_ = `Fw })
+          | None -> Error (Printf.sprintf "assign expects nash|opt, got %S" o))
+      | [ o; m ] -> (
+          match (obj_of o, method_of m) with
+          | Some obj, Some method_ -> Ok (Assign { id; obj; method_ })
+          | None, _ -> Error (Printf.sprintf "assign expects nash|opt, got %S" o)
+          | _, None -> Error (Printf.sprintf "assign expects fw|msa, got %S" m))
+      | _ -> Error "assign expects 'assign ID (nash|opt) [fw|msa]'")
   | [ "optop"; id ] -> Ok (Optop { id })
   | [ "mop"; id ] -> Ok (Mop { id })
   | [ "induced"; id; a ] -> (
@@ -71,14 +90,15 @@ let parse_line raw =
         | Error m -> Error m)
 
 let instance_id = function
-  | Load { id; _ } | Solve { id; _ } | Optop { id } | Mop { id } | Induced { id; _ }
-  | Sweep_point { id; _ } | Sweep_range { id; _ } ->
+  | Load { id; _ } | Solve { id; _ } | Assign { id; _ } | Optop { id } | Mop { id }
+  | Induced { id; _ } | Sweep_point { id; _ } | Sweep_range { id; _ } ->
       Some id
   | Stats | Metrics | Ping | Quit -> None
 
 let request_kind = function
   | Load _ -> "load"
   | Solve _ -> "solve"
+  | Assign _ -> "assign"
   | Optop _ -> "optop"
   | Mop _ -> "mop"
   | Induced _ -> "induced"
@@ -115,6 +135,10 @@ let memo_key req =
   | Load _ | Stats | Metrics | Ping | Quit -> None
   | Solve { obj = `Nash; _ } -> key "solve|nash"
   | Solve { obj = `Opt; _ } -> key "solve|opt"
+  | Assign { obj; method_; _ } ->
+      key "assign|%s|%s"
+        (match obj with `Nash -> "nash" | `Opt -> "opt")
+        (match method_ with `Fw -> "fw" | `Msa -> "msa")
   | Optop _ -> key "optop"
   | Mop _ -> key "mop"
   | Induced { alpha; _ } -> key "induced|%h" alpha

@@ -8,6 +8,7 @@
     line     := [ '@'MS ' ' ] request        deadline in milliseconds
     request  := load ID PATH
               | solve ID (nash|opt)
+              | assign ID (nash|opt) [fw|msa]
               | optop ID
               | mop ID
               | induced ID ALPHA
@@ -26,6 +27,7 @@
 type request =
   | Load of { id : string; path : string }
   | Solve of { id : string; obj : [ `Nash | `Opt ] }
+  | Assign of { id : string; obj : [ `Nash | `Opt ]; method_ : [ `Fw | `Msa ] }
   | Optop of { id : string }
   | Mop of { id : string }
   | Induced of { id : string; alpha : float }

@@ -1,0 +1,34 @@
+(** TNTP-style instance import/export (the Transportation Networks
+    repository format: a [_net.tntp] link table plus a [_trips.tntp]
+    origin–destination matrix).
+
+    The subset understood here is the one the edge-flow assignment core
+    consumes: [<NUMBER OF NODES>]/[<NUMBER OF LINKS>] metadata, then one
+    link row per line — [init_node term_node capacity length
+    free_flow_time b power speed toll type ;] — with 1-based node ids
+    and BPR latency [t₀·(1 + b·(x/c)^power)]. Trips files carry
+    [<NUMBER OF ZONES>] metadata and [Origin n] blocks of
+    [dest : demand;] pairs. Comment lines start with [~] or [#]; zero
+    demands are skipped on parse and never printed.
+
+    Printing is canonical: floats are rendered with ["%.17g"] (exact
+    binary64 round-trip), links in edge-id order, origins in
+    first-appearance order — so [parse ∘ print] is the identity on
+    networks and [print ∘ parse] is a fixpoint on printable files. *)
+
+val parse :
+  net:string -> trips:string -> (Sgr_network.Network.t, string) result
+(** Build a network from the contents of a net file and a trips file.
+    Latencies become {!Sgr_latency.Latency.bpr} curves (affine when
+    [power = 1]). Errors carry a line number and reason. *)
+
+val print_net : Sgr_network.Network.t -> (string, string) result
+(** Render the link table. Supported latency kinds: [Bpr] (printed
+    directly), [Affine] with positive intercept (encoded as a
+    [power = 1] BPR row) and [Constant] (a zero-[b] BPR row). Anything
+    else — including zero-intercept linear latencies, which no BPR curve
+    can express — is an [Error]. *)
+
+val print_trips : Sgr_network.Network.t -> string
+(** Render the origin–destination blocks, origins in first-appearance
+    order over the commodity array. *)

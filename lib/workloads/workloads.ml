@@ -222,3 +222,62 @@ let random_multicommodity rng ~rows ~cols ~commodities ?(demand_hi = 1.0) () =
         })
   in
   Network.make g ~latencies ~commodities
+
+(* Ring-and-radial city. Ring [i] (1-based) sits at radius [i]; its [j]th
+   node is [1 + (i-1)*radials + j]. Every adjacency gets one directed
+   edge per direction, so edge count is exactly 4*rings*radials:
+   2*rings*radials radial (spoke) edges and 2*rings*radials ring-road
+   edges. *)
+let synthetic_city rng ~rings ~radials ?(commodities = 16) ?(demand = 1.0) () =
+  if rings < 1 then invalid_arg "Workloads.synthetic_city: need at least one ring";
+  if radials < 3 then invalid_arg "Workloads.synthetic_city: need at least three radials";
+  if commodities < 1 then invalid_arg "Workloads.synthetic_city: need a commodity";
+  let node i j = 1 + ((i - 1) * radials) + j in
+  let num_nodes = 1 + (rings * radials) in
+  let b = G.Digraph.builder ~num_nodes in
+  let lats = ref [] in
+  (* BPR-like affine curve: ℓ(x) = t0·(1 + α·x/c) = t0 + (t0·α/c)·x,
+     with free-flow time t0 = length/speed and capacity c drawn per
+     road class. α = 0.15, the classic BPR coefficient. *)
+  let affine_bpr ~length ~speed ~capacity =
+    let t0 = length /. speed in
+    L.affine ~slope:(t0 *. 0.15 /. capacity) ~intercept:t0
+  in
+  let add ~src ~dst lat =
+    ignore (G.Digraph.add_edge b ~src ~dst);
+    lats := lat :: !lats
+  in
+  let both u v lat =
+    add ~src:u ~dst:v lat;
+    add ~src:v ~dst:u lat
+  in
+  (* Radial arterials: fast and wide; length 1 per ring step. *)
+  for j = 0 to radials - 1 do
+    let cap = Prng.uniform rng ~lo:2.0 ~hi:4.0 in
+    both 0 (node 1 j) (affine_bpr ~length:1.0 ~speed:1.0 ~capacity:cap);
+    for i = 1 to rings - 1 do
+      let cap = Prng.uniform rng ~lo:2.0 ~hi:4.0 in
+      both (node i j) (node (i + 1) j) (affine_bpr ~length:1.0 ~speed:1.0 ~capacity:cap)
+    done
+  done;
+  (* Ring roads: arc length grows with the radius, capacity shrinks. *)
+  for i = 1 to rings do
+    let arc = 2.0 *. Float.pi *. float_of_int i /. float_of_int radials in
+    for j = 0 to radials - 1 do
+      let cap = Prng.uniform rng ~lo:0.5 ~hi:1.5 in
+      both (node i j) (node i ((j + 1) mod radials)) (affine_bpr ~length:arc ~speed:0.8 ~capacity:cap)
+    done
+  done;
+  let g = G.Digraph.freeze b in
+  let latencies = Array.of_list (List.rev !lats) in
+  let commodities =
+    Array.init commodities (fun _ ->
+        let pick () = Prng.int rng num_nodes in
+        let src = pick () in
+        let rec dst () =
+          let d = pick () in
+          if d = src then dst () else d
+        in
+        { Network.src; dst = dst (); demand = Prng.uniform rng ~lo:(0.5 *. demand) ~hi:(1.5 *. demand) })
+  in
+  Network.make g ~latencies ~commodities

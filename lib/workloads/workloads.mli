@@ -128,3 +128,28 @@ val random_multicommodity :
     in [(0, demand_hi]] (default 1). Exercises Theorem 2.1's k-commodity
     setting. @raise Invalid_argument when a grid smaller than 2×2 or no
     commodities are requested. *)
+
+val synthetic_city :
+  Sgr_numerics.Prng.t ->
+  rings:int ->
+  radials:int ->
+  ?commodities:int ->
+  ?demand:float ->
+  unit ->
+  Network.t
+(** A parameterized ring-and-radial "city": a centre node, [rings]
+    concentric rings of [radials] nodes each, radial arterials between
+    consecutive rings (and the centre) and ring roads around each ring —
+    every adjacency carried by a directed edge in each direction, so the
+    graph is strongly connected and has exactly [4·rings·radials] edges
+    ([rings=25, radials=100] gives the 10^4-edge tier, [100×250] the
+    10^5 tier).
+
+    Latencies are BPR-like affine curves [t₀·(1 + α·x/c)] — intercept
+    the free-flow time [t₀] (edge length over class speed: arterials are
+    fast, outer ring roads long and slow), slope [t₀·α/c] from the edge
+    capacity [c] (arterials wide, ring roads narrower). [commodities]
+    (default 16) random origin–destination pairs with demands in
+    [[0.5, 1.5]·demand] (default 1); every pair is routable by strong
+    connectivity. @raise Invalid_argument when [rings < 1],
+    [radials < 3] or [commodities < 1]. *)

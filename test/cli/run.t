@@ -143,14 +143,15 @@ default and the exhaustive oracle agree on the pinned instances:
 
 Column generation scales past the exhaustive engine's 20,000-path
 enumeration cap — a 10x10 grid has C(18,9) = 48620 s-t paths, which
-`info` reports as capped and `solve`/`mop` now handle:
+`info` now counts exactly (a saturating DP, not enumeration) and
+`solve`/`mop` handle:
 
   $ sgr random grid --seed 1 --size 10 > grid10.sgr
   $ sgr info grid10.sgr
   kind: network
   nodes: 100, edges: 180, commodities: 1, total demand: 1
   acyclic: true
-  commodity 0: 0 -> 99, demand 1, > 20000 simple paths (enumeration capped)
+  commodity 0: 0 -> 99, demand 1, 48620 simple paths
 
   $ sgr solve grid10.sgr | tail -1
   C(N) = 17.4615, C(O) = 16.9546, price of anarchy = 1.0299
@@ -253,3 +254,94 @@ Errors are reported with context:
   $ sgr optop fig7.sgr
   error: this command needs a parallel-links instance
   [2]
+
+The edge-flow assignment core (`docs/assignment.md`) solves city-scale
+networks without ever enumerating paths.  A synthetic ring+radial city
+is cyclic, so `info`'s path counter runs the capped DFS while `assign`
+works purely on edge flows:
+
+  $ sgr random city --seed 2 --size 2 > city2.sgr
+  $ sgr info city2.sgr | head -4
+  kind: network
+  nodes: 17, edges: 64, commodities: 16, total demand: 15.097
+  acyclic: false
+  commodity 0: 5 -> 6, demand 0.842903, 1994 simple paths
+
+A 10^4-edge city is far past any exact cyclic count — the counter
+bails on its DFS work budget with a lower bound instead of hanging:
+
+  $ sgr random city --seed 5 --size 25 > city25.sgr
+  $ sgr info city25.sgr | sed -n 4p
+  commodity 0: 221 -> 481, demand 0.596084, >= 1048577 simple paths (count capped)
+
+  $ sgr assign city2.sgr
+  instance: 17 nodes, 64 edges, 16 commodities, r = 15.097
+  method     = frank-wolfe
+  objective  = nash
+  iterations = 5
+  gap        = 9.15107643e-05
+  value      = 40.8120891
+  cost       = 42.9398834
+
+  $ sgr assign city2.sgr -o opt --method msa --tol 1e-3
+  instance: 17 nodes, 64 edges, 16 commodities, r = 15.097
+  method     = msa
+  objective  = opt
+  iterations = 5
+  gap        = 0.000445423384
+  value      = 42.9382094
+  cost       = 42.9382094
+
+Paths materialize only on demand, by decomposing the per-commodity
+flow split along shortest-path trees:
+
+  $ sgr assign city2.sgr --paths 2
+  instance: 17 nodes, 64 edges, 16 commodities, r = 15.097
+  method     = frank-wolfe
+  objective  = nash
+  iterations = 5
+  gap        = 9.15107643e-05
+  value      = 40.8120891
+  cost       = 42.9398834
+  paths      = 19  (max residual 4.44e-16)
+    k9  1.39722  13→5→0→8→16
+    k12  1.31601  10→2→0→5
+
+The TNTP importer understands the published link-table and trips
+formats (separators attached to the numbers included) and prints the
+native instance format, ready for `assign`:
+
+  $ cat > net.tntp <<'EOF'
+  > <NUMBER OF NODES> 3
+  > <NUMBER OF LINKS> 3
+  > <END OF METADATA>
+  > ~ init fin cap len fft B power speed toll type ;
+  > 1 2 2.0 1.0 1.0 0.15 4 0 0 1 ;
+  > 2 3 2.0 1.0 1.0 0.15 4 0 0 1 ;
+  > 1 3 1.0 1.0 2.0 0.15 4 0 0 1 ;
+  > EOF
+  $ cat > trips.tntp <<'EOF'
+  > <NUMBER OF ZONES> 3
+  > <TOTAL OD FLOW> 1.5
+  > <END OF METADATA>
+  > Origin 1
+  >   2 : 0.5; 3 : 1.0;
+  > EOF
+  $ sgr tntp net.tntp trips.tntp
+  network
+  nodes 3
+  edge 0 1 bpr 1 2 0.15 4
+  edge 1 2 bpr 1 2 0.15 4
+  edge 0 2 bpr 2 1 0.15 4
+  commodity 0 1 0.5
+  commodity 0 2 1
+
+  $ sgr tntp net.tntp trips.tntp > imported.sgr
+  $ sgr assign imported.sgr --tol 1e-6
+  instance: 3 nodes, 3 edges, 2 commodities, r = 1.5
+  method     = frank-wolfe
+  objective  = nash
+  iterations = 2
+  gap        = 5.77648495e-13
+  value      = 2.50359456
+  cost       = 2.51797278

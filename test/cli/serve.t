@@ -77,3 +77,28 @@ sessions, so none appear here):
   [1]
   $ tail -n 1 serve.log
   sgr serve: socket removed; bye
+
+The assign verb runs the edge-flow assignment core on a loaded network
+instance (fixed tol and jobs, so replies memoize); links instances and
+bad method names are rejected with context:
+
+  $ sgr random city --seed 7 --size 3 > city.sgr
+  $ cat > areq.txt <<'EOF'
+  > load c city.sgr
+  > load p pigou.sgr
+  > assign c nash
+  > assign c nash msa
+  > assign c opt
+  > assign c nash bogus
+  > assign p nash
+  > quit
+  > EOF
+  $ sgr batch areq.txt
+  ok load id=c kind=network fp=480f8cb9a0bd62e4 cache=miss
+  ok load id=p kind=links fp=067affba1581e718 cache=miss
+  ok assign id=c obj=nash method=frank-wolfe cost=61.0132182 gap=8.54118684e-05 iterations=40
+  ok assign id=c obj=nash method=msa cost=61.0208279 gap=8.60674791e-05 iterations=38
+  ok assign id=c obj=opt method=frank-wolfe cost=60.8119981 gap=9.27817669e-05 iterations=22
+  error parse: assign expects fw|msa, got "bogus"
+  error solve: assign needs a network instance
+  ok bye

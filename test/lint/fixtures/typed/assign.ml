@@ -1,0 +1,10 @@
+(* Mini edge-flow assignment loop, mirroring lib/assign/solver.ml:
+   every Frank–Wolfe/MSA iteration checkpoints the per-domain
+   deadline. *)
+let solve demand =
+  let gap = ref demand in
+  while !gap > 1e-4 do
+    Cancel.check ();
+    gap := !gap /. 2.0
+  done;
+  !gap

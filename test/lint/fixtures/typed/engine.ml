@@ -1,4 +1,7 @@
 (* Mini serving dispatch: everything it references becomes
    deadline-relevant for cancel-coverage. *)
 let dispatch q =
-  Column_gen.price (fun x -> x < q) +. Mop.water_fill q +. float_of_int (Mop.bounded ())
+  Column_gen.price (fun x -> x < q)
+  +. Mop.water_fill q
+  +. float_of_int (Mop.bounded ())
+  +. Assign.solve q

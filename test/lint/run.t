@@ -215,19 +215,22 @@ swept from a pool closure fires at its definition unless annotated:
 
 cancel-coverage guards the deadline checkpoints: a miniature of the
 serving stack — dispatch in lib/serve, the column-generation pricing
-loop, the MOP water-filling loop, and the bisection iteration — passes
-while every loop carries its Cancel.check (the annotated bounded loop
-in mop.ml needs none):
+loop, the MOP water-filling loop, the edge-flow assignment iteration,
+and the bisection iteration — passes while every loop carries its
+Cancel.check (the annotated bounded loop in mop.ml needs none):
 
   $ rm typed/lib/state/*.ml typed/lib/state/*.cm*
+  $ mkdir -p typed/lib/assign
   $ cp fixtures/typed/cancel.ml fixtures/typed/bisection.ml typed/lib/numerics/
   $ cp fixtures/typed/mop.ml typed/lib/core/
   $ cp fixtures/typed/column_gen.ml typed/lib/network/
+  $ cp fixtures/typed/assign.ml typed/lib/assign/
   $ cp fixtures/typed/engine.ml typed/lib/serve/
   $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/numerics/cancel.ml lib/numerics/bisection.ml)
   $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/core/mop.ml)
   $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/network/column_gen.ml)
-  $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/core -I lib/network -I lib/numerics lib/serve/engine.ml)
+  $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/assign/assign.ml)
+  $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/core -I lib/network -I lib/numerics -I lib/assign lib/serve/engine.ml)
   $ (cd typed && sgr-lint lib)
 
 The call graph behind the rules is inspectable; loop-bearing and
@@ -237,21 +240,25 @@ checkpointed nodes are labelled:
     "Column_gen.price" [label="Column_gen.price (loops,cancel)"];
     "Column_gen.price" -> "Bisection.solve";
     "Column_gen.price" -> "Cancel.check";
+    "Engine.dispatch" -> "Assign.solve";
     "Engine.dispatch" -> "Column_gen.price";
     "Engine.dispatch" -> "Mop.bounded";
     "Engine.dispatch" -> "Mop.water_fill";
 
 Deleting any checkpoint is caught — this is the regression guard for
 the real tree's checkpoint sites (column-generation pricing rounds,
-MOP water-filling, bisection iterations):
+MOP water-filling, edge-flow assignment iterations, bisection
+iterations):
 
-  $ sed -i '/Cancel.check/d' typed/lib/numerics/bisection.ml typed/lib/core/mop.ml typed/lib/network/column_gen.ml
+  $ sed -i '/Cancel.check/d' typed/lib/numerics/bisection.ml typed/lib/core/mop.ml typed/lib/network/column_gen.ml typed/lib/assign/assign.ml
   $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/numerics/cancel.ml lib/numerics/bisection.ml)
   $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/core/mop.ml)
   $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/network/column_gen.ml)
+  $ (cd typed && ocamlc -c -bin-annot -w -a -I lib/numerics lib/assign/assign.ml)
   $ (cd typed && sgr-lint lib)
+  lib/assign/assign.ml:6:2: [cancel-coverage] while loop in Assign.solve is reachable from serving dispatch but has no Sgr_obs.Cancel.check in its body; an @MS deadline cannot pre-empt it (add a checkpoint, or annotate why the loop is bounded)
   lib/core/mop.ml:4:2: [cancel-coverage] while loop in Mop.water_fill is reachable from serving dispatch but has no Sgr_obs.Cancel.check in its body; an @MS deadline cannot pre-empt it (add a checkpoint, or annotate why the loop is bounded)
   lib/network/column_gen.ml:6:2: [cancel-coverage] while loop in Column_gen.price is reachable from serving dispatch but has no Sgr_obs.Cancel.check in its body; an @MS deadline cannot pre-empt it (add a checkpoint, or annotate why the loop is bounded)
   lib/numerics/bisection.ml:5:2: [cancel-coverage] while loop in Bisection.solve is reachable from serving dispatch but has no Sgr_obs.Cancel.check in its body; an @MS deadline cannot pre-empt it (add a checkpoint, or annotate why the loop is bounded)
-  3 findings
+  4 findings
   [1]

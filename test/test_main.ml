@@ -25,4 +25,5 @@ let () =
       ("discrete", Test_discrete.suite);
       ("workloads", Test_workloads.suite);
       ("serve", Test_serve.suite);
+      ("assign", Test_assign.suite);
     ]

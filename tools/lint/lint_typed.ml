@@ -426,7 +426,7 @@ let solver_src src =
   List.exists
     (fun p ->
       String.length src > String.length p && String.sub src 0 (String.length p) = p)
-    [ "lib/core/"; "lib/network/"; "lib/links/"; "lib/numerics/" ]
+    [ "lib/core/"; "lib/network/"; "lib/links/"; "lib/numerics/"; "lib/assign/" ]
 
 let serve_src src =
   String.length src > 10 && String.sub src 0 10 = "lib/serve/"
